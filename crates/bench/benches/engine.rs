@@ -1,0 +1,127 @@
+//! Component microbenchmarks: the matching algorithm, the ring arbiter,
+//! queue operations, and raw epoch-engine throughput. These guard the
+//! simulator's own performance (a 30 ms paper-scale run must stay in
+//! seconds), independent of the paper-shape benches.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use negotiator::matching::{AcceptArbiter, Grant, GrantArbiter};
+use negotiator::queues::DestQueue;
+use negotiator::rings::Ring;
+use negotiator::{NegotiatorConfig, NegotiatorSim};
+use oblivious::{ObliviousConfig, ObliviousSim};
+use sim::Xoshiro256;
+use topology::{AnyTopology, NetworkConfig, Topology, TopologyKind};
+use workload::{FlowSizeDist, PoissonWorkload, WorkloadSpec};
+
+fn ring_pick(c: &mut Criterion) {
+    let mut rng = Xoshiro256::new(1);
+    let mut ring = Ring::new((0..128).collect(), &mut rng);
+    let candidates: Vec<usize> = (0..128).step_by(3).collect();
+    c.bench_function("ring_pick_128_members", |b| {
+        b.iter(|| ring.pick(std::hint::black_box(&candidates)))
+    });
+}
+
+fn grant_accept_cycle(c: &mut Criterion) {
+    let topo = AnyTopology::build(TopologyKind::Parallel, NetworkConfig::paper_default());
+    let n = topo.net().n_tors;
+    let s = topo.net().n_ports;
+    let mut rng = Xoshiro256::new(2);
+    let mut grant_arbs: Vec<GrantArbiter> =
+        (0..n).map(|d| GrantArbiter::new(&topo, d, &mut rng)).collect();
+    let mut accept_arbs: Vec<AcceptArbiter> =
+        (0..n).map(|t| AcceptArbiter::new(&topo, t, &mut rng)).collect();
+    let requests: Vec<usize> = (0..n).collect();
+    c.bench_function("grant_accept_cycle_128tors_saturated", |b| {
+        b.iter(|| {
+            let mut grants_by_src: Vec<Vec<Grant>> = vec![Vec::new(); n];
+            #[allow(clippy::needless_range_loop)] // dst drives several arrays
+            for dst in 0..n {
+                let reqs: Vec<usize> = requests.iter().copied().filter(|&r| r != dst).collect();
+                for (src, port) in grant_arbs[dst].grant(s, &reqs, |_, _| true) {
+                    grants_by_src[src].push(Grant { dst, port });
+                }
+            }
+            let mut total = 0;
+            for src in 0..n {
+                total += accept_arbs[src]
+                    .accept(s, &grants_by_src[src], |_, _| true)
+                    .len();
+            }
+            total
+        })
+    });
+}
+
+fn queue_ops(c: &mut Criterion) {
+    c.bench_function("destqueue_enqueue_dequeue_pias", |b| {
+        b.iter_batched(
+            DestQueue::new,
+            |mut q| {
+                for f in 0..32 {
+                    q.enqueue_flow(f, 50_000, f, true, [1_000, 10_000]);
+                }
+                let mut total = 0u64;
+                while let Some(p) = q.dequeue_packet(1_115) {
+                    total += p.bytes;
+                }
+                total
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn small_trace(load: f64, duration: u64) -> workload::FlowTrace {
+    PoissonWorkload::new(WorkloadSpec {
+        dist: FlowSizeDist::hadoop(),
+        load,
+        n_tors: 16,
+        host_bps: 200_000_000_000,
+    })
+    .generate(duration, 7)
+}
+
+fn negotiator_epoch_throughput(c: &mut Criterion) {
+    let duration = 200_000; // ≈ 54 epochs on the 16-ToR fabric
+    let trace = small_trace(1.0, duration);
+    c.bench_function("negotiator_run_16tors_200us_full_load", |b| {
+        b.iter_batched(
+            || {
+                NegotiatorSim::new(
+                    NegotiatorConfig::paper_default(NetworkConfig::small_for_tests()),
+                    TopologyKind::Parallel,
+                )
+            },
+            |mut sim| sim.run(&trace, duration),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn oblivious_slot_throughput(c: &mut Criterion) {
+    let duration = 200_000;
+    let trace = small_trace(1.0, duration);
+    c.bench_function("oblivious_run_16tors_200us_full_load", |b| {
+        b.iter_batched(
+            || {
+                ObliviousSim::new(
+                    ObliviousConfig::paper_default(NetworkConfig::small_for_tests()),
+                    TopologyKind::ThinClos,
+                )
+            },
+            |mut sim| sim.run(&trace, duration),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    ring_pick,
+    grant_accept_cycle,
+    queue_ops,
+    negotiator_epoch_throughput,
+    oblivious_slot_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,444 @@
+//! One criterion benchmark per paper table/figure, running a scaled-down
+//! (16-ToR, sub-millisecond) version of each experiment's workload. Two
+//! purposes: `cargo bench` exercises every experiment end to end, and the
+//! timings track the cost of each scenario. The full-scale tables are
+//! produced by `cargo run --release -p bench --bin paper -- all`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use negotiator::{FailureAction, NegotiatorConfig, NegotiatorSim, SchedulerMode, SimOptions};
+use oblivious::{ObliviousConfig, ObliviousSim};
+use topology::{NetworkConfig, TopologyKind};
+use workload::{
+    AllToAllWorkload, FlowSizeDist, IncastWorkload, MixedWorkload, PoissonWorkload, WorkloadSpec,
+};
+
+const DURATION: u64 = 150_000;
+
+fn net() -> NetworkConfig {
+    NetworkConfig::small_for_tests()
+}
+
+fn trace(load: f64, dist: FlowSizeDist) -> workload::FlowTrace {
+    PoissonWorkload::new(WorkloadSpec {
+        dist,
+        load,
+        n_tors: 16,
+        host_bps: 200_000_000_000,
+    })
+    .generate(DURATION, 11)
+}
+
+fn nego(cfg: NegotiatorConfig, kind: TopologyKind, opts: SimOptions) -> NegotiatorSim {
+    NegotiatorSim::with_options(cfg, kind, opts)
+}
+
+fn bench_nego(
+    c: &mut Criterion,
+    name: &str,
+    make_cfg: impl Fn() -> (NegotiatorConfig, TopologyKind, SimOptions),
+    tr: workload::FlowTrace,
+) {
+    c.bench_function(name, |b| {
+        b.iter_batched(
+            || {
+                let (cfg, kind, opts) = make_cfg();
+                nego(cfg, kind, opts)
+            },
+            |mut sim| sim.run(&tr, DURATION),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn table2_pb_pq_ablation(c: &mut Criterion) {
+    let tr = trace(1.0, FlowSizeDist::hadoop());
+    bench_nego(
+        c,
+        "table2_pb_pq_ablation",
+        || {
+            let mut cfg = NegotiatorConfig::paper_default(net());
+            cfg.piggyback = false;
+            cfg.priority_queues = false;
+            (cfg, TopologyKind::Parallel, SimOptions::default())
+        },
+        tr,
+    );
+}
+
+fn fig6_fct_cdf(c: &mut Criterion) {
+    bench_nego(
+        c,
+        "fig6_fct_cdf",
+        || {
+            (
+                NegotiatorConfig::paper_default(net()),
+                TopologyKind::Parallel,
+                SimOptions::default(),
+            )
+        },
+        trace(1.0, FlowSizeDist::hadoop()),
+    );
+}
+
+fn fig7a_incast(c: &mut Criterion) {
+    let tr = IncastWorkload {
+        degree: 14,
+        flow_bytes: 1_000,
+        n_tors: 16,
+        start: 10_000,
+    }
+    .generate(3);
+    c.bench_function("fig7a_incast", |b| {
+        b.iter_batched(
+            || nego(NegotiatorConfig::paper_default(net()), TopologyKind::Parallel, SimOptions::default()),
+            |mut sim| sim.run(&tr, DURATION),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn fig7b_alltoall(c: &mut Criterion) {
+    let tr = AllToAllWorkload {
+        flow_bytes: 5_000,
+        n_tors: 16,
+        start: 10_000,
+    }
+    .generate();
+    c.bench_function("fig7b_alltoall", |b| {
+        b.iter_batched(
+            || nego(NegotiatorConfig::paper_default(net()), TopologyKind::ThinClos, SimOptions::default()),
+            |mut sim| sim.run(&tr, DURATION),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn fig8_reconfig_delay(c: &mut Criterion) {
+    bench_nego(
+        c,
+        "fig8_reconfig_delay_100ns",
+        || {
+            let mut cfg = NegotiatorConfig::paper_default(net());
+            cfg.epoch = cfg.epoch.with_guardband(100, 5);
+            (cfg, TopologyKind::Parallel, SimOptions::default())
+        },
+        trace(1.0, FlowSizeDist::hadoop()),
+    );
+}
+
+fn fig9_main_result(c: &mut Criterion) {
+    let tr = trace(0.75, FlowSizeDist::hadoop());
+    bench_nego(
+        c,
+        "fig9_negotiator_75pct",
+        || {
+            (
+                NegotiatorConfig::paper_default(net()),
+                TopologyKind::Parallel,
+                SimOptions::default(),
+            )
+        },
+        tr.clone(),
+    );
+    c.bench_function("fig9_oblivious_75pct", |b| {
+        b.iter_batched(
+            || ObliviousSim::new(ObliviousConfig::paper_default(net()), TopologyKind::ThinClos),
+            |mut sim| sim.run(&tr, DURATION),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn fig10_failures(c: &mut Criterion) {
+    let tr = trace(1.0, FlowSizeDist::hadoop());
+    c.bench_function("fig10_failure_recovery", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = nego(
+                    NegotiatorConfig::paper_default(net()),
+                    TopologyKind::Parallel,
+                    SimOptions {
+                        total_rx_window: Some(10_000),
+                        ..SimOptions::default()
+                    },
+                );
+                sim.schedule_failure(DURATION / 3, FailureAction::FailRandom { ratio: 0.05, seed: 5 });
+                sim.schedule_failure(2 * DURATION / 3, FailureAction::RepairAll);
+                sim
+            },
+            |mut sim| sim.run(&tr, DURATION),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn fig11_no_speedup(c: &mut Criterion) {
+    let flat = NetworkConfig {
+        port_bandwidth: sim::Bandwidth::from_gbps(50),
+        ..net()
+    };
+    let tr = PoissonWorkload::new(WorkloadSpec {
+        dist: FlowSizeDist::hadoop(),
+        load: 0.75,
+        n_tors: 16,
+        host_bps: 200_000_000_000,
+    })
+    .generate(DURATION, 13);
+    c.bench_function("fig11_no_speedup", |b| {
+        b.iter_batched(
+            || nego(NegotiatorConfig::paper_default(flat.clone()), TopologyKind::Parallel, SimOptions::default()),
+            |mut sim| sim.run(&tr, DURATION),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn fig12_sensitivity(c: &mut Criterion) {
+    bench_nego(
+        c,
+        "fig12_scheduled_phase_100slots",
+        || {
+            let mut cfg = NegotiatorConfig::paper_default(net());
+            cfg.epoch.scheduled_slots = 100;
+            (cfg, TopologyKind::Parallel, SimOptions::default())
+        },
+        trace(0.75, FlowSizeDist::hadoop()),
+    );
+}
+
+fn fig13_workloads(c: &mut Criterion) {
+    let (tr, _) = MixedWorkload {
+        background: WorkloadSpec {
+            dist: FlowSizeDist::hadoop(),
+            load: 0.5,
+            n_tors: 16,
+            host_bps: 200_000_000_000,
+        },
+        incast_degree: 8,
+        incast_flow_bytes: 1_000,
+        incast_load: 0.02,
+    }
+    .generate(DURATION, 17);
+    bench_nego(
+        c,
+        "fig13a_mixed_incast",
+        || {
+            (
+                NegotiatorConfig::paper_default(net()),
+                TopologyKind::Parallel,
+                SimOptions::default(),
+            )
+        },
+        tr,
+    );
+    bench_nego(
+        c,
+        "fig13b_web_search",
+        || {
+            (
+                NegotiatorConfig::paper_default(net()),
+                TopologyKind::Parallel,
+                SimOptions::default(),
+            )
+        },
+        trace(0.5, FlowSizeDist::web_search()),
+    );
+    bench_nego(
+        c,
+        "fig13c_google",
+        || {
+            (
+                NegotiatorConfig::paper_default(net()),
+                TopologyKind::Parallel,
+                SimOptions::default(),
+            )
+        },
+        trace(0.5, FlowSizeDist::google()),
+    );
+}
+
+fn fig14_match_ratio(c: &mut Criterion) {
+    bench_nego(
+        c,
+        "fig14_match_ratio",
+        || {
+            (
+                NegotiatorConfig::paper_default(net()),
+                TopologyKind::ThinClos,
+                SimOptions::default(),
+            )
+        },
+        trace(1.0, FlowSizeDist::hadoop()),
+    );
+}
+
+fn fig15_iterative(c: &mut Criterion) {
+    bench_nego(
+        c,
+        "fig15_iterative_3rounds",
+        || {
+            (
+                NegotiatorConfig::paper_default(net()),
+                TopologyKind::Parallel,
+                SimOptions {
+                    mode: SchedulerMode::Iterative { rounds: 3 },
+                    ..SimOptions::default()
+                },
+            )
+        },
+        trace(0.75, FlowSizeDist::hadoop()),
+    );
+}
+
+fn table3_selective_relay(c: &mut Criterion) {
+    bench_nego(
+        c,
+        "table3_selective_relay",
+        || {
+            (
+                NegotiatorConfig::paper_default(net()),
+                TopologyKind::ThinClos,
+                SimOptions {
+                    selective_relay: true,
+                    ..SimOptions::default()
+                },
+            )
+        },
+        trace(0.75, FlowSizeDist::hadoop()),
+    );
+}
+
+fn table4_informative(c: &mut Criterion) {
+    for (name, mode) in [
+        ("table4_data_size", SchedulerMode::DataSize),
+        ("table4_hol_delay", SchedulerMode::HolDelay { alpha: 0.001 }),
+    ] {
+        bench_nego(
+            c,
+            name,
+            || {
+                (
+                    NegotiatorConfig::paper_default(net()),
+                    TopologyKind::Parallel,
+                    SimOptions {
+                        mode,
+                        ..SimOptions::default()
+                    },
+                )
+            },
+            trace(0.75, FlowSizeDist::hadoop()),
+        );
+    }
+}
+
+fn table5_stateful(c: &mut Criterion) {
+    bench_nego(
+        c,
+        "table5_stateful",
+        || {
+            (
+                NegotiatorConfig::paper_default(net()),
+                TopologyKind::Parallel,
+                SimOptions {
+                    mode: SchedulerMode::Stateful,
+                    ..SimOptions::default()
+                },
+            )
+        },
+        trace(0.75, FlowSizeDist::hadoop()),
+    );
+}
+
+fn table6_projector(c: &mut Criterion) {
+    bench_nego(
+        c,
+        "table6_projector",
+        || {
+            (
+                NegotiatorConfig::paper_default(net()),
+                TopologyKind::Parallel,
+                SimOptions {
+                    mode: SchedulerMode::Projector,
+                    ..SimOptions::default()
+                },
+            )
+        },
+        trace(0.75, FlowSizeDist::hadoop()),
+    );
+}
+
+fn figs17_19_observability(c: &mut Criterion) {
+    let tr = IncastWorkload {
+        degree: 10,
+        flow_bytes: 1_000,
+        n_tors: 16,
+        start: 10_000,
+    }
+    .generate(9);
+    c.bench_function("fig17_18_rx_series", |b| {
+        b.iter_batched(
+            || {
+                nego(
+                    NegotiatorConfig::paper_default(net()),
+                    TopologyKind::Parallel,
+                    SimOptions {
+                        rx_window: Some(1_000),
+                        ..SimOptions::default()
+                    },
+                )
+            },
+            |mut sim| sim.run(&tr, DURATION),
+            BatchSize::SmallInput,
+        )
+    });
+    let big = workload::FlowTrace::new(vec![workload::Flow {
+        id: 0,
+        src: 1,
+        dst: 9,
+        bytes: 100_000_000,
+        arrival: 0,
+    }]);
+    c.bench_function("fig19_pair_failures", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = nego(
+                    NegotiatorConfig::paper_default(net()),
+                    TopologyKind::Parallel,
+                    SimOptions {
+                        rx_window: Some(1_000),
+                        ..SimOptions::default()
+                    },
+                );
+                sim.schedule_failure(DURATION / 3, FailureAction::FailRandom { ratio: 0.1, seed: 3 });
+                sim.schedule_failure(2 * DURATION / 3, FailureAction::RepairAll);
+                sim
+            },
+            |mut sim| sim.run(&big, DURATION),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = shapes;
+    config = Criterion::default().sample_size(10);
+    targets =
+        table2_pb_pq_ablation,
+        fig6_fct_cdf,
+        fig7a_incast,
+        fig7b_alltoall,
+        fig8_reconfig_delay,
+        fig9_main_result,
+        fig10_failures,
+        fig11_no_speedup,
+        fig12_sensitivity,
+        fig13_workloads,
+        fig14_match_ratio,
+        fig15_iterative,
+        table3_selective_relay,
+        table4_informative,
+        table5_stateful,
+        table6_projector,
+        figs17_19_observability
+}
+criterion_main!(shapes);

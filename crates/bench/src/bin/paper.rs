@@ -1,0 +1,75 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! paper <experiment-id>... [--duration-ms N] [--loads 10,50,100]
+//! paper all [--duration-ms N]
+//! paper list
+//! ```
+
+use bench::{run_experiment, Args, EXPERIMENTS};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        usage();
+        return;
+    }
+    let mut args = Args::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--duration-ms" => {
+                let v = it.next().expect("--duration-ms needs a value");
+                let ms: f64 = v.parse().expect("--duration-ms must be a number");
+                args.duration = (ms * 1e6) as u64;
+            }
+            "--seed" => {
+                let v = it.next().expect("--seed needs a value");
+                args.seed = v.parse().expect("--seed must be an integer");
+            }
+            "--loads" => {
+                let v = it.next().expect("--loads needs a comma-separated list");
+                args.loads = v
+                    .split(',')
+                    .map(|s| s.parse::<f64>().expect("load must be a number") / 100.0)
+                    .collect();
+            }
+            "list" => {
+                for (id, desc) in EXPERIMENTS {
+                    println!("{id:<8} {desc}");
+                }
+                return;
+            }
+            "all" => ids.extend(EXPERIMENTS.iter().map(|(id, _)| id.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage();
+        return;
+    }
+    println!(
+        "# NegotiaToR reproduction — duration {} ms per run, loads {:?}\n",
+        args.duration as f64 / 1e6,
+        args.loads.iter().map(|l| l * 100.0).collect::<Vec<_>>()
+    );
+    for id in ids {
+        let started = std::time::Instant::now();
+        match run_experiment(&id, &args) {
+            Some(output) => {
+                println!("{output}");
+                eprintln!("[{id} done in {:.1?}]", started.elapsed());
+            }
+            None => eprintln!("unknown experiment '{id}' — try `paper list`"),
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: paper <experiment-id>|all|list [--duration-ms N] [--loads 10,50,100] [--seed N]");
+    eprintln!("experiments:");
+    for (id, desc) in EXPERIMENTS {
+        eprintln!("  {id:<8} {desc}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Ablations of design choices the paper motivates but does not sweep —
+//! called out in DESIGN.md's per-experiment index:
+//!
+//! * **Request threshold** (§3.4.1): raising the threshold from zero to
+//!   three piggybacked packets avoids granting ports to pairs whose entire
+//!   backlog will have left through piggybacking by activation time. The
+//!   over-scheduled slot counter makes the waste visible.
+//! * **Round-robin rule rotation** (§3.6.1): on the parallel network the
+//!   predefined-phase mapping rotates every epoch so a ToR pair's
+//!   scheduling messages traverse a different physical link each epoch.
+//!   Without rotation, a single failed link permanently silences the pairs
+//!   whose messages it carried.
+
+use super::Args;
+use crate::runs::{background_seeded, run_negotiator, SEED};
+use metrics::{report, Table};
+use negotiator::{FailureAction, NegotiatorConfig, NegotiatorSim, SimOptions};
+use topology::{NetworkConfig, TopologyKind};
+use workload::FlowSizeDist;
+
+/// Threshold ablation: goodput, mice FCT and over-scheduling waste as the
+/// request threshold sweeps 0..6 piggyback packets.
+pub fn ablation_threshold(args: &Args) -> String {
+    let net = NetworkConfig::paper_default();
+    let mut table = Table::new(
+        "Ablation — request threshold (piggyback packets), parallel, 100% load",
+        &["threshold", "99p_mice_us", "goodput", "oversched_slots", "sched_util"],
+    );
+    let trace = background_seeded(FlowSizeDist::hadoop(), 1.0, &net, args.duration, args.seed);
+    for threshold in [0u64, 1, 3, 6] {
+        let mut cfg = NegotiatorConfig::paper_default(net.clone());
+        cfg.request_threshold_packets = threshold;
+        let (mut rep, sim) = run_negotiator(
+            cfg,
+            TopologyKind::Parallel,
+            SimOptions::default(),
+            &trace,
+            args.duration,
+        );
+        let st = sim.stats();
+        table.row(vec![
+            threshold.to_string(),
+            report::us(rep.mice.p99_ns()),
+            format!("{:.3}", rep.goodput.normalized()),
+            st.overscheduled_slots.to_string(),
+            format!("{:.3}", st.scheduled_utilization()),
+        ]);
+    }
+    table.render()
+}
+
+/// Rotation ablation: deliveries of a single pair under a targeted egress
+/// link failure, with and without the §3.6.1 rotation. The rotated rule
+/// keeps the pair's scheduling messages moving over surviving links; the
+/// frozen rule can only recover through the fault detector's exclusions.
+pub fn ablation_rotation(_args: &Args) -> String {
+    let net = NetworkConfig::paper_default();
+    let trace = workload::FlowTrace::new(vec![workload::Flow {
+        id: 0,
+        src: 3,
+        dst: 77,
+        bytes: 1_000_000_000,
+        arrival: 0,
+    }]);
+    let mut table = Table::new(
+        "Ablation — predefined-rule rotation under failures (single pair, 10% links down)",
+        &["rotation", "delivered_mb_300us", "lost_packets"],
+    );
+    // The engine always rotates on the parallel network (the paper's
+    // design); the "frozen" row uses thin-clos, whose single-path pairs
+    // cannot rotate — exactly the §3.6.1 contrast.
+    for (label, kind) in [
+        ("rotating (parallel)", TopologyKind::Parallel),
+        ("frozen (thin-clos)", TopologyKind::ThinClos),
+    ] {
+        let mut sim = NegotiatorSim::new(NegotiatorConfig::paper_default(net.clone()), kind);
+        sim.schedule_failure(
+            50_000,
+            FailureAction::FailRandom {
+                ratio: 0.10,
+                seed: SEED,
+            },
+        );
+        sim.run(&trace, 350_000);
+        table.row(vec![
+            label.to_string(),
+            format!("{:.2}", sim.tracker().delivered_payload() as f64 / 1e6),
+            sim.stats().lost_packets.to_string(),
+        ]);
+    }
+    table.render()
+}

@@ -1,0 +1,205 @@
+//! Appendix experiments: A.1 match-ratio validation (Figure 14) and the
+//! A.2 design-space comparisons (Figure 15, Tables 3–6).
+
+use super::Args;
+use crate::runs::{background_seeded, run_negotiator};
+use metrics::{report, Table};
+use negotiator::{theory, NegotiatorConfig, SchedulerMode, SimOptions};
+use topology::{NetworkConfig, TopologyKind};
+use workload::FlowSizeDist;
+
+/// Figure 14 (A.1): per-epoch match ratio at 100% load vs the closed-form
+/// `E[Y] = 1 − (1 − 1/n)^n`.
+pub fn fig14(args: &Args) -> String {
+    let net = NetworkConfig::paper_default();
+    let trace = background_seeded(FlowSizeDist::hadoop(), 1.0, &net, args.duration, args.seed);
+    let mut out = String::new();
+    for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
+        let cfg = NegotiatorConfig::paper_default(net.clone());
+        let (_, sim) = run_negotiator(cfg, kind, SimOptions::default(), &trace, args.duration);
+        let rec = sim.match_recorder();
+        let series = rec.series();
+        let mut table = Table::new(
+            format!("Figure 14 — match ratio per epoch, {} (100% load)", kind.label()),
+            &["epoch", "match_ratio"],
+        );
+        let step = (series.len() / 16).max(1);
+        for (e, r) in series.iter().step_by(step) {
+            table.row(vec![e.to_string(), format!("{r:.3}")]);
+        }
+        out.push_str(&table.render());
+        let n = theory::competitors(kind, net.n_tors, net.n_ports);
+        out.push_str(&format!(
+            "overall {:.3} vs theory E[Y](n={n}) = {:.3}\n\n",
+            rec.overall_ratio().unwrap_or(0.0),
+            theory::expected_match_efficiency(n),
+        ));
+    }
+    out
+}
+
+/// Figure 15 (A.2.1): iterative matching (no speedup) vs the non-iterative
+/// algorithm with 2× speedup, parallel network.
+pub fn fig15(args: &Args) -> String {
+    let speedup_net = NetworkConfig::paper_default();
+    let flat_net = NetworkConfig::paper_no_speedup();
+    let mut fct = Table::new(
+        "Figure 15 — 99p mice FCT (ms), parallel",
+        &["load", "speedup 2x", "ITER_I", "ITER_III", "ITER_V"],
+    );
+    let mut gp = Table::new(
+        "Figure 15 — normalized goodput, parallel",
+        &["load", "speedup 2x", "ITER_I", "ITER_III", "ITER_V"],
+    );
+    for &load in &args.loads {
+        let mut fct_cells = vec![report::pct(load)];
+        let mut gp_cells = vec![report::pct(load)];
+        // Non-iterative with 2× speedup (the paper's pick).
+        {
+            let trace = background_seeded(FlowSizeDist::hadoop(), load, &speedup_net, args.duration, args.seed);
+            let cfg = NegotiatorConfig::paper_default(speedup_net.clone());
+            let (mut rep, _) = run_negotiator(
+                cfg,
+                TopologyKind::Parallel,
+                SimOptions::default(),
+                &trace,
+                args.duration,
+            );
+            fct_cells.push(report::ms(rep.mice.p99_ns()));
+            gp_cells.push(format!("{:.3}", rep.goodput.normalized()));
+        }
+        // Iterative at 1×.
+        for rounds in [1usize, 3, 5] {
+            let trace = background_seeded(FlowSizeDist::hadoop(), load, &flat_net, args.duration, args.seed);
+            let cfg = NegotiatorConfig::paper_default(flat_net.clone());
+            let (mut rep, _) = run_negotiator(
+                cfg,
+                TopologyKind::Parallel,
+                SimOptions {
+                    mode: SchedulerMode::Iterative { rounds },
+                    ..SimOptions::default()
+                },
+                &trace,
+                args.duration,
+            );
+            fct_cells.push(report::ms(rep.mice.p99_ns()));
+            gp_cells.push(format!("{:.3}", rep.goodput.normalized()));
+        }
+        fct.row(fct_cells);
+        gp.row(gp_cells);
+    }
+    format!("{}\n{}", fct.render(), gp.render())
+}
+
+/// Shared shape of Tables 3–6: base vs variants, `99p mice FCT (us) /
+/// normalized goodput` per load.
+fn variant_table(
+    title: &str,
+    kind: TopologyKind,
+    variants: &[(&str, SimOptions)],
+    args: &Args,
+) -> String {
+    let net = NetworkConfig::paper_default();
+    let mut headers: Vec<&str> = vec!["load"];
+    headers.extend(variants.iter().map(|(l, _)| *l));
+    let mut table = Table::new(title, &headers);
+    for &load in &args.loads {
+        let trace = background_seeded(FlowSizeDist::hadoop(), load, &net, args.duration, args.seed);
+        let mut cells = vec![report::pct(load)];
+        for (_, opts) in variants {
+            let cfg = NegotiatorConfig::paper_default(net.clone());
+            let (mut rep, _) =
+                run_negotiator(cfg, kind, opts.clone(), &trace, args.duration);
+            cells.push(format!(
+                "{}/{}",
+                report::us(rep.mice.p99_ns()),
+                report::pct(rep.goodput.normalized())
+            ));
+        }
+        table.row(cells);
+    }
+    table.render()
+}
+
+/// Table 3 (A.2.2): traffic-aware selective relay on thin-clos.
+pub fn table3(args: &Args) -> String {
+    variant_table(
+        "Table 3 — selective relay, thin-clos: 99p mice FCT (us) / goodput",
+        TopologyKind::ThinClos,
+        &[
+            ("Base", SimOptions::default()),
+            (
+                "Two-Hop",
+                SimOptions {
+                    selective_relay: true,
+                    ..SimOptions::default()
+                },
+            ),
+        ],
+        args,
+    )
+}
+
+/// Table 4 (A.2.3): informative requests on the parallel network.
+pub fn table4(args: &Args) -> String {
+    variant_table(
+        "Table 4 — informative requests, parallel: 99p mice FCT (us) / goodput",
+        TopologyKind::Parallel,
+        &[
+            ("Base", SimOptions::default()),
+            (
+                "Data-Size",
+                SimOptions {
+                    mode: SchedulerMode::DataSize,
+                    ..SimOptions::default()
+                },
+            ),
+            (
+                "HoL-Delay",
+                SimOptions {
+                    mode: SchedulerMode::HolDelay { alpha: 0.001 },
+                    ..SimOptions::default()
+                },
+            ),
+        ],
+        args,
+    )
+}
+
+/// Table 5 (A.2.4): stateful scheduling on the parallel network.
+pub fn table5(args: &Args) -> String {
+    variant_table(
+        "Table 5 — stateful scheduling, parallel: 99p mice FCT (us) / goodput",
+        TopologyKind::Parallel,
+        &[
+            ("Base", SimOptions::default()),
+            (
+                "Stateful",
+                SimOptions {
+                    mode: SchedulerMode::Stateful,
+                    ..SimOptions::default()
+                },
+            ),
+        ],
+        args,
+    )
+}
+
+/// Table 6 (A.2.5): ProjecToR-style scheduling on the parallel network.
+pub fn table6(args: &Args) -> String {
+    variant_table(
+        "Table 6 — ProjecToR scheduling, parallel: 99p mice FCT (us) / goodput",
+        TopologyKind::Parallel,
+        &[
+            ("Base", SimOptions::default()),
+            (
+                "ProjecToR",
+                SimOptions {
+                    mode: SchedulerMode::Projector,
+                    ..SimOptions::default()
+                },
+            ),
+        ],
+        args,
+    )
+}

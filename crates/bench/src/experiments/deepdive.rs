@@ -1,0 +1,186 @@
+//! Deep-dive results (§4.4): parameter sensitivity (Figure 12) and the
+//! alternative workloads (Figure 13).
+
+use super::main_results::load_sweep;
+use super::Args;
+use crate::runs::{background_seeded, run_negotiator, SEED};
+use metrics::{report, RunReport, Table};
+use negotiator::{NegotiatorConfig, NegotiatorSim, SimOptions};
+use oblivious::{ObliviousConfig, ObliviousSim};
+use topology::{NetworkConfig, TopologyKind};
+use workload::{FlowSizeDist, MixedWorkload, WorkloadSpec};
+
+/// Figure 12(a): predefined-phase timeslot duration sweep (affects how
+/// much data one piggybacked packet carries), parallel network.
+pub fn fig12a(args: &Args) -> String {
+    let net = NetworkConfig::paper_default();
+    let mut table = Table::new(
+        "Figure 12(a) — 99p mice FCT (us) vs predefined timeslot duration, parallel",
+        &["load", "20ns", "30ns", "60ns", "90ns", "120ns"],
+    );
+    for &load in &args.loads {
+        let trace = background_seeded(FlowSizeDist::hadoop(), load, &net, args.duration, args.seed);
+        let mut cells = vec![report::pct(load)];
+        for slot_ns in [20u64, 30, 60, 90, 120] {
+            let mut cfg = NegotiatorConfig::paper_default(net.clone());
+            cfg.epoch.predefined_window = slot_ns - cfg.epoch.guardband;
+            let (mut rep, _) = run_negotiator(
+                cfg,
+                TopologyKind::Parallel,
+                SimOptions::default(),
+                &trace,
+                args.duration,
+            );
+            cells.push(report::us(rep.mice.p99_ns()));
+        }
+        table.row(cells);
+    }
+    table.render()
+}
+
+/// Figure 12(b): scheduled-phase length sweep, parallel network.
+pub fn fig12b(args: &Args) -> String {
+    let net = NetworkConfig::paper_default();
+    let mut fct = Table::new(
+        "Figure 12(b) — 99p mice FCT (ms) vs scheduled-phase slots, parallel",
+        &["load", "10", "30", "50", "100", "500"],
+    );
+    let mut gp = Table::new(
+        "Figure 12(b) — normalized goodput vs scheduled-phase slots, parallel",
+        &["load", "10", "30", "50", "100", "500"],
+    );
+    for &load in &args.loads {
+        let trace = background_seeded(FlowSizeDist::hadoop(), load, &net, args.duration, args.seed);
+        let mut fct_cells = vec![report::pct(load)];
+        let mut gp_cells = vec![report::pct(load)];
+        for slots in [10usize, 30, 50, 100, 500] {
+            let mut cfg = NegotiatorConfig::paper_default(net.clone());
+            cfg.epoch.scheduled_slots = slots;
+            let (mut rep, _) = run_negotiator(
+                cfg,
+                TopologyKind::Parallel,
+                SimOptions::default(),
+                &trace,
+                args.duration,
+            );
+            fct_cells.push(report::ms(rep.mice.p99_ns()));
+            gp_cells.push(format!("{:.3}", rep.goodput.normalized()));
+        }
+        fct.row(fct_cells);
+        gp.row(gp_cells);
+    }
+    format!("{}\n{}", fct.render(), gp.render())
+}
+
+/// Figure 13(a): Hadoop background randomly mixed with degree-20, 1 KB
+/// incasts taking 2% of the downlink aggregate.
+pub fn fig13a(args: &Args) -> String {
+    let net = NetworkConfig::paper_default();
+    let mut table = Table::new(
+        "Figure 13(a) — Hadoop + incast mix: background 99p mice FCT (ms) / mean incast finish (ms) / goodput",
+        &["load", "nego/parallel", "nego/thin-clos", "oblivious/thin-clos"],
+    );
+    for &load in &args.loads {
+        let mixed = MixedWorkload {
+            background: WorkloadSpec {
+                dist: FlowSizeDist::hadoop(),
+                load,
+                n_tors: net.n_tors,
+                host_bps: net.host_bandwidth.bps(),
+            },
+            incast_degree: 20,
+            incast_flow_bytes: 1_000,
+            incast_load: 0.02,
+        };
+        let (trace, tags) = mixed.generate(args.duration, SEED);
+        let bg_tags: Vec<bool> = tags.iter().map(|&t| !t).collect();
+        let mut cells = vec![report::pct(load)];
+
+        // Mean incast finish: group tagged flows by (arrival, dst) and take
+        // the latest completion per burst. Bursts arriving in the last
+        // stretch of the run cannot finish before the horizon and are
+        // excluded; an unfinished earlier burst counts as the full horizon.
+        let cutoff = args.duration.saturating_sub(args.duration / 5);
+        let incast_finish = |tracker: &metrics::FlowTracker| -> Option<f64> {
+            let mut bursts: std::collections::HashMap<(u64, usize), u64> = Default::default();
+            for (f, &tag) in trace.flows().iter().zip(&tags) {
+                if !tag || f.arrival >= cutoff {
+                    continue;
+                }
+                let finish = match tracker.completion(f.id) {
+                    Some(done) => done - f.arrival,
+                    None => args.duration - f.arrival, // unfinished: lower bound
+                };
+                let e = bursts.entry((f.arrival, f.dst)).or_insert(0);
+                *e = (*e).max(finish);
+            }
+            if bursts.is_empty() {
+                return None;
+            }
+            Some(bursts.values().sum::<u64>() as f64 / bursts.len() as f64)
+        };
+
+        for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
+            let cfg = NegotiatorConfig::paper_default(net.clone());
+            let mut sim = NegotiatorSim::new(cfg, kind);
+            sim.run(&trace, args.duration);
+            let mut bg = sim.report_subset(&trace, &bg_tags);
+            let overall = RunReport::build(
+                &trace,
+                sim.tracker(),
+                args.duration,
+                net.n_tors,
+                net.host_bandwidth.bps(),
+                None,
+            );
+            cells.push(format!(
+                "{}/{}/{:.3}",
+                report::ms(bg.mice.p99_ns()),
+                incast_finish(sim.tracker()).map_or("DNF".into(), report::ms),
+                overall.goodput.normalized()
+            ));
+        }
+        let mut sim = ObliviousSim::new(
+            ObliviousConfig::paper_default(net.clone()),
+            TopologyKind::ThinClos,
+        );
+        sim.run(&trace, args.duration);
+        let mut bg = sim.report_subset(&trace, &bg_tags);
+        let overall = RunReport::build(
+            &trace,
+            sim.tracker(),
+            args.duration,
+            net.n_tors,
+            net.host_bandwidth.bps(),
+            None,
+        );
+        cells.push(format!(
+            "{}/{}/{:.3}",
+            report::ms(bg.mice.p99_ns()),
+            incast_finish(sim.tracker()).map_or("DNF".into(), report::ms),
+            overall.goodput.normalized()
+        ));
+        table.row(cells);
+    }
+    table.render()
+}
+
+/// Figure 13(b): the heavier web-search workload.
+pub fn fig13b(args: &Args) -> String {
+    load_sweep(
+        "Figure 13(b) (web search)",
+        &NetworkConfig::paper_default(),
+        FlowSizeDist::web_search(),
+        args,
+    )
+}
+
+/// Figure 13(c): the lighter Google workload.
+pub fn fig13c(args: &Args) -> String {
+    load_sweep(
+        "Figure 13(c) (Google)",
+        &NetworkConfig::paper_default(),
+        FlowSizeDist::google(),
+        args,
+    )
+}

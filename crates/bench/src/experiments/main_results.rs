@@ -1,0 +1,139 @@
+//! Main results (§4.3): Figures 9, 10 and the no-speedup Figure 11.
+
+use super::Args;
+use crate::runs::{background_seeded, run_negotiator, run_oblivious};
+use metrics::{report, Table};
+use negotiator::{FailureAction, NegotiatorConfig, NegotiatorSim, SimOptions};
+use oblivious::ObliviousConfig;
+use sim::time::Nanos;
+use topology::{NetworkConfig, TopologyKind};
+use workload::{FlowSizeDist, FlowTrace};
+
+/// The six systems of Figure 9's legend.
+const SYSTEMS: &[(&str, Sys)] = &[
+    ("nego/parallel", Sys::Nego(TopologyKind::Parallel, true)),
+    ("nego/parallel w/o PQ", Sys::Nego(TopologyKind::Parallel, false)),
+    ("nego/thin-clos", Sys::Nego(TopologyKind::ThinClos, true)),
+    ("nego/thin-clos w/o PQ", Sys::Nego(TopologyKind::ThinClos, false)),
+    ("oblivious/thin-clos", Sys::Oblv(true)),
+    ("oblivious/thin-clos w/o PQ", Sys::Oblv(false)),
+];
+
+#[derive(Clone, Copy)]
+enum Sys {
+    Nego(TopologyKind, bool),
+    Oblv(bool),
+}
+
+/// One (system, trace) run → (99p mice FCT ms, normalized goodput).
+fn measure(sys: Sys, net: &NetworkConfig, trace: &FlowTrace, duration: Nanos) -> (f64, f64) {
+    match sys {
+        Sys::Nego(kind, pq) => {
+            let mut cfg = NegotiatorConfig::paper_default(net.clone());
+            cfg.priority_queues = pq;
+            let (mut rep, _) =
+                run_negotiator(cfg, kind, SimOptions::default(), trace, duration);
+            (rep.mice.p99_ns() / 1e6, rep.goodput.normalized())
+        }
+        Sys::Oblv(pq) => {
+            let mut cfg = ObliviousConfig::paper_default(net.clone());
+            cfg.priority_queues = pq;
+            let (mut rep, _) = run_oblivious(cfg, TopologyKind::ThinClos, trace, duration);
+            (rep.mice.p99_ns() / 1e6, rep.goodput.normalized())
+        }
+    }
+}
+
+/// The load sweep shared by Figures 9, 11, 13(b), 13(c).
+pub fn load_sweep(title: &str, net: &NetworkConfig, dist: FlowSizeDist, args: &Args) -> String {
+    let mut fct = Table::new(
+        format!("{title} — 99p mice FCT (ms)"),
+        &["load", "nego/par", "par w/o PQ", "nego/thin", "thin w/o PQ", "oblv", "oblv w/o PQ"],
+    );
+    let mut gp = Table::new(
+        format!("{title} — normalized goodput"),
+        &["load", "nego/par", "par w/o PQ", "nego/thin", "thin w/o PQ", "oblv", "oblv w/o PQ"],
+    );
+    for &load in &args.loads {
+        let trace = background_seeded(dist.clone(), load, net, args.duration, args.seed);
+        let mut fct_cells = vec![report::pct(load)];
+        let mut gp_cells = vec![report::pct(load)];
+        for &(_, sys) in SYSTEMS {
+            let (f, g) = measure(sys, net, &trace, args.duration);
+            fct_cells.push(format!("{f:.4}"));
+            gp_cells.push(format!("{g:.3}"));
+        }
+        fct.row(fct_cells);
+        gp.row(gp_cells);
+    }
+    format!("{}\n{}", fct.render(), gp.render())
+}
+
+/// Figure 9: FCT and goodput vs load on the Hadoop workload.
+pub fn fig9(args: &Args) -> String {
+    load_sweep(
+        "Figure 9",
+        &NetworkConfig::paper_default(),
+        FlowSizeDist::hadoop(),
+        args,
+    )
+}
+
+/// Figure 11: the same sweep with no uplink speedup (§4.4).
+pub fn fig11(args: &Args) -> String {
+    load_sweep(
+        "Figure 11 (no speedup)",
+        &NetworkConfig::paper_no_speedup(),
+        FlowSizeDist::hadoop(),
+        args,
+    )
+}
+
+/// Figure 10: bandwidth usage through simultaneous link failures and
+/// recovery on the parallel network.
+pub fn fig10(args: &Args) -> String {
+    let net = NetworkConfig::paper_default();
+    let trace = background_seeded(FlowSizeDist::hadoop(), 1.0, &net, args.duration, args.seed);
+    let mut table = Table::new(
+        "Figure 10 — bandwidth ratios across failure and recovery (100% load, parallel)",
+        &[
+            "failure_ratio",
+            "BW_post_failure/BW_pre",
+            "BW_pre_recovery/BW_post_recovery",
+        ],
+    );
+    let fail_at = args.duration / 3;
+    let repair_at = 2 * args.duration / 3;
+    // Goodput ramps while backlogs build at 100% load, so each phase is
+    // measured over the window just before its end — the most settled part.
+    let window = args.duration / 8;
+    for ratio in [0.02, 0.04, 0.06, 0.08, 0.10] {
+        let mut sim = NegotiatorSim::with_options(
+            NegotiatorConfig::paper_default(net.clone()),
+            TopologyKind::Parallel,
+            SimOptions {
+                total_rx_window: Some(20_000),
+                ..SimOptions::default()
+            },
+        );
+        sim.schedule_failure(
+            fail_at,
+            FailureAction::FailRandom {
+                ratio,
+                seed: crate::runs::SEED ^ (ratio * 1000.0) as u64,
+            },
+        );
+        sim.schedule_failure(repair_at, FailureAction::RepairAll);
+        sim.run(&trace, args.duration);
+        let rx = sim.total_rx().expect("series enabled");
+        let pre = rx.mean_gbps(fail_at - window, fail_at);
+        let during = rx.mean_gbps(repair_at - window, repair_at);
+        let post = rx.mean_gbps(args.duration - window, args.duration);
+        table.row(vec![
+            report::pct(ratio),
+            format!("{:.3}", during / pre),
+            format!("{:.3}", during / post),
+        ]);
+    }
+    table.render()
+}

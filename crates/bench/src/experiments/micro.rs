@@ -1,0 +1,195 @@
+//! Microbenchmarks (§4.2): Table 2, Figures 6, 7(a), 7(b), 8.
+
+use super::Args;
+use crate::runs::{background_seeded, run_negotiator, run_oblivious, SEED};
+use metrics::{report, RunReport, Table};
+use negotiator::{NegotiatorConfig, SimOptions};
+use oblivious::ObliviousConfig;
+use topology::{NetworkConfig, TopologyKind};
+use workload::{AllToAllWorkload, FlowSizeDist, IncastWorkload};
+
+/// Table 2: mice FCT at 100% load with piggybacking (PB) and priority
+/// queues (PQ) independently toggled, in epochs (99p/average).
+pub fn table2(args: &Args) -> String {
+    let net = NetworkConfig::paper_default();
+    let mut table = Table::new(
+        "Table 2 — mice FCT in epochs (99p/avg) at 100% load",
+        &["config", "parallel", "thin-clos"],
+    );
+    let trace = background_seeded(FlowSizeDist::hadoop(), 1.0, &net, args.duration, args.seed);
+    for (label, pb, pq) in [
+        ("-", false, false),
+        ("PB", true, false),
+        ("PQ", false, true),
+        ("PB and PQ", true, true),
+    ] {
+        let mut cells = vec![label.to_string()];
+        for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
+            let mut cfg = NegotiatorConfig::paper_default(net.clone());
+            cfg.piggyback = pb;
+            cfg.priority_queues = pq;
+            let (mut rep, sim) =
+                run_negotiator(cfg, kind, SimOptions::default(), &trace, args.duration);
+            let epoch = sim.epoch_len() as f64;
+            cells.push(format!(
+                "{:.1}/{:.1}",
+                rep.mice.p99_ns() / epoch,
+                rep.mice.mean_ns() / epoch
+            ));
+        }
+        table.row(cells);
+    }
+    table.render()
+}
+
+/// Figure 6: CDF of mice flow FCT at 100% load, PB+PQ enabled.
+pub fn fig6(args: &Args) -> String {
+    let net = NetworkConfig::paper_default();
+    let trace = background_seeded(FlowSizeDist::hadoop(), 1.0, &net, args.duration, args.seed);
+    let mut out = String::new();
+    for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
+        let cfg = NegotiatorConfig::paper_default(net.clone());
+        let (mut rep, sim) =
+            run_negotiator(cfg, kind, SimOptions::default(), &trace, args.duration);
+        let epoch = sim.epoch_len();
+        let mut table = Table::new(
+            format!("Figure 6 — mice FCT CDF at 100% load, {}", kind.label()),
+            &["fct_us", "cdf"],
+        );
+        for (v, f) in rep.mice.cdf.curve(24) {
+            table.row(vec![report::us(v), format!("{f:.3}")]);
+        }
+        out.push_str(&table.render());
+        out.push_str(&format!(
+            "1st epoch ends at {} us, 2nd at {} us; fraction within 2 epochs: {:.3}\n\n",
+            report::us(epoch as f64),
+            report::us(2.0 * epoch as f64),
+            rep.mice.cdf.fraction_below(2.0 * epoch as f64)
+        ));
+    }
+    out
+}
+
+/// Figure 7(a): incast finish time vs degree, 1 KB flows.
+pub fn fig7a(_args: &Args) -> String {
+    let net = NetworkConfig::paper_default();
+    let mut table = Table::new(
+        "Figure 7(a) — incast finish time (us) vs degree",
+        &["degree", "nego/parallel", "nego/thin-clos", "oblivious/thin-clos"],
+    );
+    for degree in [1usize, 10, 20, 30, 40, 50] {
+        let trace = IncastWorkload {
+            degree,
+            flow_bytes: 1_000,
+            n_tors: net.n_tors,
+            start: 10_000,
+        }
+        .generate(SEED);
+        let horizon = 3_000_000; // plenty; engines exit early when done
+        let mut cells = vec![degree.to_string()];
+        for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
+            let cfg = NegotiatorConfig::paper_default(net.clone());
+            let (_, sim) = run_negotiator(cfg, kind, SimOptions::default(), &trace, horizon);
+            let t = RunReport::burst_finish_time(&trace, sim.tracker())
+                .expect("incast must complete");
+            cells.push(report::us(t as f64));
+        }
+        let (_, sim) = run_oblivious(
+            ObliviousConfig::paper_default(net.clone()),
+            TopologyKind::ThinClos,
+            &trace,
+            horizon,
+        );
+        let t = RunReport::burst_finish_time(&trace, sim.tracker()).expect("incast completes");
+        cells.push(report::us(t as f64));
+        table.row(cells);
+    }
+    table.render()
+}
+
+/// Figure 7(b): average per-ToR goodput (Gbps) during a synchronized
+/// all-to-all of equal-size flows.
+pub fn fig7b(_args: &Args) -> String {
+    let net = NetworkConfig::paper_default();
+    let mut table = Table::new(
+        "Figure 7(b) — all-to-all average goodput (Gbps) vs flow size",
+        &["flow_kb", "nego/parallel", "nego/thin-clos", "oblivious/thin-clos"],
+    );
+    for kb in [1u64, 5, 30, 100, 500] {
+        let trace = AllToAllWorkload {
+            flow_bytes: kb * 1_000,
+            n_tors: net.n_tors,
+            start: 10_000,
+        }
+        .generate();
+        // Horizon scales with the volume; engines exit early when done.
+        let horizon = 10_000_000 + kb * 2_000_000;
+        let mut cells = vec![kb.to_string()];
+        let goodput = |finish: Option<u64>| -> String {
+            match finish {
+                Some(t) if t > 0 => {
+                    let gbps = (trace.total_bytes() * 8) as f64
+                        / t as f64
+                        / net.n_tors as f64;
+                    format!("{gbps:.0}")
+                }
+                _ => "DNF".into(),
+            }
+        };
+        for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
+            let cfg = NegotiatorConfig::paper_default(net.clone());
+            let (_, sim) = run_negotiator(cfg, kind, SimOptions::default(), &trace, horizon);
+            cells.push(goodput(RunReport::burst_finish_time(&trace, sim.tracker())));
+        }
+        let (_, sim) = run_oblivious(
+            ObliviousConfig::paper_default(net.clone()),
+            TopologyKind::ThinClos,
+            &trace,
+            horizon,
+        );
+        cells.push(goodput(RunReport::burst_finish_time(&trace, sim.tracker())));
+        table.row(cells);
+    }
+    table.render()
+}
+
+/// Figure 8: goodput and mice FCT at 100% load under longer end-to-end
+/// reconfiguration delays, scheduled phase rescaled to hold the overhead.
+pub fn fig8(args: &Args) -> String {
+    let net = NetworkConfig::paper_default();
+    let trace = background_seeded(FlowSizeDist::hadoop(), 1.0, &net, args.duration, args.seed);
+    let mut out = String::new();
+    for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
+        let mut table = Table::new(
+            format!(
+                "Figure 8 — reconfiguration-delay sweep at 100% load, {}",
+                kind.label()
+            ),
+            &["reconf_ns", "99p_fct_ms", "goodput"],
+        );
+        for guard in [10u64, 20, 50, 100] {
+            let mut cfg = NegotiatorConfig::paper_default(net.clone());
+            let pre_slots = pre_slots_for(&cfg, kind);
+            cfg.epoch = cfg.epoch.with_guardband(guard, pre_slots);
+            let (mut rep, _) =
+                run_negotiator(cfg, kind, SimOptions::default(), &trace, args.duration);
+            table.row(vec![
+                guard.to_string(),
+                report::ms(rep.mice.p99_ns()),
+                format!("{:.3}", rep.goodput.normalized()),
+            ]);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Predefined-phase slot count of `kind` at `cfg`'s scale (§3.3.1:
+/// `⌈(N−1)/S⌉` for the parallel network, `W = N/S` for thin-clos).
+pub fn pre_slots_for(cfg: &NegotiatorConfig, kind: TopologyKind) -> usize {
+    match kind {
+        TopologyKind::Parallel => (cfg.net.n_tors - 1).div_ceil(cfg.net.n_ports),
+        TopologyKind::ThinClos => cfg.net.n_tors / cfg.net.n_ports,
+    }
+}

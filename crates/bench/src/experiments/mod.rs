@@ -1,0 +1,91 @@
+//! The experiment registry: one entry per table/figure of the paper.
+
+use sim::time::Nanos;
+
+pub mod ablation;
+pub mod appendix;
+pub mod deepdive;
+pub mod main_results;
+pub mod micro;
+pub mod observe;
+
+/// Harness-wide parameters.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Simulated duration per run (paper: 30 ms; default here: 5 ms).
+    pub duration: Nanos,
+    /// Load points for the sweeps (paper: 10–100%).
+    pub loads: Vec<f64>,
+    /// Workload seed (vary to get error bars across runs).
+    pub seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            duration: crate::runs::DEFAULT_DURATION,
+            loads: vec![0.10, 0.25, 0.50, 0.75, 1.00],
+            seed: crate::runs::SEED,
+        }
+    }
+}
+
+/// `(id, paper artifact, runner)` for every experiment.
+pub const EXPERIMENTS: &[(&str, &str)] = &[
+    ("table2", "Table 2: PB/PQ ablation, mice FCT at 100% load"),
+    ("fig6", "Figure 6: CDF of mice FCT at 100% load"),
+    ("fig7a", "Figure 7(a): incast finish time vs degree"),
+    ("fig7b", "Figure 7(b): all-to-all goodput vs flow size"),
+    ("fig8", "Figure 8: reconfiguration-delay sweep at 100% load"),
+    ("fig9", "Figure 9: mice FCT and goodput vs load (main result)"),
+    ("fig10", "Figure 10: bandwidth under link failure and recovery"),
+    ("fig11", "Figure 11: FCT and goodput vs load without speedup"),
+    ("fig12a", "Figure 12(a): predefined-phase timeslot sensitivity"),
+    ("fig12b", "Figure 12(b): scheduled-phase length sensitivity"),
+    ("fig13a", "Figure 13(a): Hadoop mixed with incasts"),
+    ("fig13b", "Figure 13(b): web-search workload"),
+    ("fig13c", "Figure 13(c): Google workload"),
+    ("fig14", "Figure 14 (A.1): per-epoch match ratio vs theory"),
+    ("fig15", "Figure 15 (A.2.1): iterative matching vs 2x speedup"),
+    ("table3", "Table 3 (A.2.2): traffic-aware selective relay"),
+    ("table4", "Table 4 (A.2.3): informative requests"),
+    ("table5", "Table 5 (A.2.4): stateful scheduling"),
+    ("table6", "Table 6 (A.2.5): ProjecToR-style scheduling"),
+    ("fig17", "Figure 17 (A.3): receiver bandwidth under incast"),
+    ("fig18", "Figure 18 (A.3): receiver bandwidth under all-to-all"),
+    ("fig19", "Figure 19 (A.4): bandwidth occupation under failures"),
+    ("abl-th", "Ablation: request threshold vs over-scheduling waste"),
+    ("abl-rot", "Ablation: predefined-rule rotation under failures"),
+];
+
+/// Run one experiment by id, returning its rendered report.
+pub fn run_experiment(id: &str, args: &Args) -> Option<String> {
+    let out = match id {
+        "table2" => micro::table2(args),
+        "fig6" => micro::fig6(args),
+        "fig7a" => micro::fig7a(args),
+        "fig7b" => micro::fig7b(args),
+        "fig8" => micro::fig8(args),
+        "fig9" => main_results::fig9(args),
+        "fig10" => main_results::fig10(args),
+        "fig11" => main_results::fig11(args),
+        "fig12a" => deepdive::fig12a(args),
+        "fig12b" => deepdive::fig12b(args),
+        "fig13a" => deepdive::fig13a(args),
+        "fig13b" => deepdive::fig13b(args),
+        "fig13c" => deepdive::fig13c(args),
+        "fig14" => appendix::fig14(args),
+        "fig15" => appendix::fig15(args),
+        "table3" => appendix::table3(args),
+        "table4" => appendix::table4(args),
+        "table5" => appendix::table5(args),
+        "table6" => appendix::table6(args),
+        "fig17" => observe::fig17(args),
+        "fig18" => observe::fig18(args),
+        "fig19" => observe::fig19(args),
+        "abl-th" => ablation::ablation_threshold(args),
+        "abl-rot" => ablation::ablation_rotation(args),
+        _ => return None,
+    };
+    Some(out)
+}

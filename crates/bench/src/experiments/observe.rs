@@ -1,0 +1,193 @@
+//! Micro-observations (Appendix A.3/A.4): receiver-bandwidth time series
+//! under incast (Figure 17), all-to-all (Figure 18) and link failures
+//! (Figure 19).
+
+use super::Args;
+use crate::runs::SEED;
+use metrics::Table;
+use negotiator::{FailureAction, NegotiatorConfig, NegotiatorSim, SimOptions};
+use oblivious::sim::ObliviousRecording;
+use oblivious::{ObliviousConfig, ObliviousSim};
+use sim::time::Nanos;
+use sim::BandwidthSeries;
+use topology::{NetworkConfig, TopologyKind};
+use workload::{AllToAllWorkload, FlowTrace, IncastWorkload};
+
+const WINDOW: Nanos = 1_000; // 1 µs sampling window for the series
+
+fn series_rows(table: &mut Table, series: &BandwidthSeries, until: Nanos, extra: Option<&BandwidthSeries>) {
+    for (t, gbps) in series.gbps_points() {
+        if t > until {
+            break;
+        }
+        let mut row = vec![format!("{:.1}", t as f64 / 1_000.0), format!("{gbps:.1}")];
+        if let Some(e) = extra {
+            let idx = (t / e.window()) as usize;
+            let b = e.bytes_per_window().get(idx).copied().unwrap_or(0);
+            row.push(format!("{:.1}", (b * 8) as f64 / e.window() as f64));
+        }
+        table.row(row);
+    }
+}
+
+/// Figure 17: receiver bandwidth during a degree-15 incast injected at
+/// 10 µs, for the three systems.
+pub fn fig17(_args: &Args) -> String {
+    let net = NetworkConfig::paper_default();
+    let trace = IncastWorkload {
+        degree: 15,
+        flow_bytes: 1_000,
+        n_tors: net.n_tors,
+        start: 10_000,
+    }
+    .generate(SEED);
+    let dst = trace.flows()[0].dst;
+    let horizon = 60_000;
+    let mut out = String::new();
+    for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
+        let mut sim = NegotiatorSim::with_options(
+            NegotiatorConfig::paper_default(net.clone()),
+            kind,
+            SimOptions {
+                rx_window: Some(WINDOW),
+                ..SimOptions::default()
+            },
+        );
+        sim.run(&trace, horizon);
+        let mut table = Table::new(
+            format!("Figure 17 — receiver bandwidth, NegotiaToR {}", kind.label()),
+            &["time_us", "gbps"],
+        );
+        series_rows(&mut table, sim.rx_series(dst).unwrap(), 40_000, None);
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    let mut sim = ObliviousSim::with_recording(
+        ObliviousConfig::paper_default(net.clone()),
+        TopologyKind::ThinClos,
+        ObliviousRecording {
+            rx_window: Some(WINDOW),
+            transit_window: None,
+        },
+    );
+    sim.run(&trace, horizon);
+    let mut table = Table::new(
+        "Figure 17 — receiver bandwidth, traffic-oblivious thin-clos",
+        &["time_us", "gbps"],
+    );
+    series_rows(&mut table, sim.rx_final(dst).unwrap(), 40_000, None);
+    out.push_str(&table.render());
+    out
+}
+
+/// Figure 18: receiver bandwidth during a 30 KB all-to-all injected at
+/// 10 µs; the oblivious system additionally shows the transit (relay)
+/// traffic competing at the same receiver.
+pub fn fig18(_args: &Args) -> String {
+    let net = NetworkConfig::paper_default();
+    let trace = AllToAllWorkload {
+        flow_bytes: 30_000,
+        n_tors: net.n_tors,
+        start: 10_000,
+    }
+    .generate();
+    let dst = 17; // "a randomly chosen destination"
+    let horizon = 600_000;
+    let until = 250_000;
+    let mut out = String::new();
+    for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
+        let mut sim = NegotiatorSim::with_options(
+            NegotiatorConfig::paper_default(net.clone()),
+            kind,
+            SimOptions {
+                rx_window: Some(WINDOW),
+                ..SimOptions::default()
+            },
+        );
+        sim.run(&trace, horizon);
+        let mut table = Table::new(
+            format!("Figure 18 — receiver bandwidth, NegotiaToR {}", kind.label()),
+            &["time_us", "gbps"],
+        );
+        series_rows(&mut table, sim.rx_series(dst).unwrap(), until, None);
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+    let mut sim = ObliviousSim::with_recording(
+        ObliviousConfig::paper_default(net.clone()),
+        TopologyKind::ThinClos,
+        ObliviousRecording {
+            rx_window: Some(WINDOW),
+            transit_window: Some(WINDOW),
+        },
+    );
+    sim.run(&trace, horizon);
+    let mut table = Table::new(
+        "Figure 18 — receiver bandwidth, traffic-oblivious (final + transit)",
+        &["time_us", "final_gbps", "transit_gbps"],
+    );
+    series_rows(
+        &mut table,
+        sim.rx_final(dst).unwrap(),
+        until,
+        sim.rx_transit(dst),
+    );
+    out.push_str(&table.render());
+    out
+}
+
+/// Figure 19: a single pair transmits continuously on the parallel network
+/// while links fail at 100 µs and recover at 300 µs; per-epoch receiver
+/// bandwidth shows the failure window and the zero-bandwidth epochs caused
+/// by lost scheduling messages.
+pub fn fig19(_args: &Args) -> String {
+    let net = NetworkConfig::paper_default();
+    let trace = FlowTrace::new(vec![workload::Flow {
+        id: 0,
+        src: 3,
+        dst: 77,
+        bytes: 1_000_000_000, // effectively endless
+        arrival: 0,
+    }]);
+    let mut sim = NegotiatorSim::with_options(
+        NegotiatorConfig::paper_default(net.clone()),
+        TopologyKind::Parallel,
+        SimOptions {
+            rx_window: Some(WINDOW),
+            ..SimOptions::default()
+        },
+    );
+    let epoch = sim.epoch_len();
+    sim.schedule_failure(
+        100_000,
+        FailureAction::FailRandom {
+            ratio: 0.10,
+            seed: SEED,
+        },
+    );
+    sim.schedule_failure(300_000, FailureAction::RepairAll);
+    sim.run(&trace, 400_000);
+    let rx = sim.rx_series(77).unwrap();
+    let mut table = Table::new(
+        "Figure 19 — pair bandwidth through failures (fail @100us, repair @300us)",
+        &["time_us", "gbps"],
+    );
+    series_rows(&mut table, rx, 400_000, None);
+    let mut zero_epochs = 0;
+    let mut total_epochs = 0;
+    // Whole failure window, skipping the detection transient.
+    let mut from = 100_000 + 5 * epoch;
+    while from + epoch <= 300_000 {
+        total_epochs += 1;
+        if rx.mean_gbps(from, from + epoch) == 0.0 {
+            zero_epochs += 1;
+        }
+        from += epoch;
+    }
+    format!(
+        "{}\nzero-bandwidth epochs in failure window: {zero_epochs}/{total_epochs} \
+         (lost scheduling messages suspend the pair until the rotated round-robin \
+         rule routes them over healthy links)\n",
+        table.render()
+    )
+}

@@ -1,0 +1,19 @@
+//! Experiment harness regenerating every table and figure of the
+//! NegotiaToR paper's evaluation (§4 and Appendix A).
+//!
+//! Run one experiment:
+//!
+//! ```text
+//! cargo run --release -p bench --bin paper -- fig9
+//! cargo run --release -p bench --bin paper -- all --duration-ms 5
+//! ```
+//!
+//! Each experiment prints the same rows/series the paper reports, as
+//! aligned text tables. DESIGN.md carries the per-experiment index mapping
+//! every id to its paper artifact, workload and modules; EXPERIMENTS.md
+//! records paper-vs-measured comparisons.
+
+pub mod experiments;
+pub mod runs;
+
+pub use experiments::{run_experiment, Args, EXPERIMENTS};

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Measurement for the NegotiaToR evaluation.
+//!
+//! The paper reports (§4.1): 99th-percentile and average mice-flow FCT
+//! (flows < 10 KB), goodput normalized to the 400 Gbps host aggregate,
+//! per-epoch match ratio (Appendix A.1), receiver bandwidth time-series
+//! (Appendix A.3/A.4) and incast finish times (§4.2). This crate implements
+//! the recorders the simulators feed and the [`RunReport`] the harness
+//! consumes:
+//!
+//! * [`FlowTracker`] — per-flow outstanding bytes and completion times,
+//!   measured at the ToRs (flows start and end at ToRs, §4.1).
+//! * [`FctReport`] / [`RunReport`] — derived statistics.
+//! * [`matchratio::MatchRatioRecorder`] — accepts/grants per epoch.
+//! * [`report`] — plain-text table rendering for the experiment harness.
+
+pub mod fct;
+pub mod matchratio;
+pub mod report;
+
+pub use fct::{FctReport, FlowTracker, GoodputReport, RunReport};
+pub use matchratio::MatchRatioRecorder;
+pub use report::Table;

@@ -1,0 +1,212 @@
+//! Epoch timing and feature configuration (§3.3, §3.6.4, §4.1).
+
+use sim::time::Nanos;
+use topology::NetworkConfig;
+
+/// Timing of one NegotiaToR epoch (Figure 2).
+///
+/// An epoch is a *predefined phase* — `predefined_slots` (a topology
+/// property) short timeslots, each opening with a guardband that absorbs
+/// the reconfiguration delay, followed by a data window carrying the
+/// scheduling-message bundle plus a small piggybacked payload — and a
+/// *scheduled phase* of `scheduled_slots` longer slots with no
+/// reconfiguration at all, each carrying one data packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochConfig {
+    /// Guardband absorbing reconfiguration delay + clock drift (paper: 10 ns).
+    pub guardband: Nanos,
+    /// Transmission window of one predefined-phase timeslot (paper: 50 ns).
+    pub predefined_window: Nanos,
+    /// Length of one scheduled-phase timeslot (paper: 90 ns).
+    pub scheduled_slot: Nanos,
+    /// Number of scheduled-phase timeslots (paper: 30).
+    pub scheduled_slots: usize,
+    /// Bytes of the scheduling-message bundle (request+grant+accept headers)
+    /// at the head of each predefined-phase window (paper: 30 B).
+    pub sched_msg_bytes: u64,
+    /// Header bytes of a scheduled-phase data packet (paper: 10 B).
+    pub data_header_bytes: u64,
+}
+
+impl EpochConfig {
+    /// The paper's default epoch (§4.1): 60 ns predefined slots
+    /// (10 + 50), 30 × 90 ns scheduled slots.
+    pub fn paper_default() -> Self {
+        EpochConfig {
+            guardband: 10,
+            predefined_window: 50,
+            scheduled_slot: 90,
+            scheduled_slots: 30,
+            sched_msg_bytes: 30,
+            data_header_bytes: 10,
+        }
+    }
+
+    /// Duration of one predefined-phase timeslot.
+    pub fn predefined_slot(&self) -> Nanos {
+        self.guardband + self.predefined_window
+    }
+
+    /// Duration of the predefined phase given the topology's slot count.
+    pub fn predefined_len(&self, slots: usize) -> Nanos {
+        self.predefined_slot() * slots as Nanos
+    }
+
+    /// Duration of the scheduled phase.
+    pub fn scheduled_len(&self) -> Nanos {
+        self.scheduled_slot * self.scheduled_slots as Nanos
+    }
+
+    /// Full epoch length given the topology's predefined slot count.
+    pub fn epoch_len(&self, predefined_slots: usize) -> Nanos {
+        self.predefined_len(predefined_slots) + self.scheduled_len()
+    }
+
+    /// Fraction of the epoch spent in guardbands (§3.6.4 wants ≤ 10%).
+    pub fn guard_overhead(&self, predefined_slots: usize) -> f64 {
+        (self.guardband * predefined_slots as Nanos) as f64
+            / self.epoch_len(predefined_slots) as f64
+    }
+
+    /// A variant with a different reconfiguration delay, lengthening the
+    /// scheduled phase so the guardband overhead ratio stays put (the
+    /// Figure 8 sweep: "the length of the scheduled phase is accordingly
+    /// adjusted to control the reconfiguration overhead"). Needs the
+    /// topology's predefined slot count to solve for the slot budget.
+    pub fn with_guardband(&self, guardband: Nanos, predefined_slots: usize) -> Self {
+        let r0 = self.guard_overhead(predefined_slots);
+        let p = predefined_slots as f64;
+        let g = guardband as f64;
+        // overhead = P·g / (P·(g+w) + slot·k)  ⇒  solve for k.
+        let k = (p * (g / r0 - g - self.predefined_window as f64)
+            / self.scheduled_slot as f64)
+            .round()
+            .max(1.0) as usize;
+        EpochConfig {
+            guardband,
+            scheduled_slots: k,
+            ..self.clone()
+        }
+    }
+}
+
+/// Full NegotiaToR configuration.
+#[derive(Debug, Clone)]
+pub struct NegotiatorConfig {
+    /// Physical network parameters.
+    pub net: NetworkConfig,
+    /// Epoch timing.
+    pub epoch: EpochConfig,
+    /// Data piggybacking in the predefined phase (§3.4.1, "PB").
+    pub piggyback: bool,
+    /// PIAS-style priority queues at sources (§3.4.2, "PQ").
+    pub priority_queues: bool,
+    /// Request threshold in piggybacked packets: with PB on, a request is
+    /// sent only when a per-destination queue holds more than this many
+    /// piggyback payloads (§3.4.1; paper: 3). Ignored when PB is off.
+    pub request_threshold_packets: u64,
+    /// Seed for ring initialization and any scheduler-internal randomness.
+    pub seed: u64,
+}
+
+impl NegotiatorConfig {
+    /// The paper's §4.1 setup with both FCT optimizations on.
+    pub fn paper_default(net: NetworkConfig) -> Self {
+        NegotiatorConfig {
+            net,
+            epoch: EpochConfig::paper_default(),
+            piggyback: true,
+            priority_queues: true,
+            request_threshold_packets: 3,
+            seed: 0xDC0C_0FFE,
+        }
+    }
+
+    /// Payload bytes of one piggybacked packet: what fits in the
+    /// predefined window after the scheduling-message bundle (paper: 595 B).
+    pub fn piggyback_payload(&self) -> u64 {
+        self.net
+            .port_bandwidth
+            .bytes_in(self.epoch.predefined_window)
+            .saturating_sub(self.epoch.sched_msg_bytes)
+    }
+
+    /// Payload bytes of one scheduled-phase packet (paper: 1115 B).
+    pub fn scheduled_payload(&self) -> u64 {
+        self.net
+            .port_bandwidth
+            .bytes_in(self.epoch.scheduled_slot)
+            .saturating_sub(self.epoch.data_header_bytes)
+    }
+
+    /// Queue depth (bytes) above which a request is sent.
+    pub fn request_threshold_bytes(&self) -> u64 {
+        if self.piggyback {
+            self.request_threshold_packets * self.piggyback_payload()
+        } else {
+            0
+        }
+    }
+
+    /// PIAS demotion thresholds (§4.1): the first 1 KB of a flow goes to
+    /// the highest priority, the next 9 KB to the middle one, the rest to
+    /// the lowest.
+    pub fn pias_thresholds(&self) -> [u64; 2] {
+        [1_000, 10_000]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_epoch_is_3_66_us() {
+        let e = EpochConfig::paper_default();
+        assert_eq!(e.predefined_slot(), 60);
+        assert_eq!(e.predefined_len(16), 960);
+        assert_eq!(e.scheduled_len(), 2_700);
+        assert_eq!(e.epoch_len(16), 3_660);
+        // §4.1: guardbands account for 4.37% of the epoch.
+        assert!((e.guard_overhead(16) - 0.0437).abs() < 0.001);
+    }
+
+    #[test]
+    fn payload_sizes_match_paper() {
+        let cfg = NegotiatorConfig::paper_default(NetworkConfig::paper_default());
+        assert_eq!(cfg.piggyback_payload(), 595);
+        assert_eq!(cfg.scheduled_payload(), 1_115);
+        assert_eq!(cfg.request_threshold_bytes(), 3 * 595);
+    }
+
+    #[test]
+    fn threshold_disabled_without_piggyback() {
+        let mut cfg = NegotiatorConfig::paper_default(NetworkConfig::paper_default());
+        cfg.piggyback = false;
+        assert_eq!(cfg.request_threshold_bytes(), 0);
+    }
+
+    #[test]
+    fn guardband_sweep_keeps_overhead_ratio() {
+        let base = EpochConfig::paper_default();
+        for g in [20u64, 50, 100] {
+            let e = base.with_guardband(g, 16);
+            assert!(
+                (e.guard_overhead(16) - base.guard_overhead(16)).abs() < 0.002,
+                "guard {g}: overhead {}",
+                e.guard_overhead(16)
+            );
+            assert!(e.scheduled_slots > base.scheduled_slots);
+        }
+        // Identity when the guardband does not change.
+        assert_eq!(base.with_guardband(10, 16).scheduled_slots, 30);
+    }
+
+    #[test]
+    fn no_speedup_shrinks_packets() {
+        let cfg = NegotiatorConfig::paper_default(NetworkConfig::paper_no_speedup());
+        // 50 Gbps port: 50 ns window carries 312 B; 90 ns slot carries 562 B.
+        assert_eq!(cfg.piggyback_payload(), 312 - 30);
+        assert_eq!(cfg.scheduled_payload(), 562 - 10);
+    }
+}

@@ -1,0 +1,1340 @@
+//! The NegotiaToR epoch engine: a deterministic, slot-synchronous
+//! packet-level simulator of the full architecture (§3).
+//!
+//! One call to [`NegotiatorSim::run`] plays a flow trace through the
+//! two-phase epochs of Figure 2:
+//!
+//! * **Epoch start** — the three pipelined scheduling steps (Figure 4):
+//!   ACCEPT consumes the grants delivered during the previous epoch and
+//!   fixes this epoch's scheduled-phase matching; GRANT consumes the
+//!   requests delivered during the previous epoch; REQUEST reads the
+//!   per-destination queues. Each step's outgoing messages ride this
+//!   epoch's predefined phase and are consumed one epoch later, giving the
+//!   ≈2-epoch scheduling delay of §3.3.1.
+//! * **Predefined phase** — round-robin all-to-all timeslots carrying
+//!   scheduling messages, dummy/feedback messages (fault detection,
+//!   §3.6.1) and one piggybacked data packet per connected pair (§3.4.1).
+//! * **Scheduled phase** — the accepted matches transmit packets from the
+//!   per-destination queues until the epoch ends or the queues empty.
+//!
+//! Collisions are impossible by construction (GRANT serializes each ingress
+//! port, ACCEPT each egress port); integration tests assert this against
+//! `topology::validate_matching` anyway.
+//!
+//! The engine also hosts the Appendix A.2 design variants via
+//! [`SchedulerMode`] and [`SimOptions::selective_relay`] — only the
+//! scheduling logic changes, never the data path, mirroring the paper's
+//! methodology. Two deliberate simulation simplifications, both documented
+//! in DESIGN.md: flows are injected at timeslot granularity (the paper's
+//! packet simulator injects continuously; a timeslot is 60–90 ns), and the
+//! stateful variant's accept-feedback reaches the demand matrix one epoch
+//! early (the revert path is exercised identically).
+
+use crate::config::NegotiatorConfig;
+use crate::fault::FaultDetector;
+use crate::matching::{Accept, AcceptArbiter, Grant, GrantArbiter};
+use crate::queues::DestQueue;
+use crate::stats::SchedStats;
+use crate::variants::informative;
+use crate::variants::iterative::IterativeMatcher;
+use crate::variants::projector;
+use crate::variants::relay::{self, RelayBuffer, RelayPolicy, RelayRequest};
+use crate::variants::stateful::DemandMatrix;
+use metrics::{FlowTracker, MatchRatioRecorder, RunReport};
+use sim::time::Nanos;
+use sim::{BandwidthSeries, Xoshiro256};
+use std::collections::VecDeque;
+use topology::failures::LinkDir;
+use topology::{AnyTopology, LinkFailures, Topology, TopologyKind};
+use workload::FlowTrace;
+
+/// Which scheduling logic runs on top of the common data path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerMode {
+    /// NegotiaToR Matching as published (§3.2).
+    Base,
+    /// Appendix A.2.1: iterative matching with `rounds` request/grant/accept
+    /// rounds; each extra round delays activation by three epochs.
+    Iterative {
+        /// Number of matching rounds (1 = equivalent delay to `Base`).
+        rounds: usize,
+    },
+    /// Appendix A.2.3, goodput-oriented: requests carry queue sizes.
+    DataSize,
+    /// Appendix A.2.3, FCT-oriented: requests carry weighted HoL delays.
+    HolDelay {
+        /// Mice/elephant weighting (paper's best: 0.001).
+        alpha: f64,
+    },
+    /// Appendix A.2.4: destinations keep demand matrices.
+    Stateful,
+    /// Appendix A.2.5: ProjecToR-style per-port, delay-prioritized requests.
+    Projector,
+}
+
+/// Engine options beyond the paper-default configuration.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Scheduling logic.
+    pub mode: SchedulerMode,
+    /// Traffic-aware selective relay (thin-clos only, Appendix A.2.2).
+    pub selective_relay: bool,
+    /// Record per-destination receive-bandwidth series with this window
+    /// (Appendix A.3 micro-observations); `None` disables.
+    pub rx_window: Option<Nanos>,
+    /// Record the network-wide delivery series with this window
+    /// (fault-tolerance bandwidth plots); `None` disables.
+    pub total_rx_window: Option<Nanos>,
+    /// §3.6.5 receiver-side traffic management: model the ToR→host
+    /// downlink with a bounded receive buffer of this many bytes. The
+    /// buffer drains at the host-aggregate rate; while it is more than
+    /// half full the ToR withholds grants (backpressure), so fabric
+    /// speedup cannot overrun ToR memory. `None` (the paper's evaluation
+    /// setting) treats ToRs as sinks.
+    pub host_buffer_bytes: Option<u64>,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            mode: SchedulerMode::Base,
+            selective_relay: false,
+            rx_window: None,
+            total_rx_window: None,
+            host_buffer_bytes: None,
+        }
+    }
+}
+
+/// A scheduled change to the ground-truth link state (§4.3 experiments).
+#[derive(Debug, Clone)]
+pub enum FailureAction {
+    /// Fail a uniform random fraction of all directed links.
+    FailRandom {
+        /// Fraction of directed links to fail.
+        ratio: f64,
+        /// Sampling seed.
+        seed: u64,
+    },
+    /// Repair everything failed by earlier `FailRandom`/`FailLink` actions.
+    RepairAll,
+    /// Fail one directed link.
+    FailLink {
+        /// ToR index.
+        tor: usize,
+        /// Port index.
+        port: usize,
+        /// Fiber direction.
+        dir: LinkDir,
+    },
+}
+
+/// A request as seen by the destination after the predefined phase.
+#[derive(Debug, Clone, Copy)]
+struct ReqIn {
+    src: usize,
+    /// Mode-specific priority value (bytes, weighted delay, new bytes…).
+    value: f64,
+    /// Pre-bound port for `Projector`; `usize::MAX` otherwise.
+    port: usize,
+}
+
+/// The full NegotiaToR simulator.
+pub struct NegotiatorSim {
+    cfg: NegotiatorConfig,
+    topo: AnyTopology,
+    opts: SimOptions,
+
+    // Derived constants.
+    n: usize,
+    s: usize,
+    pre_slots: usize,
+    pre_slot_len: Nanos,
+    epoch_len: Nanos,
+    pb_payload: u64,
+    sched_payload: u64,
+    pias_th: [u64; 2],
+    /// Bytes one port can move in one scheduled phase (grant debit unit).
+    epoch_capacity: u64,
+
+    // Per-ToR state.
+    queues: Vec<DestQueue>, // src * n + dst
+    grant_arbs: Vec<GrantArbiter>,
+    accept_arbs: Vec<AcceptArbiter>,
+
+    // Pipeline outboxes (filled at epoch start, drained by the predefined
+    // phase) and inboxes (filled by the predefined phase, consumed next
+    // epoch start).
+    req_out: Vec<f64>,        // src * n + dst; NAN = no request
+    req_port_out: Vec<usize>, // projector port binding
+    grants_out: Vec<Vec<(usize, usize, u64)>>, // per dst: (src, port, debit)
+    inbox_requests: Vec<Vec<ReqIn>>, // per dst
+    inbox_grants: Vec<Vec<(Grant, u64)>>, // per src: (grant, stateful debit)
+    active: Vec<Option<usize>>, // src * s + port -> dst
+
+    // Variant state.
+    matrices: Vec<DemandMatrix>,    // stateful (empty otherwise)
+    enqueued_total: Vec<u64>,       // src * n + dst, lifetime enqueued bytes
+    reported_total: Vec<u64>,       // stateful: bytes already reported
+    iter_pending: VecDeque<Vec<Vec<Accept>>>, // iterative activation queue
+
+    // Selective relay state.
+    relay_policy: RelayPolicy,
+    relay_buffers: Vec<RelayBuffer>,
+    relay_req_out: Vec<Vec<RelayRequest>>, // per src
+    relay_grant_out: Vec<Vec<(usize, usize, usize, u64)>>, // per via: (src, port, final, vol)
+    inbox_relay_req: Vec<Vec<RelayRequest>>, // per via
+    inbox_relay_grant: Vec<Vec<(usize, usize, usize, u64)>>, // per src: (via, port, final, vol)
+    active_relay: Vec<Option<(usize, usize, u64)>>, // src*s+port -> (via, final, vol left)
+
+    // Failures.
+    failures: LinkFailures,
+    detector: FaultDetector,
+    fail_schedule: Vec<(Nanos, FailureAction)>,
+    injected_failures: Vec<(usize, usize, LinkDir)>,
+    // Per-epoch observation scratch.
+    egress_attempted: Vec<bool>,
+    egress_ok: Vec<bool>,
+    ingress_attempted: Vec<bool>,
+    ingress_ok: Vec<bool>,
+
+    // §3.6.5 receiver-side buffers (empty unless host_buffer_bytes set).
+    rx_buffer: Vec<u64>,
+    host_drain_per_epoch: u64,
+
+    // Metrics.
+    tracker: Option<FlowTracker>,
+    match_rec: MatchRatioRecorder,
+    stats: SchedStats,
+    rx_series: Vec<BandwidthSeries>,
+    total_rx: Option<BandwidthSeries>,
+    ran_duration: Nanos,
+
+    ran: bool,
+}
+
+impl NegotiatorSim {
+    /// Paper-default simulator over `cfg` on `kind`.
+    pub fn new(cfg: NegotiatorConfig, kind: TopologyKind) -> Self {
+        Self::with_options(cfg, kind, SimOptions::default())
+    }
+
+    /// Simulator with explicit options (variants, recording).
+    pub fn with_options(cfg: NegotiatorConfig, kind: TopologyKind, opts: SimOptions) -> Self {
+        let topo = AnyTopology::build(kind, cfg.net.clone());
+        if opts.selective_relay {
+            assert_eq!(
+                kind,
+                TopologyKind::ThinClos,
+                "selective relay targets the thin-clos topology (Appendix A.2.2)"
+            );
+        }
+        let n = cfg.net.n_tors;
+        let s = cfg.net.n_ports;
+        let pre_slots = topo.predefined_slots();
+        let mut rng = Xoshiro256::new(cfg.seed);
+        let grant_arbs = (0..n).map(|d| GrantArbiter::new(&topo, d, &mut rng)).collect();
+        let accept_arbs = (0..n).map(|t| AcceptArbiter::new(&topo, t, &mut rng)).collect();
+        let sched_payload = cfg.scheduled_payload();
+        let epoch_capacity = sched_payload * cfg.epoch.scheduled_slots as u64;
+        let stateful = matches!(opts.mode, SchedulerMode::Stateful);
+        let rx_series = match opts.rx_window {
+            Some(w) => (0..n).map(|_| BandwidthSeries::new(w)).collect(),
+            None => Vec::new(),
+        };
+        let mut sim = NegotiatorSim {
+            n,
+            s,
+            pre_slots,
+            pre_slot_len: cfg.epoch.predefined_slot(),
+            epoch_len: cfg.epoch.epoch_len(pre_slots),
+            pb_payload: cfg.piggyback_payload().max(1),
+            sched_payload: sched_payload.max(1),
+            pias_th: cfg.pias_thresholds(),
+            epoch_capacity,
+            queues: (0..n * n).map(|_| DestQueue::new()).collect(),
+            grant_arbs,
+            accept_arbs,
+            req_out: vec![f64::NAN; n * n],
+            req_port_out: vec![usize::MAX; n * n],
+            grants_out: vec![Vec::new(); n],
+            inbox_requests: vec![Vec::new(); n],
+            inbox_grants: vec![Vec::new(); n],
+            active: vec![None; n * s],
+            matrices: if stateful {
+                (0..n).map(|_| DemandMatrix::new(n)).collect()
+            } else {
+                Vec::new()
+            },
+            enqueued_total: vec![0; n * n],
+            reported_total: vec![0; n * n],
+            iter_pending: VecDeque::new(),
+            relay_policy: RelayPolicy::default_for(epoch_capacity),
+            relay_buffers: (0..n).map(|_| RelayBuffer::default()).collect(),
+            relay_req_out: vec![Vec::new(); n],
+            relay_grant_out: vec![Vec::new(); n],
+            inbox_relay_req: vec![Vec::new(); n],
+            inbox_relay_grant: vec![Vec::new(); n],
+            active_relay: vec![None; n * s],
+            failures: LinkFailures::new(n, s),
+            detector: FaultDetector::new(n, s),
+            fail_schedule: Vec::new(),
+            injected_failures: Vec::new(),
+            egress_attempted: vec![false; n * s],
+            egress_ok: vec![false; n * s],
+            ingress_attempted: vec![false; n * s],
+            ingress_ok: vec![false; n * s],
+            rx_buffer: vec![0; if opts.host_buffer_bytes.is_some() { n } else { 0 }],
+            host_drain_per_epoch: 0, // finalized below (needs epoch length)
+            tracker: None,
+            match_rec: MatchRatioRecorder::new(),
+            stats: SchedStats::default(),
+            rx_series,
+            total_rx: opts.total_rx_window.map(BandwidthSeries::new),
+            ran_duration: 0,
+
+            ran: false,
+            cfg,
+            topo,
+            opts,
+        };
+        sim.host_drain_per_epoch = sim
+            .cfg
+            .net
+            .host_bandwidth
+            .bytes_in(sim.epoch_len);
+        sim
+    }
+
+    /// Epoch length in ns for this configuration/topology.
+    pub fn epoch_len(&self) -> Nanos {
+        self.epoch_len
+    }
+
+    /// Schedule a link-state change at absolute time `at`.
+    pub fn schedule_failure(&mut self, at: Nanos, action: FailureAction) {
+        self.fail_schedule.push((at, action));
+        self.fail_schedule.sort_by_key(|&(t, _)| t);
+    }
+
+    /// Per-flow tracker of the completed run.
+    pub fn tracker(&self) -> &FlowTracker {
+        self.tracker.as_ref().expect("call run() first")
+    }
+
+    /// Per-epoch match-ratio record of the completed run.
+    pub fn match_recorder(&self) -> &MatchRatioRecorder {
+        &self.match_rec
+    }
+
+    /// Aggregate scheduler counters of the run so far.
+    pub fn stats(&self) -> &SchedStats {
+        &self.stats
+    }
+
+    /// Receive-bandwidth series of ToR `dst` (requires `rx_window`).
+    pub fn rx_series(&self, dst: usize) -> Option<&BandwidthSeries> {
+        self.rx_series.get(dst)
+    }
+
+    /// Network-wide delivery series (requires `total_rx_window`).
+    pub fn total_rx(&self) -> Option<&BandwidthSeries> {
+        self.total_rx.as_ref()
+    }
+
+    /// Build a report restricted to flows where `tags[id]` is true
+    /// (Figure 13(a) separates background from incast traffic).
+    pub fn report_subset(&self, trace: &FlowTrace, tags: &[bool]) -> RunReport {
+        RunReport::build(
+            trace,
+            self.tracker(),
+            self.ran_duration,
+            self.n,
+            self.cfg.net.host_bandwidth.bps(),
+            Some(tags),
+        )
+    }
+
+    /// Play `trace` for `duration` ns of simulated time and report.
+    ///
+    /// The engine may stop early once every flow has completed and all
+    /// queues are drained; goodput is still normalized over `duration`.
+    pub fn run(&mut self, trace: &FlowTrace, duration: Nanos) -> RunReport {
+        assert!(!self.ran, "NegotiatorSim::run is single-shot; build a new sim");
+        self.ran = true;
+        self.ran_duration = duration;
+        let mut tracker = FlowTracker::new(trace);
+        let flows = trace.flows();
+        let mut cursor = 0usize;
+
+        let mut epoch: u64 = 0;
+        loop {
+            let t0 = epoch * self.epoch_len;
+            if t0 >= duration {
+                break;
+            }
+            self.apply_due_failures(t0);
+            cursor = self.inject(flows, cursor, t0);
+            self.epoch_start(epoch, t0);
+            cursor = self.predefined_phase(flows, cursor, epoch, t0, &mut tracker);
+            cursor = self.scheduled_phase(flows, cursor, epoch, t0, &mut tracker);
+            self.observe_epoch();
+            epoch += 1;
+
+            // Early exit when nothing is left anywhere.
+            if cursor >= flows.len()
+                && tracker.completed_count() == flows.len()
+                && self.fail_schedule.is_empty()
+            {
+                break;
+            }
+        }
+        self.tracker = Some(tracker);
+        RunReport::build(
+            trace,
+            self.tracker(),
+            duration,
+            self.n,
+            self.cfg.net.host_bandwidth.bps(),
+            None,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Flow injection and failures
+    // ------------------------------------------------------------------
+
+    fn inject(&mut self, flows: &[workload::Flow], mut cursor: usize, now: Nanos) -> usize {
+        let pias = self.cfg.priority_queues;
+        while cursor < flows.len() && flows[cursor].arrival <= now {
+            let f = &flows[cursor];
+            self.queues[f.src * self.n + f.dst].enqueue_flow(
+                f.id,
+                f.bytes,
+                f.arrival,
+                pias,
+                self.pias_th,
+            );
+            self.enqueued_total[f.src * self.n + f.dst] += f.bytes;
+            cursor += 1;
+        }
+        cursor
+    }
+
+    fn apply_due_failures(&mut self, now: Nanos) {
+        while let Some(&(at, _)) = self.fail_schedule.first() {
+            if at > now {
+                break;
+            }
+            let (_, action) = self.fail_schedule.remove(0);
+            match action {
+                FailureAction::FailRandom { ratio, seed } => {
+                    let mut rng = Xoshiro256::new(seed);
+                    let failed = self.failures.fail_random(ratio, &mut rng);
+                    self.injected_failures.extend(failed);
+                }
+                FailureAction::RepairAll => {
+                    self.failures.repair_all(&self.injected_failures);
+                    self.injected_failures.clear();
+                }
+                FailureAction::FailLink { tor, port, dir } => {
+                    self.failures.fail(tor, port, dir);
+                    self.injected_failures.push((tor, port, dir));
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch-start scheduling (the three pipelined steps)
+    // ------------------------------------------------------------------
+
+    fn epoch_start(&mut self, epoch: u64, t0: Nanos) {
+        // §3.6.5: hosts drain the receive buffers at the downlink rate.
+        if !self.rx_buffer.is_empty() {
+            let drain = self.host_drain_per_epoch;
+            for b in &mut self.rx_buffer {
+                *b = b.saturating_sub(drain);
+            }
+        }
+        if let SchedulerMode::Iterative { rounds } = self.opts.mode {
+            self.epoch_start_iterative(rounds);
+            return;
+        }
+        self.step_accept();
+        self.step_grant();
+        self.step_request(t0);
+        if self.opts.selective_relay {
+            self.relay_request_step(epoch);
+        }
+    }
+
+    /// ACCEPT: consume grants delivered last epoch, fix this epoch's
+    /// matching, and (stateful) revert debits of rejected grants.
+    fn step_accept(&mut self) {
+        self.active.fill(None);
+        self.active_relay.fill(None);
+        let mut total_grants = 0u64;
+        let mut total_accepts = 0u64;
+        for src in 0..self.n {
+            let grants_in = std::mem::take(&mut self.inbox_grants[src]);
+            total_grants += grants_in.len() as u64;
+            let grants: Vec<Grant> = grants_in.iter().map(|&(g, _)| g).collect();
+            let detector = &self.detector;
+            let accepts: Vec<Accept> = if matches!(self.opts.mode, SchedulerMode::Projector) {
+                // Port pre-binding means at most one grant per port: accept
+                // everything usable.
+                grants
+                    .iter()
+                    .filter(|g| detector.usable(src, g.dst, g.port))
+                    .map(|g| Accept {
+                        dst: g.dst,
+                        port: g.port,
+                    })
+                    .collect()
+            } else {
+                self.accept_arbs[src].accept(self.s, &grants, |dst, port| {
+                    detector.usable(src, dst, port)
+                })
+            };
+            total_accepts += accepts.len() as u64;
+            for a in &accepts {
+                self.active[src * self.s + a.port] = Some(a.dst);
+            }
+            // Stateful: revert matrix debits for grants not accepted.
+            if matches!(self.opts.mode, SchedulerMode::Stateful) {
+                for (g, debit) in &grants_in {
+                    let kept = accepts.iter().any(|a| a.dst == g.dst && a.port == g.port);
+                    if !kept && *debit > 0 {
+                        self.matrices[g.dst].revert(src, *debit);
+                    }
+                }
+            }
+        }
+        self.match_rec.record_epoch(total_grants, total_accepts);
+        self.stats.grants_issued += total_grants;
+        self.stats.accepts_made += total_accepts;
+
+        // Relay accepts: leftover egress ports take relay grants.
+        if self.opts.selective_relay {
+            for src in 0..self.n {
+                let grants = std::mem::take(&mut self.inbox_relay_grant[src]);
+                for (via, port, final_dst, vol) in grants {
+                    let slot = src * self.s + port;
+                    if self.active[slot].is_none()
+                        && self.active_relay[slot].is_none()
+                        && self.detector.usable(src, via, port)
+                    {
+                        self.active_relay[slot] = Some((via, final_dst, vol));
+                    }
+                }
+            }
+        }
+    }
+
+    /// GRANT: consume requests delivered last epoch and allocate ports.
+    fn step_grant(&mut self) {
+        for dst in 0..self.n {
+            let reqs = std::mem::take(&mut self.inbox_requests[dst]);
+            self.grants_out[dst].clear();
+            // §3.6.5 backpressure: a destination whose receive buffer is
+            // more than half full grants nothing this epoch.
+            if let Some(cap) = self.opts.host_buffer_bytes {
+                if self.rx_buffer[dst] > cap / 2 {
+                    continue;
+                }
+            }
+            if matches!(self.opts.mode, SchedulerMode::Stateful) {
+                for r in &reqs {
+                    self.matrices[dst].report(r.src, r.value as u64);
+                }
+            }
+            if reqs.is_empty() && !matches!(self.opts.mode, SchedulerMode::Stateful) {
+                continue;
+            }
+            let detector = &self.detector;
+            match self.opts.mode {
+                SchedulerMode::Base | SchedulerMode::Iterative { .. } => {
+                    let srcs: Vec<usize> = reqs.iter().map(|r| r.src).collect();
+                    let grants = self.grant_arbs[dst].grant(self.s, &srcs, |src, port| {
+                        detector.usable(src, dst, port)
+                    });
+                    self.grants_out[dst].extend(grants.into_iter().map(|(s, p)| (s, p, 0)));
+                }
+                SchedulerMode::Stateful => {
+                    // Candidates: sources whose matrix entry shows pending
+                    // data (requests above already refreshed the matrix).
+                    let matrix = &self.matrices[dst];
+                    let srcs: Vec<usize> =
+                        (0..self.n).filter(|&s| matrix.has_pending(s)).collect();
+                    if srcs.is_empty() {
+                        continue;
+                    }
+                    let grants = self.grant_arbs[dst].grant(self.s, &srcs, |src, port| {
+                        detector.usable(src, dst, port)
+                    });
+                    let cap = self.epoch_capacity;
+                    for (src, port) in grants {
+                        let debit = self.matrices[dst].debit(src, cap);
+                        self.grants_out[dst].push((src, port, debit));
+                    }
+                }
+                SchedulerMode::DataSize | SchedulerMode::HolDelay { .. } => {
+                    // Highest-value requester first. A served pair's value
+                    // drops so ports spread across pairs: DataSize debits
+                    // one epoch of service and stops granting at zero
+                    // remaining backlog; HolDelay demotes the served pair
+                    // below every still-waiting one but keeps it eligible
+                    // for leftover ports (a deep-backlog pair may use
+                    // several ports, as the base algorithm allows).
+                    let datasize = matches!(self.opts.mode, SchedulerMode::DataSize);
+                    let mut vals: Vec<(usize, f64)> =
+                        reqs.iter().map(|r| (r.src, r.value)).collect();
+                    for port in 0..self.s {
+                        let usable_vals: Vec<(usize, f64)> = vals
+                            .iter()
+                            .copied()
+                            .filter(|&(s, v)| {
+                                (!datasize || v > 0.0) && detector.usable(s, dst, port)
+                            })
+                            .filter(|&(s, _)| self.topo.port_reaches(s, port, dst))
+                            .collect();
+                        if let Some(src) = informative::pick_max_value(&usable_vals) {
+                            self.grants_out[dst].push((src, port, 0));
+                            let v = vals.iter_mut().find(|(s, _)| *s == src).unwrap();
+                            v.1 = if datasize {
+                                (v.1 - self.epoch_capacity as f64).max(0.0)
+                            } else {
+                                -1.0 - v.1.abs() // strictly below fresh requests
+                            };
+                        }
+                    }
+                }
+                SchedulerMode::Projector => {
+                    let preqs: Vec<projector::PortRequest> = reqs
+                        .iter()
+                        .filter(|r| r.port != usize::MAX)
+                        .filter(|r| detector.usable(r.src, dst, r.port))
+                        .map(|r| projector::PortRequest {
+                            src: r.src,
+                            port: r.port,
+                            waiting: r.value,
+                        })
+                        .collect();
+                    let grants = projector::grant_by_waiting(self.s, &preqs);
+                    self.grants_out[dst].extend(grants.into_iter().map(|(s, p)| (s, p, 0)));
+                }
+            }
+        }
+        if self.opts.selective_relay {
+            self.relay_grant_step();
+        }
+    }
+
+    /// REQUEST: read queues, emit this epoch's requests.
+    fn step_request(&mut self, now: Nanos) {
+        self.req_out.fill(f64::NAN);
+        let threshold = self.cfg.request_threshold_bytes();
+        for src in 0..self.n {
+            if matches!(self.opts.mode, SchedulerMode::Projector) {
+                let qs = &self.queues[src * self.n..(src + 1) * self.n];
+                for (dst, preq) in projector::bind_requests(&self.topo, src, qs, now) {
+                    self.req_out[src * self.n + dst] = preq.waiting;
+                    self.req_port_out[src * self.n + dst] = preq.port;
+                }
+                continue;
+            }
+            for dst in 0..self.n {
+                if dst == src {
+                    continue;
+                }
+                let idx = src * self.n + dst;
+                let q = &self.queues[idx];
+                if q.total_bytes() <= threshold {
+                    continue;
+                }
+                let value = match self.opts.mode {
+                    SchedulerMode::DataSize => q.total_bytes() as f64,
+                    SchedulerMode::HolDelay { alpha } => {
+                        informative::hol_delay_value(q, now, alpha)
+                    }
+                    SchedulerMode::Stateful => {
+                        let new = self.enqueued_total[idx] - self.reported_total[idx];
+                        self.reported_total[idx] = self.enqueued_total[idx];
+                        new as f64
+                    }
+                    _ => 0.0,
+                };
+                self.req_out[idx] = value;
+                self.stats.requests_sent += 1;
+            }
+        }
+    }
+
+    /// Iterative mode: compute the whole multi-round match now, activate it
+    /// `2 + 3·(rounds−1)` epochs later (Appendix A.2.1's delay model).
+    fn epoch_start_iterative(&mut self, rounds: usize) {
+        let threshold = self.cfg.request_threshold_bytes();
+        let mut requests: Vec<Vec<usize>> = vec![Vec::new(); self.n];
+        #[allow(clippy::needless_range_loop)] // src indexes two flat arrays
+        for src in 0..self.n {
+            for dst in 0..self.n {
+                if dst != src && self.queues[src * self.n + dst].total_bytes() > threshold {
+                    requests[dst].push(src);
+                }
+            }
+        }
+        let matches = IterativeMatcher::compute(
+            &self.topo,
+            &requests,
+            &mut self.grant_arbs,
+            &mut self.accept_arbs,
+            rounds,
+        );
+        self.iter_pending.push_back(matches);
+        let delay = 2 + IterativeMatcher::extra_delay_epochs(rounds) as usize;
+        self.active.fill(None);
+        if self.iter_pending.len() > delay {
+            let matches = self.iter_pending.pop_front().unwrap();
+            for (src, accepts) in matches.iter().enumerate() {
+                for a in accepts {
+                    self.active[src * self.s + a.port] = Some(a.dst);
+                }
+            }
+        }
+        // Keep the predefined phase silent on requests/grants; messages are
+        // modeled as equal-size bundles either way (§A.2.1's fairness note).
+        self.req_out.fill(f64::NAN);
+        for g in &mut self.grants_out {
+            g.clear();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Selective relay steps (Appendix A.2.2)
+    // ------------------------------------------------------------------
+
+    /// Direct backlog whose only path uses `port` of `tor` (thin-clos).
+    fn direct_backlog_via_port(&self, tor: usize, port: usize) -> u64 {
+        let mut sum = 0;
+        for dst in 0..self.n {
+            if dst != tor && self.topo.port_reaches(tor, port, dst) {
+                sum += self.queues[tor * self.n + dst].total_bytes();
+            }
+        }
+        sum
+    }
+
+    fn relay_request_step(&mut self, epoch: u64) {
+        for src in 0..self.n {
+            self.relay_req_out[src].clear();
+            for dst in 0..self.n {
+                if dst == src {
+                    continue;
+                }
+                if !relay::pair_qualifies(&self.queues[src * self.n + dst], &self.relay_policy)
+                {
+                    continue;
+                }
+                // Scan a rotating window of intermediates; keep up to two
+                // whose shared egress link is not busy with direct traffic.
+                let mut found = 0;
+                for j in 0..(2 * self.s).min(self.n - 2) {
+                    let via = (src + 1 + ((epoch as usize + j) % (self.n - 1))) % self.n;
+                    if via == src || via == dst {
+                        continue;
+                    }
+                    let p1 = match self.topo.pair_port(src, via) {
+                        Some(p) => p,
+                        None => continue,
+                    };
+                    if relay::port_busy(self.direct_backlog_via_port(src, p1), &self.relay_policy)
+                    {
+                        continue;
+                    }
+                    self.relay_req_out[src].push(RelayRequest {
+                        src,
+                        via,
+                        final_dst: dst,
+                    });
+                    found += 1;
+                    if found == 2 {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Intermediates grant leftover ports to relay requests.
+    fn relay_grant_step(&mut self) {
+        for via in 0..self.n {
+            self.relay_grant_out[via].clear();
+            let reqs = std::mem::take(&mut self.inbox_relay_req[via]);
+            if reqs.is_empty() {
+                continue;
+            }
+            let mut port_taken = vec![false; self.s];
+            for &(_, p, _) in &self.grants_out[via] {
+                port_taken[p] = true;
+            }
+            let mut space = self.relay_buffers[via].space(&self.relay_policy);
+            for r in reqs {
+                let p = match self.topo.pair_port(r.src, via) {
+                    Some(p) => p,
+                    None => continue,
+                };
+                if port_taken[p] || !self.detector.usable(r.src, via, p) {
+                    continue;
+                }
+                // The intermediate's own egress toward the final destination
+                // must not be busy with high-volume direct traffic.
+                let p2 = match self.topo.pair_port(via, r.final_dst) {
+                    Some(p2) => p2,
+                    None => continue,
+                };
+                if relay::port_busy(self.direct_backlog_via_port(via, p2), &self.relay_policy) {
+                    continue;
+                }
+                let vol = self.relay_policy.grant_volume.min(space);
+                if vol == 0 {
+                    break;
+                }
+                space -= vol;
+                port_taken[p] = true;
+                self.relay_grant_out[via].push((r.src, p, r.final_dst, vol));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The two phases
+    // ------------------------------------------------------------------
+
+    /// Rotation of the predefined round-robin rule (§3.6.1): the parallel
+    /// network shifts the port↔offset mapping every epoch.
+    fn rotation(&self, epoch: u64) -> u64 {
+        match self.topo.kind() {
+            TopologyKind::Parallel => epoch,
+            TopologyKind::ThinClos => 0,
+        }
+    }
+
+    fn predefined_phase(
+        &mut self,
+        flows: &[workload::Flow],
+        mut cursor: usize,
+        epoch: u64,
+        t0: Nanos,
+        tracker: &mut FlowTracker,
+    ) -> usize {
+        let rot = self.rotation(epoch);
+        self.egress_attempted.fill(false);
+        self.egress_ok.fill(false);
+        self.ingress_attempted.fill(false);
+        self.ingress_ok.fill(false);
+        let prop = self.cfg.net.propagation_delay;
+        for slot in 0..self.pre_slots {
+            let slot_start = t0 + slot as Nanos * self.pre_slot_len;
+            cursor = self.inject(flows, cursor, slot_start);
+            let arrive = slot_start + self.pre_slot_len + prop;
+            for src in 0..self.n {
+                for port in 0..self.s {
+                    let dst = match self.topo.predefined_dst(rot, slot, src, port) {
+                        Some(d) => d,
+                        None => continue,
+                    };
+                    self.egress_attempted[src * self.s + port] = true;
+                    self.ingress_attempted[dst * self.s + port] = true;
+                    let up = self.failures.link_up(src, dst, port);
+                    if up {
+                        self.egress_ok[src * self.s + port] = true;
+                        self.ingress_ok[dst * self.s + port] = true;
+                        self.deliver_messages(src, dst);
+                    }
+                    // Piggyback one data packet (§3.4.1) unless the
+                    // detector already excluded the link.
+                    if self.cfg.piggyback && self.detector.usable(src, dst, port) {
+                        if let Some(pkt) =
+                            self.queues[src * self.n + dst].dequeue_packet(self.pb_payload)
+                        {
+                            if pkt.relayed {
+                                self.relay_buffers[src].release(pkt.bytes);
+                            }
+                            if up {
+                                self.stats.piggyback_packets += 1;
+                                self.stats.piggyback_bytes += pkt.bytes;
+                                self.deliver_data(dst, pkt.flow, pkt.bytes, arrive, tracker);
+                            } else {
+                                // A ground-truth-down link loses the packet;
+                                // recovery is an upper-layer (TCP) concern.
+                                self.stats.lost_packets += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cursor
+    }
+
+    /// Move this epoch's outgoing scheduling messages across one predefined
+    /// connection `src → dst`.
+    fn deliver_messages(&mut self, src: usize, dst: usize) {
+        let idx = src * self.n + dst;
+        let v = self.req_out[idx];
+        if !v.is_nan() {
+            self.inbox_requests[dst].push(ReqIn {
+                src,
+                value: v,
+                port: self.req_port_out[idx],
+            });
+            self.req_out[idx] = f64::NAN; // delivered once
+        }
+        // Grants computed by `src` for requester `dst` ride this connection.
+        for &(to, port, debit) in &self.grants_out[src] {
+            if to == dst {
+                self.inbox_grants[dst].push((Grant { dst: src, port }, debit));
+            }
+        }
+        if self.opts.selective_relay {
+            for r in &self.relay_req_out[src] {
+                if r.via == dst {
+                    self.inbox_relay_req[dst].push(*r);
+                }
+            }
+            for &(to, port, final_dst, vol) in &self.relay_grant_out[src] {
+                if to == dst {
+                    self.inbox_relay_grant[dst].push((src, port, final_dst, vol));
+                }
+            }
+        }
+    }
+
+    fn scheduled_phase(
+        &mut self,
+        flows: &[workload::Flow],
+        mut cursor: usize,
+        _epoch: u64,
+        t0: Nanos,
+        tracker: &mut FlowTracker,
+    ) -> usize {
+        let sched_start = t0 + self.pre_slots as Nanos * self.pre_slot_len;
+        let prop = self.cfg.net.propagation_delay;
+        for k in 0..self.cfg.epoch.scheduled_slots {
+            let slot_start = sched_start + k as Nanos * self.cfg.epoch.scheduled_slot;
+            cursor = self.inject(flows, cursor, slot_start);
+            let arrive = slot_start + self.cfg.epoch.scheduled_slot + prop;
+            for src in 0..self.n {
+                for port in 0..self.s {
+                    let slot = src * self.s + port;
+                    if let Some(dst) = self.active[slot] {
+                        if let Some(pkt) =
+                            self.queues[src * self.n + dst].dequeue_packet(self.sched_payload)
+                        {
+                            if pkt.relayed {
+                                self.relay_buffers[src].release(pkt.bytes);
+                            }
+                            if self.failures.link_up(src, dst, port) {
+                                self.stats.scheduled_packets += 1;
+                                self.stats.scheduled_bytes += pkt.bytes;
+                                self.deliver_data(dst, pkt.flow, pkt.bytes, arrive, tracker);
+                            } else {
+                                self.stats.lost_packets += 1;
+                            }
+                        } else {
+                            self.stats.overscheduled_slots += 1;
+                        }
+                    } else if let Some((via, final_dst, vol)) = self.active_relay[slot] {
+                        if vol == 0 {
+                            continue;
+                        }
+                        let cap = self.sched_payload.min(vol);
+                        if let Some(pkt) =
+                            self.queues[src * self.n + final_dst].dequeue_lowest_packet(cap)
+                        {
+                            if pkt.relayed {
+                                self.relay_buffers[src].release(pkt.bytes);
+                            }
+                            self.active_relay[slot] = Some((via, final_dst, vol - pkt.bytes));
+                            if self.failures.link_up(src, via, port) {
+                                // Arrives at the intermediate: admitted to
+                                // its relay buffer and re-queued for the
+                                // final destination at lowest priority.
+                                self.relay_buffers[via].admit(pkt.bytes);
+                                self.queues[via * self.n + final_dst].enqueue_relay(
+                                    pkt.flow, pkt.bytes, arrive,
+                                );
+                            }
+                        } else {
+                            self.active_relay[slot] = None; // drained
+                        }
+                    } else {
+                        self.stats.unmatched_slots += 1;
+                    }
+                }
+            }
+        }
+        cursor
+    }
+
+    fn deliver_data(
+        &mut self,
+        dst: usize,
+        flow: u64,
+        bytes: u64,
+        at: Nanos,
+        tracker: &mut FlowTracker,
+    ) {
+        if let Some(b) = self.rx_buffer.get_mut(dst) {
+            *b += bytes;
+        }
+        tracker.deliver(flow, bytes, at);
+        if let Some(series) = self.rx_series.get_mut(dst) {
+            series.record(at, bytes);
+        }
+        if let Some(total) = self.total_rx.as_mut() {
+            total.record(at, bytes);
+        }
+    }
+
+    /// Feed the epoch's predefined-phase observations to the detector.
+    fn observe_epoch(&mut self) {
+        for tor in 0..self.n {
+            for port in 0..self.s {
+                let i = tor * self.s + port;
+                if self.egress_attempted[i] {
+                    self.detector.observe_egress(tor, port, self.egress_ok[i]);
+                }
+                if self.ingress_attempted[i] {
+                    self.detector.observe_ingress(tor, port, self.ingress_ok[i]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::NetworkConfig;
+    use workload::{Flow, FlowTrace, IncastWorkload};
+
+    fn small_cfg() -> NegotiatorConfig {
+        NegotiatorConfig::paper_default(NetworkConfig::small_for_tests())
+    }
+
+    fn single_flow(bytes: u64, arrival: Nanos) -> FlowTrace {
+        FlowTrace::new(vec![Flow {
+            id: 0,
+            src: 0,
+            dst: 5,
+            bytes,
+            arrival,
+        }])
+    }
+
+    #[test]
+    fn mice_flow_bypasses_scheduling_delay_via_piggyback() {
+        // A 500 B flow fits one piggyback packet: it should complete within
+        // roughly one epoch + propagation, far below the 2-epoch delay.
+        let mut s = NegotiatorSim::new(small_cfg(), TopologyKind::Parallel);
+        let epoch = s.epoch_len();
+        let report = s.run(&single_flow(500, 0), 50 * epoch);
+        let fct = s.tracker().fct(0).expect("flow must complete");
+        assert!(
+            fct < 2 * epoch,
+            "piggybacked mice FCT {fct} should beat the 2-epoch delay ({})",
+            2 * epoch
+        );
+        assert_eq!(report.mice.completed, 1);
+    }
+
+    #[test]
+    fn piggyback_disabled_pays_the_scheduling_delay() {
+        let mut cfg = small_cfg();
+        cfg.piggyback = false;
+        let mut s = NegotiatorSim::new(cfg, TopologyKind::Parallel);
+        let epoch = s.epoch_len();
+        s.run(&single_flow(500, 0), 50 * epoch);
+        let fct = s.tracker().fct(0).expect("flow must complete");
+        assert!(
+            fct >= 2 * epoch,
+            "without PB the flow waits for the pipeline: fct {fct}"
+        );
+        assert!(fct < 5 * epoch, "but not forever: fct {fct}");
+    }
+
+    #[test]
+    fn elephant_flow_completes_via_scheduled_phase() {
+        for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
+            let mut s = NegotiatorSim::new(small_cfg(), kind);
+            let epoch = s.epoch_len();
+            let report = s.run(&single_flow(500_000, 0), 600 * epoch);
+            assert_eq!(
+                s.tracker().completed_count(),
+                1,
+                "{kind:?}: elephant must finish"
+            );
+            assert!(report.all.completed == 1);
+        }
+    }
+
+    #[test]
+    fn incast_finishes_fast_regardless_of_degree() {
+        // §4.2/Figure 7(a): piggybacking serves each sender its own
+        // predefined slot, so finish time is flat in degree.
+        let mut finish = Vec::new();
+        for degree in [2usize, 8, 14] {
+            let trace = IncastWorkload {
+                degree,
+                flow_bytes: 1_000,
+                n_tors: 16,
+                start: 10_000,
+            }
+            .generate(3);
+            let mut s = NegotiatorSim::new(small_cfg(), TopologyKind::Parallel);
+            let epoch = s.epoch_len();
+            s.run(&trace, 100 * epoch);
+            let t = RunReport::burst_finish_time(&trace, s.tracker())
+                .expect("incast must complete");
+            finish.push(t);
+        }
+        let spread = *finish.iter().max().unwrap() as f64 / *finish.iter().min().unwrap() as f64;
+        assert!(
+            spread < 2.5,
+            "incast finish should be nearly flat in degree: {finish:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let trace = single_flow(100_000, 123);
+        let run = |seed: u64| {
+            let mut cfg = small_cfg();
+            cfg.seed = seed;
+            let mut s = NegotiatorSim::new(cfg, TopologyKind::Parallel);
+            s.run(&trace, 500_000);
+            s.tracker().fct(0)
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn match_ratio_recorded_under_load() {
+        let trace = FlowTrace::new(
+            (0..16)
+                .flat_map(|src| {
+                    (0..16).filter(move |&d| d != src).map(move |dst| Flow {
+                        id: 0,
+                        src,
+                        dst,
+                        bytes: 200_000,
+                        arrival: 0,
+                    })
+                })
+                .collect(),
+        );
+        let mut s = NegotiatorSim::new(small_cfg(), TopologyKind::Parallel);
+        let epoch = s.epoch_len();
+        s.run(&trace, 100 * epoch);
+        let ratio = s.match_recorder().overall_ratio().expect("grants happened");
+        assert!(ratio > 0.3 && ratio <= 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn failed_links_reduce_then_recover_bandwidth() {
+        let trace = single_flow(100_000_000, 0); // effectively infinite source
+        let mut cfg = small_cfg();
+        cfg.piggyback = true;
+        let mut s = NegotiatorSim::with_options(
+            cfg,
+            TopologyKind::Parallel,
+            SimOptions {
+                total_rx_window: Some(10_000),
+                ..SimOptions::default()
+            },
+        );
+        let epoch = s.epoch_len();
+        let fail_at = 60 * epoch;
+        let repair_at = 160 * epoch;
+        s.schedule_failure(fail_at, FailureAction::FailRandom { ratio: 0.25, seed: 7 });
+        s.schedule_failure(repair_at, FailureAction::RepairAll);
+        s.run(&trace, 260 * epoch);
+        let rx = s.total_rx().unwrap();
+        let before = rx.mean_gbps(10 * epoch, fail_at);
+        let during = rx.mean_gbps(fail_at + 10 * epoch, repair_at);
+        let after = rx.mean_gbps(repair_at + 10 * epoch, 250 * epoch);
+        assert!(before > 0.0);
+        assert!(
+            during < before * 0.95,
+            "failures must cost bandwidth: before {before}, during {during}"
+        );
+        assert!(
+            after > during,
+            "recovery must restore bandwidth: during {during}, after {after}"
+        );
+    }
+
+    #[test]
+    fn selective_relay_runs_and_delivers_on_thin_clos() {
+        let mut s = NegotiatorSim::with_options(
+            small_cfg(),
+            TopologyKind::ThinClos,
+            SimOptions {
+                selective_relay: true,
+                ..SimOptions::default()
+            },
+        );
+        let epoch = s.epoch_len();
+        let report = s.run(&single_flow(2_000_000, 0), 3000 * epoch);
+        assert_eq!(report.all.completed, 1, "elephant must fully arrive");
+    }
+
+    #[test]
+    #[should_panic(expected = "thin-clos")]
+    fn selective_relay_rejected_on_parallel() {
+        NegotiatorSim::with_options(
+            small_cfg(),
+            TopologyKind::Parallel,
+            SimOptions {
+                selective_relay: true,
+                ..SimOptions::default()
+            },
+        );
+    }
+
+    #[test]
+    fn variant_modes_all_run_to_completion() {
+        for mode in [
+            SchedulerMode::Iterative { rounds: 3 },
+            SchedulerMode::DataSize,
+            SchedulerMode::HolDelay { alpha: 0.001 },
+            SchedulerMode::Stateful,
+            SchedulerMode::Projector,
+        ] {
+            let mut s = NegotiatorSim::with_options(
+                small_cfg(),
+                TopologyKind::Parallel,
+                SimOptions {
+                    mode,
+                    ..SimOptions::default()
+                },
+            );
+            let epoch = s.epoch_len();
+            let report = s.run(&single_flow(300_000, 0), 1000 * epoch);
+            assert_eq!(report.all.completed, 1, "{mode:?} must deliver the flow");
+        }
+    }
+
+    #[test]
+    fn stats_capture_bypass_and_overscheduling() {
+        // A small flow (one piggyback packet) delivered entirely via PB.
+        let mut s = NegotiatorSim::new(small_cfg(), TopologyKind::Parallel);
+        let epoch = s.epoch_len();
+        s.run(&single_flow(500, 0), 20 * epoch);
+        let st = *s.stats();
+        assert_eq!(st.piggyback_packets, 1);
+        assert_eq!(st.piggyback_bytes, 500);
+        assert_eq!(st.scheduled_packets, 0, "no scheduled data needed");
+        assert_eq!(st.piggyback_share(), 1.0);
+        assert_eq!(st.lost_packets, 0);
+
+        // A large flow drains mostly through the scheduled phase, and the
+        // stateless pipeline over-schedules the tail: grants keep arriving
+        // for an already-empty queue.
+        let mut s = NegotiatorSim::new(small_cfg(), TopologyKind::Parallel);
+        s.run(&single_flow(200_000, 0), 200 * epoch);
+        let st = *s.stats();
+        assert!(st.scheduled_bytes > st.piggyback_bytes);
+        assert!(
+            st.overscheduled_slots > 0,
+            "stateless scheduling must waste some tail slots"
+        );
+        assert!(st.requests_sent > 0);
+        assert!(st.accepts_made <= st.grants_issued);
+    }
+
+    #[test]
+    fn lost_packets_counted_under_ground_failures() {
+        let mut s = NegotiatorSim::new(small_cfg(), TopologyKind::Parallel);
+        let epoch = s.epoch_len();
+        s.schedule_failure(0, FailureAction::FailRandom { ratio: 0.3, seed: 2 });
+        s.run(&single_flow(500_000, 0), 50 * epoch);
+        assert!(
+            s.stats().lost_packets > 0,
+            "undetected failures must lose packets in flight"
+        );
+    }
+
+    #[test]
+    fn host_backpressure_caps_receive_rate() {
+        // One hot destination fed by many sources; with §3.6.5 enabled and
+        // a small receive buffer, sustained delivery cannot exceed the
+        // host-aggregate rate by much, while the unbounded setting enjoys
+        // the full 2x fabric speedup.
+        let trace = FlowTrace::new(
+            (1..16)
+                .map(|src| Flow {
+                    id: 0,
+                    src,
+                    dst: 0,
+                    bytes: 400_000,
+                    arrival: 0,
+                })
+                .collect(),
+        );
+        let run = |buffer: Option<u64>| {
+            let mut s = NegotiatorSim::with_options(
+                small_cfg(),
+                TopologyKind::Parallel,
+                SimOptions {
+                    host_buffer_bytes: buffer,
+                    ..SimOptions::default()
+                },
+            );
+            let epoch = s.epoch_len();
+            s.run(&trace, 600 * epoch);
+            // Received rate at the hot ToR while the burst drains, in Gbps.
+            let finish = RunReport::burst_finish_time(&trace, s.tracker())
+                .expect("burst must complete");
+            (s.tracker().delivered_payload() * 8) as f64 / finish as f64
+        };
+        let unbounded = run(None);
+        let bounded = run(Some(100_000));
+        // Hosts drain at 200 Gbps on the test fabric; the fabric can push
+        // 400 Gbps into one ToR.
+        assert!(unbounded > 250.0, "unbounded should use speedup: {unbounded}");
+        assert!(
+            bounded < unbounded * 0.85,
+            "backpressure must throttle: bounded {bounded} vs unbounded {unbounded}"
+        );
+        assert!(bounded > 100.0, "but data must still flow: {bounded}");
+    }
+
+    #[test]
+    fn goodput_reflects_offered_load() {
+        // Saturating all-to-all: goodput should be substantial.
+        let trace = FlowTrace::new(
+            (0..16)
+                .flat_map(|src| {
+                    (0..16).filter(move |&d| d != src).map(move |dst| Flow {
+                        id: 0,
+                        src,
+                        dst,
+                        bytes: 1_000_000,
+                        arrival: 0,
+                    })
+                })
+                .collect(),
+        );
+        let mut s = NegotiatorSim::new(small_cfg(), TopologyKind::Parallel);
+        let dur = 300 * s.epoch_len();
+        let report = s.run(&trace, dur);
+        assert!(
+            report.goodput.normalized() > 0.5,
+            "normalized goodput {}",
+            report.goodput.normalized()
+        );
+    }
+}

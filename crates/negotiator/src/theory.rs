@@ -1,0 +1,47 @@
+//! Closed-form models from the paper.
+//!
+//! * §3.2.2's matching-efficiency analysis: under saturated uniform
+//!   competition among `n` ToRs, a grant is accepted with probability
+//!   `E[Y] = 1 − (1 − 1/n)^n → 1 − 1/e ≈ 63%`.
+//! * §3.3.1's predefined-phase length: `⌈(N−1)/S⌉` timeslots on the
+//!   parallel network, `W` on thin-clos.
+//!
+//! The A.1 experiment (`fig14` in the harness) checks the simulated match
+//! ratio against [`expected_match_efficiency`].
+
+/// `E[Y] = 1 − (1 − 1/n)^n` — expected grant-acceptance probability when
+/// `n` ToRs compete (§3.2.2). `n` is the GRANT-ring competitor count:
+/// the full ToR count on the parallel network, the source-group size on
+/// thin-clos (which is why thin-clos matches slightly better: 0.644 at
+/// n=16 vs 0.634 at n=128).
+pub fn expected_match_efficiency(n: usize) -> f64 {
+    metrics::matchratio::theoretical_match_efficiency(n)
+}
+
+/// The `n` to feed [`expected_match_efficiency`] for a topology:
+/// competitors per GRANT ring.
+pub fn competitors(kind: topology::TopologyKind, n_tors: usize, n_ports: usize) -> usize {
+    match kind {
+        topology::TopologyKind::Parallel => n_tors,
+        topology::TopologyKind::ThinClos => n_tors / n_ports,
+    }
+}
+
+/// Scheduling delay in epochs of the non-iterative pipeline (§3.3.1):
+/// request in epoch `n`, grant in `n+1`, accept + data in `n+2`.
+pub const PIPELINE_DELAY_EPOCHS: u64 = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::TopologyKind;
+
+    #[test]
+    fn paper_scale_efficiencies() {
+        let par = expected_match_efficiency(competitors(TopologyKind::Parallel, 128, 8));
+        let thin = expected_match_efficiency(competitors(TopologyKind::ThinClos, 128, 8));
+        assert!((par - 0.634).abs() < 0.001);
+        assert!((thin - 0.644).abs() < 0.001);
+        assert!(thin > par, "thin-clos competes less, matches better");
+    }
+}

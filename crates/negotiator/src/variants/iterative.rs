@@ -1,0 +1,169 @@
+//! Iterative NegotiaToR Matching (Appendix A.2.1).
+//!
+//! Classic iterative matchers (PIM, RRM, iSLIP) run several
+//! request/grant/accept rounds so unmatched ports get refilled. Transplanted
+//! onto a DCN, every extra round costs three more epochs of scheduling delay
+//! (one per pipelined step, Figure 4), so ITER_III activates matches that
+//! were computed from 8-epoch-old demand. [`IterativeMatcher`] computes the
+//! multi-round match itself; the engine delays its activation by
+//! `3·(rounds−1)` extra epochs and runs it without speedup, exactly the
+//! A.2.1 comparison.
+
+use crate::matching::{Accept, AcceptArbiter, Grant, GrantArbiter};
+use topology::Topology;
+
+/// Multi-round matcher reusing the persistent GRANT/ACCEPT ring state.
+#[derive(Debug)]
+pub struct IterativeMatcher;
+
+impl IterativeMatcher {
+    /// Compute a matching with `rounds` iterations over `requests`
+    /// (`requests[dst]` = requesting sources). Later rounds only consider
+    /// ports still unmatched on both sides — the "indices of unmatched
+    /// ports" the iterative variant's extra messages carry.
+    ///
+    /// Returns accepted matches per source.
+    pub fn compute<T: Topology>(
+        topo: &T,
+        requests: &[Vec<usize>],
+        grant_arbs: &mut [GrantArbiter],
+        accept_arbs: &mut [AcceptArbiter],
+        rounds: usize,
+    ) -> Vec<Vec<Accept>> {
+        let n = topo.net().n_tors;
+        let s = topo.net().n_ports;
+        // matched_src[src*s+p] / matched_dst[dst*s+p]: port taken in an
+        // earlier round.
+        let mut matched_src = vec![false; n * s];
+        let mut matched_dst = vec![false; n * s];
+        let mut accepted: Vec<Vec<Accept>> = vec![Vec::new(); n];
+
+        for _round in 0..rounds.max(1) {
+            // GRANT: each destination fills its still-unmatched ports with
+            // requesters whose same-index port is also still unmatched.
+            let mut grants_by_src: Vec<Vec<Grant>> = vec![Vec::new(); n];
+            for dst in 0..n {
+                if requests[dst].is_empty() {
+                    continue;
+                }
+                let grants = grant_arbs[dst].grant(s, &requests[dst], |src, port| {
+                    !matched_dst[dst * s + port] && !matched_src[src * s + port]
+                });
+                for (src, port) in grants {
+                    grants_by_src[src].push(Grant { dst, port });
+                }
+            }
+            // ACCEPT: each source takes at most one new grant per port.
+            let mut any = false;
+            for src in 0..n {
+                if grants_by_src[src].is_empty() {
+                    continue;
+                }
+                let accepts = accept_arbs[src].accept(s, &grants_by_src[src], |_, port| {
+                    !matched_src[src * s + port]
+                });
+                for a in accepts {
+                    matched_src[src * s + a.port] = true;
+                    matched_dst[a.dst * s + a.port] = true;
+                    accepted[src].push(a);
+                    any = true;
+                }
+            }
+            if !any {
+                break; // converged early, no point burning rounds
+            }
+        }
+        accepted
+    }
+
+    /// Extra epochs of scheduling delay `rounds` iterations incur over the
+    /// non-iterative baseline (three pipelined steps per extra round).
+    pub fn extra_delay_epochs(rounds: usize) -> u64 {
+        3 * (rounds.max(1) as u64 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::Xoshiro256;
+    use topology::{validate_matching, AnyTopology, MatchEntry, NetworkConfig, TopologyKind};
+
+    fn setup(topo: &AnyTopology) -> (Vec<GrantArbiter>, Vec<AcceptArbiter>) {
+        let n = topo.net().n_tors;
+        let mut rng = Xoshiro256::new(21);
+        (
+            (0..n).map(|d| GrantArbiter::new(topo, d, &mut rng)).collect(),
+            (0..n).map(|d| AcceptArbiter::new(topo, d, &mut rng)).collect(),
+        )
+    }
+
+    fn all_requests(n: usize) -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|dst| (0..n).filter(|&x| x != dst).collect())
+            .collect()
+    }
+
+    #[test]
+    fn more_rounds_fill_more_ports() {
+        let topo = AnyTopology::build(TopologyKind::Parallel, NetworkConfig::small_for_tests());
+        let n = topo.net().n_tors;
+        let reqs = all_requests(n);
+
+        let count = |rounds: usize| -> usize {
+            let (mut ga, mut aa) = setup(&topo);
+            IterativeMatcher::compute(&topo, &reqs, &mut ga, &mut aa, rounds)
+                .iter()
+                .map(|v| v.len())
+                .sum()
+        };
+        let one = count(1);
+        let three = count(3);
+        let five = count(5);
+        assert!(three >= one, "{three} vs {one}");
+        assert!(five >= three);
+        // With saturated demand, 5 rounds should get close to a perfect
+        // matching (all 16×4 ports).
+        assert!(five as f64 >= 0.95 * (n * topo.net().n_ports) as f64);
+    }
+
+    #[test]
+    fn iterative_matchings_stay_collision_free() {
+        for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
+            let topo = AnyTopology::build(kind, NetworkConfig::small_for_tests());
+            let n = topo.net().n_tors;
+            let (mut ga, mut aa) = setup(&topo);
+            let accepted =
+                IterativeMatcher::compute(&topo, &all_requests(n), &mut ga, &mut aa, 5);
+            let entries: Vec<MatchEntry> = accepted
+                .iter()
+                .enumerate()
+                .flat_map(|(src, v)| {
+                    v.iter().map(move |a| MatchEntry {
+                        src,
+                        port: a.port,
+                        dst: a.dst,
+                    })
+                })
+                .collect();
+            validate_matching(&topo, &entries).expect("collision-free");
+        }
+    }
+
+    #[test]
+    fn delay_model() {
+        assert_eq!(IterativeMatcher::extra_delay_epochs(1), 0);
+        assert_eq!(IterativeMatcher::extra_delay_epochs(3), 6);
+        assert_eq!(IterativeMatcher::extra_delay_epochs(5), 12);
+    }
+
+    #[test]
+    fn empty_requests_empty_match() {
+        let topo = AnyTopology::build(TopologyKind::Parallel, NetworkConfig::small_for_tests());
+        let n = topo.net().n_tors;
+        let (mut ga, mut aa) = setup(&topo);
+        let reqs = vec![Vec::new(); n];
+        let accepted = IterativeMatcher::compute(&topo, &reqs, &mut ga, &mut aa, 3);
+        assert!(accepted.iter().all(|v| v.is_empty()));
+    }
+}

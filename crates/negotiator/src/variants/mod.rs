@@ -1,0 +1,27 @@
+//! The design-space variants of Appendix A.2.
+//!
+//! §3.5 asks whether a little extra complexity would buy NegotiaToR real
+//! performance, and answers by building and measuring four richer designs
+//! plus ProjecToR's scheduler. This module tree implements them; the epoch
+//! engine (`crate::sim`) activates each through
+//! [`crate::sim::SchedulerMode`] / the relay option so that data path,
+//! workloads and metrics stay identical across the comparison — exactly the
+//! paper's methodology of swapping only the scheduling logic.
+//!
+//! * [`iterative`] — A.2.1: iterative NegotiaToR Matching (ITER_I/III/V);
+//!   each extra iteration adds three epochs of scheduling delay.
+//! * [`informative`] — A.2.3: requests carrying aggregated queue size
+//!   (goodput-oriented) or weighted head-of-line waiting delay
+//!   (FCT-oriented, α = 0.001).
+//! * [`stateful`] — A.2.4: per-destination demand matrices preventing
+//!   over-scheduling.
+//! * [`projector`] — A.2.5: ProjecToR-style per-port requests prioritized
+//!   by bundle waiting delay.
+//! * [`relay`] — A.2.2: traffic-aware selective relay for the thin-clos
+//!   topology (elephant-only, congestion-aware two-hop paths).
+
+pub mod informative;
+pub mod iterative;
+pub mod projector;
+pub mod relay;
+pub mod stateful;

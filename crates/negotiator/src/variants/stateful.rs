@@ -1,0 +1,86 @@
+//! Stateful scheduling (Appendix A.2.4).
+//!
+//! Each destination keeps a demand matrix of pending bytes per source,
+//! updated by requests that carry newly arrived byte counts. Grants are
+//! only issued while the matrix shows pending data, and each grant
+//! tentatively debits one epoch's worth of service; accept feedback either
+//! confirms the debit or reverts it. This suppresses the over-scheduling
+//! that stateless NegotiaToR tolerates by design.
+
+/// One destination's view of per-source pending demand.
+#[derive(Debug, Clone)]
+pub struct DemandMatrix {
+    pending: Vec<i64>,
+}
+
+impl DemandMatrix {
+    /// Matrix over `n_tors` sources, all zero.
+    pub fn new(n_tors: usize) -> Self {
+        DemandMatrix {
+            pending: vec![0; n_tors],
+        }
+    }
+
+    /// A request reported `new_bytes` freshly arrived at `src`.
+    pub fn report(&mut self, src: usize, new_bytes: u64) {
+        self.pending[src] += new_bytes as i64;
+    }
+
+    /// Does the matrix still show pending data for `src`?
+    pub fn has_pending(&self, src: usize) -> bool {
+        self.pending[src] > 0
+    }
+
+    /// Tentatively debit `est_bytes` of service when granting `src`
+    /// (clamped at zero — the estimate may overshoot the true backlog).
+    pub fn debit(&mut self, src: usize, est_bytes: u64) -> u64 {
+        let take = (est_bytes as i64).min(self.pending[src]).max(0);
+        self.pending[src] -= take;
+        take as u64
+    }
+
+    /// The source rejected the grant: restore the tentative debit.
+    pub fn revert(&mut self, src: usize, debited: u64) {
+        self.pending[src] += debited as i64;
+    }
+
+    /// Pending bytes currently recorded for `src` (diagnostics).
+    pub fn pending(&self, src: usize) -> i64 {
+        self.pending[src]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_debit_revert_cycle() {
+        let mut m = DemandMatrix::new(4);
+        assert!(!m.has_pending(1));
+        m.report(1, 10_000);
+        assert!(m.has_pending(1));
+        let debited = m.debit(1, 33_000);
+        assert_eq!(debited, 10_000, "debit clamps to recorded demand");
+        assert!(!m.has_pending(1));
+        m.revert(1, debited);
+        assert!(m.has_pending(1));
+        assert_eq!(m.pending(1), 10_000);
+    }
+
+    #[test]
+    fn partial_debit() {
+        let mut m = DemandMatrix::new(2);
+        m.report(0, 100_000);
+        assert_eq!(m.debit(0, 33_000), 33_000);
+        assert_eq!(m.pending(0), 67_000);
+        assert!(m.has_pending(0));
+    }
+
+    #[test]
+    fn zero_demand_never_grants() {
+        let mut m = DemandMatrix::new(2);
+        assert_eq!(m.debit(0, 10), 0);
+        assert_eq!(m.pending(0), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Configuration of the traffic-oblivious baseline.
+
+use sim::time::Nanos;
+use topology::NetworkConfig;
+
+/// Timing and feature knobs of the rotor fabric.
+#[derive(Debug, Clone)]
+pub struct ObliviousConfig {
+    /// Physical network parameters (shared with NegotiaToR).
+    pub net: NetworkConfig,
+    /// Guardband absorbing the per-slot reconfiguration (paper: 10 ns).
+    pub guardband: Nanos,
+    /// Data window of one rotor timeslot (paper-equivalent: 90 ns).
+    pub data_window: Nanos,
+    /// Packet header bytes (paper: 10 B).
+    pub header_bytes: u64,
+    /// PIAS priority queues at sources ("w/o PQ" configurations disable).
+    pub priority_queues: bool,
+    /// Shallow relay buffer per (intermediate, final-destination) pair, in
+    /// packets. Sources withhold first-hop bulk toward a full buffer
+    /// (credit-style congestion control, cf. §3.2.1's remark that
+    /// traffic-oblivious designs need one).
+    pub relay_pair_packets: u32,
+    /// Bulk (lowest-priority) data is sprayed in bundles of this many
+    /// packets per random intermediate; mice levels spray per packet.
+    pub bundle_chunks: u32,
+    /// Seed for VLB intermediate choices.
+    pub seed: u64,
+}
+
+impl ObliviousConfig {
+    /// Paper-equivalent defaults over `net`.
+    pub fn paper_default(net: NetworkConfig) -> Self {
+        ObliviousConfig {
+            net,
+            guardband: 10,
+            data_window: 90,
+            header_bytes: 10,
+            priority_queues: true,
+            relay_pair_packets: 96,
+            bundle_chunks: 16,
+            seed: 0x0B11_7105,
+        }
+    }
+
+    /// Full slot length.
+    pub fn slot_len(&self) -> Nanos {
+        self.guardband + self.data_window
+    }
+
+    /// Payload bytes of one rotor packet (paper: 1115 B at 100 Gbps).
+    pub fn payload(&self) -> u64 {
+        self.net
+            .port_bandwidth
+            .bytes_in(self.data_window)
+            .saturating_sub(self.header_bytes)
+            .max(1)
+    }
+
+    /// PIAS thresholds (same as NegotiaToR's, §4.1).
+    pub fn pias_thresholds(&self) -> [u64; 2] {
+        [1_000, 10_000]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = ObliviousConfig::paper_default(NetworkConfig::paper_default());
+        assert_eq!(c.slot_len(), 100);
+        assert_eq!(c.payload(), 1_115);
+    }
+
+    #[test]
+    fn no_speedup_payload() {
+        let c = ObliviousConfig::paper_default(NetworkConfig::paper_no_speedup());
+        assert_eq!(c.payload(), 562 - 10);
+    }
+}

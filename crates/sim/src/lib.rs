@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Deterministic simulation substrate for the NegotiaToR reproduction.
+//!
+//! This crate provides the building blocks every other crate in the
+//! workspace rests on:
+//!
+//! * [`time`] — nanosecond-resolution simulated time ([`Nanos`]) and
+//!   bandwidth/byte conversion helpers.
+//! * [`rng`] — a self-contained, portable xoshiro256++ PRNG
+//!   ([`rng::Xoshiro256`]) so that a seed produces bit-identical experiment
+//!   results on every platform.
+//! * [`events`] — a deterministic discrete-event queue
+//!   ([`events::EventQueue`]) with FIFO tie-breaking for simultaneous events.
+//! * [`stats`] — percentiles, means, CDFs and histograms used by the
+//!   metrics crate and the experiment harness.
+//! * [`series`] — windowed time-series sampling (receiver-bandwidth plots).
+//!
+//! Design notes: the simulators built on top of this crate are
+//! *slot-synchronous* (both architectures in the paper transmit in fixed,
+//! globally synchronized timeslots), so the event queue is used for
+//! irregular events (flow arrivals, link failures) while the per-slot fabric
+//! work advances with plain arithmetic on [`Nanos`]. Everything is
+//! single-threaded by design: reproducibility of the paper's experiments
+//! trumps parallel speed, and a full 30 ms run of the 128-ToR network
+//! completes in seconds.
+
+pub mod events;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+
+pub use events::EventQueue;
+pub use rng::Xoshiro256;
+pub use series::BandwidthSeries;
+pub use stats::{Cdf, Histogram, Summary};
+pub use time::{Bandwidth, Nanos, GBPS};

@@ -1,0 +1,125 @@
+//! Windowed bandwidth time-series.
+//!
+//! The appendix micro-observations (Figures 17, 18, 19) plot receiver-side
+//! bandwidth against time. [`BandwidthSeries`] accumulates byte deliveries
+//! into fixed-width windows and reports each window as a Gbps value.
+
+use crate::time::Nanos;
+
+/// Accumulates `(time, bytes)` samples into fixed windows.
+#[derive(Debug, Clone)]
+pub struct BandwidthSeries {
+    window: Nanos,
+    /// Bytes delivered in each window, indexed by `time / window`.
+    bytes: Vec<u64>,
+}
+
+impl BandwidthSeries {
+    /// Series with windows of `window` ns.
+    pub fn new(window: Nanos) -> Self {
+        assert!(window > 0, "window must be positive");
+        BandwidthSeries {
+            window,
+            bytes: Vec::new(),
+        }
+    }
+
+    /// Record `bytes` delivered at time `at`.
+    pub fn record(&mut self, at: Nanos, bytes: u64) {
+        let idx = (at / self.window) as usize;
+        if idx >= self.bytes.len() {
+            self.bytes.resize(idx + 1, 0);
+        }
+        self.bytes[idx] += bytes;
+    }
+
+    /// Window width in ns.
+    pub fn window(&self) -> Nanos {
+        self.window
+    }
+
+    /// Number of windows touched so far.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Raw byte counts per window.
+    pub fn bytes_per_window(&self) -> &[u64] {
+        &self.bytes
+    }
+
+    /// `(window start time in ns, bandwidth in Gbps)` points.
+    pub fn gbps_points(&self) -> Vec<(Nanos, f64)> {
+        self.bytes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                let gbps = (b * 8) as f64 / self.window as f64; // bits per ns == Gbps
+                (i as Nanos * self.window, gbps)
+            })
+            .collect()
+    }
+
+    /// Mean bandwidth in Gbps over `[from, to)`.
+    pub fn mean_gbps(&self, from: Nanos, to: Nanos) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let lo = (from / self.window) as usize;
+        let hi = to.div_ceil(self.window) as usize;
+        let total: u64 = self
+            .bytes
+            .iter()
+            .skip(lo)
+            .take(hi.saturating_sub(lo))
+            .sum();
+        (total * 8) as f64 / (to - from) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_by_window() {
+        let mut s = BandwidthSeries::new(100);
+        s.record(0, 10);
+        s.record(99, 10);
+        s.record(100, 5);
+        assert_eq!(s.bytes_per_window(), &[20, 5]);
+    }
+
+    #[test]
+    fn gbps_conversion() {
+        let mut s = BandwidthSeries::new(1000);
+        // 12500 bytes in 1000 ns = 100000 bits / 1000 ns = 100 Gbps.
+        s.record(500, 12_500);
+        let pts = s.gbps_points();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0], (0, 100.0));
+    }
+
+    #[test]
+    fn mean_gbps_over_range() {
+        let mut s = BandwidthSeries::new(100);
+        s.record(0, 1250); // 100 Gbps over first window
+        s.record(100, 0);
+        // Over 200 ns: 1250 bytes * 8 bits / 200 ns = 50 Gbps.
+        assert_eq!(s.mean_gbps(0, 200), 50.0);
+        assert_eq!(s.mean_gbps(200, 200), 0.0);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = BandwidthSeries::new(10);
+        assert!(s.is_empty());
+        assert_eq!(s.mean_gbps(0, 100), 0.0);
+        assert!(s.gbps_points().is_empty());
+    }
+}

@@ -1,0 +1,316 @@
+//! Statistics used by the metrics crate and the experiment harness:
+//! running summaries, exact percentiles, CDFs and fixed-width histograms.
+
+/// Running summary of a sample stream: count, mean, min, max.
+///
+/// Values are `f64`; the FCT recorder feeds it nanoseconds, the goodput
+/// recorder normalized fractions.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0 for an empty summary.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Minimum observation; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Merge another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact empirical distribution: stores every sample, answers percentile
+/// and CDF queries. Fine for this workload scale (a few million flows).
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// Empty distribution.
+    pub fn new() -> Self {
+        Cdf {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: f64) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+    }
+
+    /// `p`-th percentile with `p` in `[0, 100]`, nearest-rank method
+    /// (the convention DCN papers use for "99p FCT"). `None` when empty.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        let idx = rank.clamp(1, n) - 1;
+        Some(self.samples[idx])
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn fraction_below(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let count = self.samples.partition_point(|&s| s <= x);
+        count as f64 / self.samples.len() as f64
+    }
+
+    /// Mean of all samples; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Evenly spaced (value, cumulative-fraction) points for plotting,
+    /// at most `points` of them.
+    pub fn curve(&mut self, points: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let step = (n.max(points) / points).max(1);
+        let mut out = Vec::with_capacity(points + 1);
+        let mut i = step - 1;
+        while i < n {
+            out.push((self.samples[i], (i + 1) as f64 / n as f64));
+            i += step;
+        }
+        if out.last().map(|&(_, f)| f) != Some(1.0) {
+            out.push((self.samples[n - 1], 1.0));
+        }
+        out
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with saturating edge buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Histogram of `n` equal buckets spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(hi > lo && n > 0, "invalid histogram bounds");
+        Histogram {
+            lo,
+            width: (hi - lo) / n as f64,
+            buckets: vec![0; n],
+            total: 0,
+        }
+    }
+
+    /// Record one observation (clamped into the edge buckets).
+    pub fn record(&mut self, value: f64) {
+        let idx = ((value - self.lo) / self.width).floor();
+        let idx = (idx.max(0.0) as usize).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Lower edge of bucket `i`.
+    pub fn edge(&self, i: usize) -> f64 {
+        self.lo + self.width * i as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_tracks_moments() {
+        let mut s = Summary::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(4.0));
+        assert_eq!(s.sum(), 10.0);
+    }
+
+    #[test]
+    fn empty_summary_is_sane() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn summary_merge() {
+        let mut a = Summary::new();
+        a.record(1.0);
+        let mut b = Summary::new();
+        b.record(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), 2.0);
+        assert_eq!(a.max(), Some(3.0));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut c = Cdf::new();
+        for v in 1..=100 {
+            c.record(v as f64);
+        }
+        assert_eq!(c.percentile(99.0), Some(99.0));
+        assert_eq!(c.percentile(50.0), Some(50.0));
+        assert_eq!(c.percentile(100.0), Some(100.0));
+        assert_eq!(c.percentile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn percentile_of_singleton() {
+        let mut c = Cdf::new();
+        c.record(7.5);
+        assert_eq!(c.percentile(99.0), Some(7.5));
+        assert_eq!(c.percentile(1.0), Some(7.5));
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let mut c = Cdf::new();
+        assert_eq!(c.percentile(99.0), None);
+        assert_eq!(c.fraction_below(10.0), 0.0);
+        assert!(c.curve(10).is_empty());
+    }
+
+    #[test]
+    fn fraction_below() {
+        let mut c = Cdf::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            c.record(v);
+        }
+        assert_eq!(c.fraction_below(2.0), 0.5);
+        assert_eq!(c.fraction_below(0.5), 0.0);
+        assert_eq!(c.fraction_below(4.0), 1.0);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_ends_at_one() {
+        let mut c = Cdf::new();
+        for v in 0..1000 {
+            c.record((v % 37) as f64);
+        }
+        let pts = c.curve(20);
+        assert!(!pts.is_empty());
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.5);
+        h.record(9.99);
+        h.record(-5.0); // clamps to bucket 0
+        h.record(50.0); // clamps to last bucket
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.buckets()[9], 2);
+        assert_eq!(h.edge(1), 1.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Per-direction optical link failures (§3.6.1, §4.3).
+//!
+//! Each `(ToR, port)` has two fibers: an *egress* link (ToR laser → AWGR)
+//! and an *ingress* link (AWGR → ToR receiver). The paper's fault-tolerance
+//! mechanism detects the two directions separately ("to prevent overreaction
+//! and simplify maintenance"), so failures are tracked per direction here.
+//! This struct is ground truth — what is actually broken; the scheduler's
+//! *detected* view lives in `negotiator::fault` and converges to this one
+//! through dummy-message feedback.
+
+use sim::Xoshiro256;
+
+/// Direction of a fiber relative to its ToR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkDir {
+    /// ToR transmit side (laser → AWGR).
+    Egress,
+    /// ToR receive side (AWGR → ToR).
+    Ingress,
+}
+
+/// Ground-truth failure state of every directed link in the fabric.
+#[derive(Debug, Clone)]
+pub struct LinkFailures {
+    n_ports: usize,
+    egress_down: Vec<bool>,
+    ingress_down: Vec<bool>,
+}
+
+impl LinkFailures {
+    /// All links healthy.
+    pub fn new(n_tors: usize, n_ports: usize) -> Self {
+        LinkFailures {
+            n_ports,
+            egress_down: vec![false; n_tors * n_ports],
+            ingress_down: vec![false; n_tors * n_ports],
+        }
+    }
+
+    fn idx(&self, tor: usize, port: usize) -> usize {
+        tor * self.n_ports + port
+    }
+
+    /// Mark one directed link failed.
+    pub fn fail(&mut self, tor: usize, port: usize, dir: LinkDir) {
+        let i = self.idx(tor, port);
+        match dir {
+            LinkDir::Egress => self.egress_down[i] = true,
+            LinkDir::Ingress => self.ingress_down[i] = true,
+        }
+    }
+
+    /// Repair one directed link.
+    pub fn repair(&mut self, tor: usize, port: usize, dir: LinkDir) {
+        let i = self.idx(tor, port);
+        match dir {
+            LinkDir::Egress => self.egress_down[i] = false,
+            LinkDir::Ingress => self.ingress_down[i] = false,
+        }
+    }
+
+    /// Is the egress fiber of `(tor, port)` down?
+    pub fn egress_down(&self, tor: usize, port: usize) -> bool {
+        self.egress_down[self.idx(tor, port)]
+    }
+
+    /// Is the ingress fiber of `(tor, port)` down?
+    pub fn ingress_down(&self, tor: usize, port: usize) -> bool {
+        self.ingress_down[self.idx(tor, port)]
+    }
+
+    /// Can a transmission from `(src, port)` reach `(dst, port)`?
+    /// (Egress fiber of the source and ingress fiber of the destination
+    /// must both be up; the AWGR itself is passive and never fails here.)
+    pub fn link_up(&self, src: usize, dst: usize, port: usize) -> bool {
+        !self.egress_down(src, port) && !self.ingress_down(dst, port)
+    }
+
+    /// Number of currently failed directed links.
+    pub fn failed_count(&self) -> usize {
+        self.egress_down.iter().filter(|&&d| d).count()
+            + self.ingress_down.iter().filter(|&&d| d).count()
+    }
+
+    /// Fail a uniform random sample of `ratio` of all directed links
+    /// (the Figure 10 setup: simultaneous failures at ratios 1%–10%).
+    /// Returns the failed links for later repair.
+    pub fn fail_random(
+        &mut self,
+        ratio: f64,
+        rng: &mut Xoshiro256,
+    ) -> Vec<(usize, usize, LinkDir)> {
+        let n_links = self.egress_down.len();
+        let target = ((2 * n_links) as f64 * ratio).round() as usize;
+        let mut all: Vec<(usize, usize, LinkDir)> = Vec::with_capacity(2 * n_links);
+        for tor in 0..n_links / self.n_ports {
+            for port in 0..self.n_ports {
+                all.push((tor, port, LinkDir::Egress));
+                all.push((tor, port, LinkDir::Ingress));
+            }
+        }
+        rng.shuffle(&mut all);
+        let chosen: Vec<_> = all.into_iter().take(target).collect();
+        for &(tor, port, dir) in &chosen {
+            self.fail(tor, port, dir);
+        }
+        chosen
+    }
+
+    /// Repair every link in `links`.
+    pub fn repair_all(&mut self, links: &[(usize, usize, LinkDir)]) {
+        for &(tor, port, dir) in links {
+            self.repair(tor, port, dir);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fail_and_repair_roundtrip() {
+        let mut f = LinkFailures::new(4, 2);
+        assert!(f.link_up(0, 1, 0));
+        f.fail(0, 0, LinkDir::Egress);
+        assert!(!f.link_up(0, 1, 0), "src egress down breaks the link");
+        assert!(f.link_up(1, 0, 0), "reverse direction unaffected");
+        f.repair(0, 0, LinkDir::Egress);
+        assert!(f.link_up(0, 1, 0));
+    }
+
+    #[test]
+    fn ingress_failure_breaks_only_receive_side() {
+        let mut f = LinkFailures::new(4, 2);
+        f.fail(2, 1, LinkDir::Ingress);
+        assert!(!f.link_up(0, 2, 1));
+        assert!(f.link_up(2, 0, 1), "ToR 2 can still transmit on port 1");
+        assert!(f.link_up(0, 2, 0), "other port unaffected");
+    }
+
+    #[test]
+    fn fail_random_hits_target_count() {
+        let mut f = LinkFailures::new(16, 4);
+        let mut rng = Xoshiro256::new(1);
+        let failed = f.fail_random(0.10, &mut rng);
+        // 2 * 16 * 4 = 128 directed links; 10% = 13 (rounded).
+        assert_eq!(failed.len(), 13);
+        assert_eq!(f.failed_count(), 13);
+        f.repair_all(&failed);
+        assert_eq!(f.failed_count(), 0);
+    }
+
+    #[test]
+    fn fail_random_is_deterministic_per_seed() {
+        let mut a = LinkFailures::new(8, 2);
+        let mut b = LinkFailures::new(8, 2);
+        let fa = a.fail_random(0.25, &mut Xoshiro256::new(9));
+        let fb = b.fail_random(0.25, &mut Xoshiro256::new(9));
+        assert_eq!(fa, fb);
+    }
+}

@@ -1,0 +1,135 @@
+//! The [`Topology`] abstraction the schedulers are written against.
+//!
+//! ToRs and ports are plain `usize` indices (`0..n_tors`, `0..n_ports`);
+//! the schedulers index dense arrays with them constantly and the two id
+//! spaces never mix in practice, so newtypes would add friction without
+//! catching a real bug class (cf. smoltcp's "simplicity over type tricks").
+
+use crate::config::{NetworkConfig, TopologyKind};
+use crate::parallel::ParallelNet;
+use crate::thinclos::ThinClos;
+
+/// Connectivity model of a flat AWGR fabric.
+///
+/// The physics both topologies share: tuning the laser on egress port `p`
+/// of a ToR selects a destination reachable through the AWGR that port is
+/// spliced into, and the light arrives on the *same port index* `p` at the
+/// destination (each ToR contributes exactly one port to each AWGR it
+/// touches). Hence connections are identified by `(src, port, dst)` and the
+/// ingress port is implied.
+pub trait Topology {
+    /// Physical parameters.
+    fn net(&self) -> &NetworkConfig;
+
+    /// Which of the two paper topologies this is.
+    fn kind(&self) -> TopologyKind;
+
+    /// Timeslots needed for one all-to-all round in the predefined phase
+    /// (paper §3.3.1: `⌈(N−1)/S⌉` for parallel, `W` for thin-clos).
+    fn predefined_slots(&self) -> usize;
+
+    /// Destination that `(tor, port)` transmits to in predefined slot
+    /// `slot`, under round-robin rule rotation `rot` (§3.6.1 rotates the
+    /// rule every epoch on the parallel network so a ToR pair exchanges
+    /// scheduling messages over different physical links across epochs).
+    /// `None` when the pattern would point the port at `tor` itself.
+    fn predefined_dst(&self, rot: u64, slot: usize, tor: usize, port: usize) -> Option<usize>;
+
+    /// Source whose predefined-phase transmission lands on ingress
+    /// `(tor, port)` in `slot` under rotation `rot`; the exact inverse of
+    /// [`Topology::predefined_dst`].
+    fn predefined_src(&self, rot: u64, slot: usize, tor: usize, port: usize) -> Option<usize>;
+
+    /// Can `src` reach `dst` by tuning egress port `port` (scheduled phase)?
+    fn port_reaches(&self, src: usize, port: usize, dst: usize) -> bool;
+
+    /// Sources that can feed ingress port `port` of `dst` — the scope of
+    /// that port's GRANT ring. On the parallel network this is every other
+    /// ToR; on thin-clos it is the 16-ToR source group wired to that port.
+    fn grant_scope(&self, dst: usize, port: usize) -> Vec<usize>;
+
+    /// Whether a destination shares one GRANT ring across all its ports
+    /// (parallel network, Figure 3(b)) or keeps one ring per port
+    /// (thin-clos, Figure 3(c)).
+    fn shared_grant_ring(&self) -> bool;
+
+    /// The single egress port connecting `src` to `dst`, when the topology
+    /// constrains the pair to one port (thin-clos); `None` on topologies
+    /// where any port works.
+    fn pair_port(&self, src: usize, dst: usize) -> Option<usize>;
+}
+
+/// Enum dispatch over the two concrete topologies, so config-driven code
+/// (the experiment harness) can hold either without generics or boxing.
+#[derive(Debug, Clone)]
+pub enum AnyTopology {
+    /// Figure 1(a).
+    Parallel(ParallelNet),
+    /// Figure 1(b).
+    ThinClos(ThinClos),
+}
+
+impl AnyTopology {
+    /// Build the requested topology over `net`.
+    pub fn build(kind: TopologyKind, net: NetworkConfig) -> Self {
+        match kind {
+            TopologyKind::Parallel => AnyTopology::Parallel(ParallelNet::new(net)),
+            TopologyKind::ThinClos => AnyTopology::ThinClos(ThinClos::new(net)),
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:ident, $t:ident => $e:expr) => {
+        match $self {
+            AnyTopology::Parallel($t) => $e,
+            AnyTopology::ThinClos($t) => $e,
+        }
+    };
+}
+
+impl Topology for AnyTopology {
+    fn net(&self) -> &NetworkConfig {
+        dispatch!(self, t => t.net())
+    }
+    fn kind(&self) -> TopologyKind {
+        dispatch!(self, t => t.kind())
+    }
+    fn predefined_slots(&self) -> usize {
+        dispatch!(self, t => t.predefined_slots())
+    }
+    fn predefined_dst(&self, rot: u64, slot: usize, tor: usize, port: usize) -> Option<usize> {
+        dispatch!(self, t => t.predefined_dst(rot, slot, tor, port))
+    }
+    fn predefined_src(&self, rot: u64, slot: usize, tor: usize, port: usize) -> Option<usize> {
+        dispatch!(self, t => t.predefined_src(rot, slot, tor, port))
+    }
+    fn port_reaches(&self, src: usize, port: usize, dst: usize) -> bool {
+        dispatch!(self, t => t.port_reaches(src, port, dst))
+    }
+    fn grant_scope(&self, dst: usize, port: usize) -> Vec<usize> {
+        dispatch!(self, t => t.grant_scope(dst, port))
+    }
+    fn shared_grant_ring(&self) -> bool {
+        dispatch!(self, t => t.shared_grant_ring())
+    }
+    fn pair_port(&self, src: usize, dst: usize) -> Option<usize> {
+        dispatch!(self, t => t.pair_port(src, dst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_topology_dispatches_to_both_kinds() {
+        let net = NetworkConfig::small_for_tests();
+        let par = AnyTopology::build(TopologyKind::Parallel, net.clone());
+        let thin = AnyTopology::build(TopologyKind::ThinClos, net);
+        assert_eq!(par.kind(), TopologyKind::Parallel);
+        assert_eq!(thin.kind(), TopologyKind::ThinClos);
+        assert!(par.shared_grant_ring());
+        assert!(!thin.shared_grant_ring());
+    }
+}

@@ -1,0 +1,147 @@
+//! Validation of scheduled-phase matchings.
+//!
+//! NegotiaToR's correctness hinges on one invariant: the set of connections
+//! derived by the distributed REQUEST/GRANT/ACCEPT steps must be physically
+//! realizable on the bufferless fabric — no two transmissions may collide.
+//! This module states that invariant once, independently of the scheduler,
+//! so tests and property tests can check any matching the scheduler emits.
+
+use crate::traits::Topology;
+
+/// One scheduled-phase connection: `src` transmits through its egress port
+/// `port`, landing on `dst`'s ingress port of the same index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatchEntry {
+    /// Transmitting ToR.
+    pub src: usize,
+    /// Egress (= ingress) port index.
+    pub port: usize,
+    /// Receiving ToR.
+    pub dst: usize,
+}
+
+/// Why a matching is not realizable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchingError {
+    /// A source uses the same egress port for two destinations.
+    EgressConflict {
+        /// Conflicting source ToR.
+        src: usize,
+        /// Double-booked egress port.
+        port: usize,
+    },
+    /// Two sources land on the same ingress port of one destination.
+    IngressConflict {
+        /// Conflicting destination ToR.
+        dst: usize,
+        /// Double-booked ingress port.
+        port: usize,
+    },
+    /// The topology provides no path from `src` via `port` to `dst`.
+    Unreachable(MatchEntry),
+    /// A ToR "connects" to itself.
+    SelfLoop(MatchEntry),
+}
+
+/// Check that `matches` is collision-free and realizable on `topo`.
+///
+/// Returns the first violation found, or `Ok(())`.
+pub fn validate_matching<T: Topology>(topo: &T, matches: &[MatchEntry]) -> Result<(), MatchingError> {
+    let n = topo.net().n_tors;
+    let s = topo.net().n_ports;
+    let mut egress = vec![false; n * s];
+    let mut ingress = vec![false; n * s];
+    for &m in matches {
+        if m.src == m.dst {
+            return Err(MatchingError::SelfLoop(m));
+        }
+        if !topo.port_reaches(m.src, m.port, m.dst) {
+            return Err(MatchingError::Unreachable(m));
+        }
+        let e = m.src * s + m.port;
+        if egress[e] {
+            return Err(MatchingError::EgressConflict {
+                src: m.src,
+                port: m.port,
+            });
+        }
+        egress[e] = true;
+        let i = m.dst * s + m.port;
+        if ingress[i] {
+            return Err(MatchingError::IngressConflict {
+                dst: m.dst,
+                port: m.port,
+            });
+        }
+        ingress[i] = true;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NetworkConfig, TopologyKind};
+    use crate::traits::AnyTopology;
+
+    fn par() -> AnyTopology {
+        AnyTopology::build(TopologyKind::Parallel, NetworkConfig::small_for_tests())
+    }
+
+    #[test]
+    fn accepts_valid_matching() {
+        let t = par();
+        let m = [
+            MatchEntry { src: 0, port: 0, dst: 1 },
+            MatchEntry { src: 0, port: 1, dst: 1 }, // same pair, second port: fine
+            MatchEntry { src: 1, port: 0, dst: 2 },
+            MatchEntry { src: 2, port: 0, dst: 0 },
+        ];
+        assert_eq!(validate_matching(&t, &m), Ok(()));
+    }
+
+    #[test]
+    fn rejects_egress_conflict() {
+        let t = par();
+        let m = [
+            MatchEntry { src: 0, port: 0, dst: 1 },
+            MatchEntry { src: 0, port: 0, dst: 2 },
+        ];
+        assert_eq!(
+            validate_matching(&t, &m),
+            Err(MatchingError::EgressConflict { src: 0, port: 0 })
+        );
+    }
+
+    #[test]
+    fn rejects_ingress_conflict() {
+        let t = par();
+        let m = [
+            MatchEntry { src: 0, port: 3, dst: 5 },
+            MatchEntry { src: 1, port: 3, dst: 5 },
+        ];
+        assert_eq!(
+            validate_matching(&t, &m),
+            Err(MatchingError::IngressConflict { dst: 5, port: 3 })
+        );
+    }
+
+    #[test]
+    fn rejects_self_loop_and_unreachable() {
+        let t = par();
+        let selfy = MatchEntry { src: 3, port: 0, dst: 3 };
+        assert_eq!(
+            validate_matching(&t, &[selfy]),
+            Err(MatchingError::SelfLoop(selfy))
+        );
+
+        let thin = AnyTopology::build(TopologyKind::ThinClos, NetworkConfig::small_for_tests());
+        // On thin-clos (16 ToRs, 4 ports, groups of 4): ToR 0 (group 0) via
+        // port 1 reaches only group 1 = ToRs 4..8; dst 12 is unreachable.
+        let bad = MatchEntry { src: 0, port: 1, dst: 12 };
+        assert_eq!(
+            validate_matching(&thin, &[bad]),
+            Err(MatchingError::Unreachable(bad))
+        );
+    }
+}

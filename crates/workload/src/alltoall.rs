@@ -1,0 +1,72 @@
+//! All-to-all microbenchmark (§4.2, Figure 7(b)).
+//!
+//! "Each ToR synchronously sends equal-sized flows to all other ToRs."
+
+use crate::flow::{Flow, FlowTrace};
+use sim::time::Nanos;
+
+/// Generator for a synchronized all-to-all shuffle.
+#[derive(Debug, Clone)]
+pub struct AllToAllWorkload {
+    /// Size of every flow in bytes (swept 1 KB – 500 KB in Figure 7(b)).
+    pub flow_bytes: u64,
+    /// Number of ToRs.
+    pub n_tors: usize,
+    /// Injection time (paper micro-observations inject at 10 µs).
+    pub start: Nanos,
+}
+
+impl AllToAllWorkload {
+    /// Generate the `N·(N−1)` flows of one shuffle.
+    pub fn generate(&self) -> FlowTrace {
+        let mut flows = Vec::with_capacity(self.n_tors * (self.n_tors - 1));
+        for src in 0..self.n_tors {
+            for dst in 0..self.n_tors {
+                if src != dst {
+                    flows.push(Flow {
+                        id: flows.len() as u64,
+                        src,
+                        dst,
+                        bytes: self.flow_bytes,
+                        arrival: self.start,
+                    });
+                }
+            }
+        }
+        FlowTrace::new(flows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mesh_of_flows() {
+        let w = AllToAllWorkload {
+            flow_bytes: 30_000,
+            n_tors: 16,
+            start: 10_000,
+        };
+        let t = w.generate();
+        assert_eq!(t.len(), 16 * 15);
+        // Every ordered pair appears exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for f in t.flows() {
+            assert_ne!(f.src, f.dst);
+            assert!(seen.insert((f.src, f.dst)));
+            assert_eq!(f.bytes, 30_000);
+            assert_eq!(f.arrival, 10_000);
+        }
+    }
+
+    #[test]
+    fn total_bytes() {
+        let w = AllToAllWorkload {
+            flow_bytes: 1_000,
+            n_tors: 4,
+            start: 0,
+        };
+        assert_eq!(w.generate().total_bytes(), 12_000);
+    }
+}

@@ -1,0 +1,100 @@
+//! Incast microbenchmark (§4.2, Figure 7(a)).
+//!
+//! "A set of ToRs synchronously send one 1 KB flow to the same ToR, and the
+//! number of source ToRs is the degree."
+
+use crate::flow::{Flow, FlowTrace};
+use sim::time::Nanos;
+use sim::Xoshiro256;
+
+/// Generator for a single synchronized incast burst.
+#[derive(Debug, Clone)]
+pub struct IncastWorkload {
+    /// Number of simultaneous senders.
+    pub degree: usize,
+    /// Size of each flow in bytes (paper: 1 KB).
+    pub flow_bytes: u64,
+    /// Number of ToRs in the network.
+    pub n_tors: usize,
+    /// Burst injection time (paper micro-observations inject at 10 µs).
+    pub start: Nanos,
+}
+
+impl IncastWorkload {
+    /// Generate the burst: a random destination and `degree` distinct
+    /// random sources, all flows arriving at `start`.
+    pub fn generate(&self, seed: u64) -> FlowTrace {
+        assert!(
+            self.degree < self.n_tors,
+            "incast degree must leave room for the destination"
+        );
+        let mut rng = Xoshiro256::new(seed);
+        let dst = rng.index(self.n_tors);
+        let mut candidates: Vec<usize> = (0..self.n_tors).filter(|&t| t != dst).collect();
+        rng.shuffle(&mut candidates);
+        let flows = candidates
+            .into_iter()
+            .take(self.degree)
+            .enumerate()
+            .map(|(i, src)| Flow {
+                id: i as u64,
+                src,
+                dst,
+                bytes: self.flow_bytes,
+                arrival: self.start,
+            })
+            .collect();
+        FlowTrace::new(flows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_has_degree_distinct_sources_one_destination() {
+        let w = IncastWorkload {
+            degree: 20,
+            flow_bytes: 1_000,
+            n_tors: 128,
+            start: 10_000,
+        };
+        let t = w.generate(1);
+        assert_eq!(t.len(), 20);
+        let dst = t.flows()[0].dst;
+        let mut srcs: Vec<usize> = t.flows().iter().map(|f| f.src).collect();
+        srcs.sort_unstable();
+        srcs.dedup();
+        assert_eq!(srcs.len(), 20, "sources must be distinct");
+        for f in t.flows() {
+            assert_eq!(f.dst, dst);
+            assert_ne!(f.src, dst);
+            assert_eq!(f.arrival, 10_000);
+            assert_eq!(f.bytes, 1_000);
+        }
+    }
+
+    #[test]
+    fn degree_one_works() {
+        let w = IncastWorkload {
+            degree: 1,
+            flow_bytes: 1_000,
+            n_tors: 16,
+            start: 0,
+        };
+        assert_eq!(w.generate(3).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn degree_must_fit() {
+        IncastWorkload {
+            degree: 16,
+            flow_bytes: 1_000,
+            n_tors: 16,
+            start: 0,
+        }
+        .generate(0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Poisson background traffic with the paper's load definition.
+//!
+//! §4.1: "All the flows arrive based on a Poisson process, with sources and
+//! destinations chosen uniformly at random. We define the network load as
+//! `L = F / (R·N·τ)`", where `F` is the mean flow size, `R` the per-ToR
+//! (host-aggregate) bandwidth, `N` the ToR count and `τ` the mean flow
+//! inter-arrival time. Solving for the network-wide arrival rate:
+//! `1/τ = L·R·N / F`.
+
+use crate::dist::FlowSizeDist;
+use crate::flow::{Flow, FlowTrace};
+use sim::time::Nanos;
+use sim::Xoshiro256;
+
+/// Parameters of a Poisson background workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Flow-size distribution (`F` is derived from it).
+    pub dist: FlowSizeDist,
+    /// Offered load `L` as a fraction of `R·N` (1.0 = 100%).
+    pub load: f64,
+    /// Number of ToRs `N`.
+    pub n_tors: usize,
+    /// Per-ToR host-aggregate bandwidth `R` in bits/s (paper: 400 Gbps).
+    pub host_bps: u64,
+}
+
+impl WorkloadSpec {
+    /// Network-wide mean flow arrival rate in flows per nanosecond.
+    pub fn arrival_rate_per_ns(&self) -> f64 {
+        let f_bits = self.dist.mean_bytes() * 8.0;
+        self.load * self.host_bps as f64 * self.n_tors as f64 / f_bits / 1e9
+    }
+
+    /// Mean inter-arrival time `τ` in nanoseconds.
+    pub fn mean_interarrival_ns(&self) -> f64 {
+        1.0 / self.arrival_rate_per_ns()
+    }
+}
+
+/// Generator for Poisson background traffic.
+#[derive(Debug, Clone)]
+pub struct PoissonWorkload {
+    spec: WorkloadSpec,
+}
+
+impl PoissonWorkload {
+    /// New generator from `spec`.
+    pub fn new(spec: WorkloadSpec) -> Self {
+        assert!(spec.load > 0.0, "load must be positive");
+        assert!(spec.n_tors >= 2, "need at least two ToRs");
+        PoissonWorkload { spec }
+    }
+
+    /// The spec this generator was built with.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Generate all flows arriving in `[0, duration)`.
+    pub fn generate(&self, duration: Nanos, seed: u64) -> FlowTrace {
+        let mut rng = Xoshiro256::new(seed);
+        let mean_gap = self.spec.mean_interarrival_ns();
+        let mut t = 0.0f64;
+        let mut flows = Vec::new();
+        loop {
+            t += rng.next_exp(mean_gap);
+            let at = t as Nanos;
+            if at >= duration {
+                break;
+            }
+            let src = rng.index(self.spec.n_tors);
+            // Uniform destination, never the source.
+            let mut dst = rng.index(self.spec.n_tors - 1);
+            if dst >= src {
+                dst += 1;
+            }
+            flows.push(Flow {
+                id: flows.len() as u64,
+                src,
+                dst,
+                bytes: self.spec.dist.sample(&mut rng),
+                arrival: at,
+            });
+        }
+        FlowTrace::new(flows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(load: f64) -> WorkloadSpec {
+        WorkloadSpec {
+            dist: FlowSizeDist::hadoop(),
+            load,
+            n_tors: 128,
+            host_bps: 400_000_000_000,
+        }
+    }
+
+    #[test]
+    fn offered_load_matches_request() {
+        // Offered bits / (R·N·duration) should come out near L.
+        for load in [0.25, 1.0] {
+            let wl = PoissonWorkload::new(spec(load));
+            let dur: Nanos = 20_000_000; // 20 ms
+            let trace = wl.generate(dur, 42);
+            let offered_bits = trace.total_bytes() as f64 * 8.0;
+            let capacity_bits = 400e9 * 128.0 * (dur as f64 / 1e9);
+            let measured = offered_bits / capacity_bits;
+            assert!(
+                (measured - load).abs() / load < 0.05,
+                "load {load}: measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn sources_and_destinations_differ_and_cover() {
+        let wl = PoissonWorkload::new(WorkloadSpec {
+            n_tors: 8,
+            ..spec(1.0)
+        });
+        let trace = wl.generate(1_000_000, 7);
+        assert!(trace.len() > 100);
+        let mut seen_src = [false; 8];
+        let mut seen_dst = [false; 8];
+        for f in trace.flows() {
+            assert_ne!(f.src, f.dst);
+            seen_src[f.src] = true;
+            seen_dst[f.dst] = true;
+        }
+        assert!(seen_src.iter().all(|&b| b));
+        assert!(seen_dst.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let wl = PoissonWorkload::new(spec(0.5));
+        let a = wl.generate(2_000_000, 9);
+        let b = wl.generate(2_000_000, 9);
+        assert_eq!(a.flows(), b.flows());
+        let c = wl.generate(2_000_000, 10);
+        assert_ne!(a.flows(), c.flows());
+    }
+
+    #[test]
+    fn arrivals_sorted_and_bounded() {
+        let wl = PoissonWorkload::new(spec(0.8));
+        let trace = wl.generate(500_000, 3);
+        let mut prev = 0;
+        for f in trace.flows() {
+            assert!(f.arrival >= prev);
+            assert!(f.arrival < 500_000);
+            prev = f.arrival;
+        }
+    }
+
+    #[test]
+    fn interarrival_scales_inversely_with_load() {
+        let tau_half = PoissonWorkload::new(spec(0.5))
+            .spec()
+            .mean_interarrival_ns();
+        let tau_full = PoissonWorkload::new(spec(1.0))
+            .spec()
+            .mean_interarrival_ns();
+        assert!((tau_half / tau_full - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,158 @@
+//! Plain-text flow-trace import/export.
+//!
+//! A trace file is line-oriented TSV: `src dst bytes arrival_ns`,
+//! `#`-comments and blank lines ignored. This keeps user-supplied traces
+//! (or traces exported from other simulators) replayable through either
+//! engine without pulling a serialization framework into the workspace.
+
+use crate::flow::{Flow, FlowTrace};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Errors from parsing a trace file.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based number and content.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Parse { line, content } => {
+                write!(f, "trace parse error at line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Parse a trace from TSV text.
+pub fn parse_trace(text: &str) -> Result<FlowTrace, TraceError> {
+    let mut flows = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let parsed = (|| {
+            let src = fields.next()?.parse().ok()?;
+            let dst = fields.next()?.parse().ok()?;
+            let bytes = fields.next()?.parse().ok()?;
+            let arrival = fields.next()?.parse().ok()?;
+            if fields.next().is_some() {
+                return None; // trailing garbage
+            }
+            Some(Flow {
+                id: flows.len() as u64,
+                src,
+                dst,
+                bytes,
+                arrival,
+            })
+        })();
+        match parsed {
+            Some(f) if f.src != f.dst && f.bytes > 0 => flows.push(f),
+            _ => {
+                return Err(TraceError::Parse {
+                    line: i + 1,
+                    content: raw.to_string(),
+                })
+            }
+        }
+    }
+    Ok(FlowTrace::new(flows))
+}
+
+/// Render a trace as TSV text (inverse of [`parse_trace`]).
+pub fn format_trace(trace: &FlowTrace) -> String {
+    let mut out = String::from("# src\tdst\tbytes\tarrival_ns\n");
+    for f in trace.flows() {
+        writeln!(out, "{}\t{}\t{}\t{}", f.src, f.dst, f.bytes, f.arrival).unwrap();
+    }
+    out
+}
+
+/// Load a trace from a file.
+pub fn load_trace(path: impl AsRef<Path>) -> Result<FlowTrace, TraceError> {
+    parse_trace(&std::fs::read_to_string(path)?)
+}
+
+/// Save a trace to a file.
+pub fn save_trace(trace: &FlowTrace, path: impl AsRef<Path>) -> Result<(), TraceError> {
+    Ok(std::fs::write(path, format_trace(trace))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let t = FlowTrace::new(vec![
+            Flow { id: 0, src: 1, dst: 2, bytes: 1_000, arrival: 50 },
+            Flow { id: 1, src: 3, dst: 0, bytes: 99, arrival: 10 },
+        ]);
+        let text = format_trace(&t);
+        let back = parse_trace(&text).unwrap();
+        assert_eq!(back.flows(), t.flows());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let t = parse_trace("# header\n\n0 1 500 0\n  \n# tail\n2 3 100 7\n").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "0 1 500",          // missing arrival
+            "0 1 500 0 extra",  // trailing field
+            "0 0 500 0",        // self-loop
+            "0 1 0 0",          // zero bytes
+            "a b c d",          // not numbers
+        ] {
+            let err = parse_trace(bad).unwrap_err();
+            assert!(matches!(err, TraceError::Parse { line: 1, .. }), "{bad}");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = FlowTrace::new(vec![Flow {
+            id: 0,
+            src: 5,
+            dst: 9,
+            bytes: 12_345,
+            arrival: 777,
+        }]);
+        let path = std::env::temp_dir().join("negotiator_dcn_trace_test.tsv");
+        save_trace(&t, &path).unwrap();
+        let back = load_trace(&path).unwrap();
+        assert_eq!(back.flows(), t.flows());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn error_display() {
+        let err = parse_trace("bogus").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+}

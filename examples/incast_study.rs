@@ -1,0 +1,54 @@
+//! Incast study: how fast does each architecture absorb a many-to-one
+//! burst of latency-critical 1 KB flows? Reproduces the core of the
+//! paper's Figure 7(a) story: NegotiaToR's piggybacked predefined phase
+//! gives every sender a guaranteed packet per epoch, so finish time is
+//! flat in the incast degree, while the traffic-oblivious design pays the
+//! two-hop relay detour.
+//!
+//! ```text
+//! cargo run --release --example incast_study
+//! ```
+
+use metrics::RunReport;
+use negotiator_dcn::prelude::*;
+use workload::IncastWorkload;
+
+fn main() {
+    let net = NetworkConfig::paper_default();
+    let horizon = 2_000_000;
+    println!("degree  negotiator_us  oblivious_us");
+    for degree in [1usize, 5, 10, 20, 30, 40, 50] {
+        let trace = IncastWorkload {
+            degree,
+            flow_bytes: 1_000,
+            n_tors: net.n_tors,
+            start: 10_000,
+        }
+        .generate(degree as u64); // different burst placement per degree
+
+        let mut nego = NegotiatorSim::new(
+            NegotiatorConfig::paper_default(net.clone()),
+            TopologyKind::Parallel,
+        );
+        nego.run(&trace, horizon);
+        let n_finish = RunReport::burst_finish_time(&trace, nego.tracker())
+            .expect("negotiator must complete the incast");
+
+        let mut oblv = ObliviousSim::new(
+            ObliviousConfig::paper_default(net.clone()),
+            TopologyKind::ThinClos,
+        );
+        oblv.run(&trace, horizon);
+        let o_finish = RunReport::burst_finish_time(&trace, oblv.tracker())
+            .expect("oblivious must complete the incast");
+
+        println!(
+            "{degree:>6}  {:>13.2}  {:>12.2}",
+            n_finish as f64 / 1e3,
+            o_finish as f64 / 1e3
+        );
+    }
+    println!("\nNegotiaToR stays flat: the predefined phase guarantees every");
+    println!("sender one piggybacked packet per 3.66 us epoch, bypassing the");
+    println!("scheduling delay no matter how many senders burst at once.");
+}

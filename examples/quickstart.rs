@@ -1,0 +1,58 @@
+//! Quickstart: simulate NegotiaToR on the paper's 128-ToR parallel-network
+//! fabric under the Hadoop workload at 50% load, and print the headline
+//! metrics (99p mice FCT, goodput).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use negotiator_dcn::prelude::*;
+
+fn main() {
+    // The paper's evaluation fabric (§4.1): 128 ToRs × 8 × 100 Gbps
+    // uplinks (2× speedup over the 400 Gbps host aggregate), 2 µs one-way
+    // propagation delay.
+    let net = NetworkConfig::paper_default();
+
+    // Poisson flow arrivals, sizes drawn from the Meta Hadoop trace CDF,
+    // offered load 50% of the host aggregate.
+    let duration = 2_000_000; // 2 ms of simulated time
+    let trace = PoissonWorkload::new(WorkloadSpec {
+        dist: FlowSizeDist::hadoop(),
+        load: 0.5,
+        n_tors: net.n_tors,
+        host_bps: net.host_bandwidth.bps(),
+    })
+    .generate(duration, 42);
+    println!(
+        "workload: {} flows, {:.1} MB total, {} mice",
+        trace.len(),
+        trace.total_bytes() as f64 / 1e6,
+        trace.mice_count()
+    );
+
+    // NegotiaToR with the paper's defaults: 3.66 µs epochs, piggybacking
+    // and priority queues on.
+    let cfg = NegotiatorConfig::paper_default(net.clone());
+    let mut sim = NegotiatorSim::new(cfg, TopologyKind::Parallel);
+    let mut report = sim.run(&trace, duration);
+
+    println!("epoch length: {} ns", sim.epoch_len());
+    println!(
+        "mice FCT: p99 {:.1} us, mean {:.1} us ({} of {} mice completed)",
+        report.mice.p99_ns() / 1e3,
+        report.mice.mean_ns() / 1e3,
+        report.mice.completed,
+        report.mice.total
+    );
+    println!(
+        "goodput: {:.1} Gbps per ToR = {:.1}% of the host aggregate",
+        report.goodput.per_tor_gbps(),
+        report.goodput.normalized() * 100.0
+    );
+    println!(
+        "match ratio: {:.3} (theory at this scale: {:.3})",
+        sim.match_recorder().overall_ratio().unwrap_or(0.0),
+        negotiator_dcn::negotiator::theory::expected_match_efficiency(net.n_tors)
+    );
+}

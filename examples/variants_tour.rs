@@ -1,0 +1,78 @@
+//! Design-space tour: run every Appendix A.2 variant of the scheduler on
+//! the same workload and see why the paper's minimalist design wins —
+//! extra complexity does not buy proportionate performance.
+//!
+//! ```text
+//! cargo run --release --example variants_tour
+//! ```
+
+use negotiator::{SchedulerMode, SimOptions};
+use negotiator_dcn::prelude::*;
+
+fn main() {
+    let net = NetworkConfig::paper_default();
+    let duration = 2_000_000;
+    let trace = PoissonWorkload::new(WorkloadSpec {
+        dist: FlowSizeDist::hadoop(),
+        load: 0.75,
+        n_tors: net.n_tors,
+        host_bps: net.host_bandwidth.bps(),
+    })
+    .generate(duration, 21);
+
+    let variants: Vec<(&str, SimOptions)> = vec![
+        ("base (binary, stateless, 1 round)", SimOptions::default()),
+        (
+            "iterative x3 (A.2.1)",
+            SimOptions {
+                mode: SchedulerMode::Iterative { rounds: 3 },
+                ..SimOptions::default()
+            },
+        ),
+        (
+            "data-size requests (A.2.3)",
+            SimOptions {
+                mode: SchedulerMode::DataSize,
+                ..SimOptions::default()
+            },
+        ),
+        (
+            "HoL-delay requests (A.2.3)",
+            SimOptions {
+                mode: SchedulerMode::HolDelay { alpha: 0.001 },
+                ..SimOptions::default()
+            },
+        ),
+        (
+            "stateful matrices (A.2.4)",
+            SimOptions {
+                mode: SchedulerMode::Stateful,
+                ..SimOptions::default()
+            },
+        ),
+        (
+            "ProjecToR-style (A.2.5)",
+            SimOptions {
+                mode: SchedulerMode::Projector,
+                ..SimOptions::default()
+            },
+        ),
+    ];
+
+    println!("{:<36} {:>11} {:>9}", "scheduler", "mice_p99_us", "goodput");
+    for (label, opts) in variants {
+        let mut sim = NegotiatorSim::with_options(
+            NegotiatorConfig::paper_default(net.clone()),
+            TopologyKind::Parallel,
+            opts,
+        );
+        let mut report = sim.run(&trace, duration);
+        println!(
+            "{label:<36} {:>11.1} {:>9.3}",
+            report.mice.p99_ns() / 1e3,
+            report.goodput.normalized()
+        );
+    }
+    println!("\nThe selective-relay variant (A.2.2) targets thin-clos; see");
+    println!("`cargo run --release -p bench --bin paper -- table3`.");
+}

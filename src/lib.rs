@@ -1,0 +1,50 @@
+//! # negotiator-dcn
+//!
+//! Facade crate for the NegotiaToR reproduction (SIGCOMM 2024). Re-exports
+//! the workspace crates so examples and downstream users can depend on a
+//! single package:
+//!
+//! * [`sim`] — deterministic simulation substrate (time, events, RNG, stats).
+//! * [`topology`] — AWGR flat topologies (parallel network, thin-clos).
+//! * [`workload`] — flow-size distributions and traffic generators.
+//! * [`metrics`] — FCT / goodput / match-ratio recorders.
+//! * [`negotiator`] — the NegotiaToR architecture itself plus the appendix
+//!   design-space variants.
+//! * [`oblivious`] — the traffic-oblivious (Sirius-like) baseline.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use negotiator_dcn::prelude::*;
+//!
+//! // A small parallel-network fabric at 50% load for 200 µs.
+//! let net = NetworkConfig::small_for_tests();
+//! let trace = PoissonWorkload::new(WorkloadSpec {
+//!     dist: FlowSizeDist::hadoop(),
+//!     load: 0.5,
+//!     n_tors: net.n_tors,
+//!     host_bps: net.host_bandwidth.bps(),
+//! })
+//! .generate(200_000, 1);
+//! let cfg = NegotiatorConfig::paper_default(net);
+//! let mut sim = NegotiatorSim::new(cfg, TopologyKind::Parallel);
+//! let report = sim.run(&trace, 200_000);
+//! assert!(report.goodput.normalized() > 0.0);
+//! ```
+
+pub use metrics;
+pub use negotiator;
+pub use oblivious;
+pub use sim;
+pub use topology;
+pub use workload;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use metrics::{FctReport, RunReport};
+    pub use negotiator::{NegotiatorConfig, NegotiatorSim};
+    pub use oblivious::{ObliviousConfig, ObliviousSim};
+    pub use sim::{Nanos, Xoshiro256};
+    pub use topology::{NetworkConfig, TopologyKind};
+    pub use workload::{FlowSizeDist, PoissonWorkload, WorkloadSpec};
+}

@@ -1,0 +1,138 @@
+//! Property tests for the stateful components below the engines: the
+//! PIAS queue, the fault detector, the flow-size distributions and the
+//! bandwidth series.
+
+use negotiator::fault::{FaultDetector, DETECT_EPOCHS};
+use negotiator::queues::DestQueue;
+use proptest::prelude::*;
+use sim::{BandwidthSeries, Xoshiro256};
+use workload::FlowSizeDist;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Bytes in equal bytes out, for any enqueue pattern, PIAS on or off,
+    /// and any packet size.
+    #[test]
+    fn destqueue_conserves_bytes(
+        flows in prop::collection::vec((1u64..200_000, any::<bool>()), 1..40),
+        payload in 1u64..4096,
+        pias in any::<bool>(),
+    ) {
+        let mut q = DestQueue::new();
+        let mut total_in = 0u64;
+        for (i, &(bytes, relay)) in flows.iter().enumerate() {
+            if relay {
+                q.enqueue_relay(i as u64, bytes, i as u64);
+            } else {
+                q.enqueue_flow(i as u64, bytes, i as u64, pias, [1_000, 10_000]);
+            }
+            total_in += bytes;
+        }
+        prop_assert_eq!(q.total_bytes(), total_in);
+        let mut per_flow = std::collections::HashMap::new();
+        let mut total_out = 0u64;
+        while let Some(p) = q.dequeue_packet(payload) {
+            prop_assert!(p.bytes > 0 && p.bytes <= payload);
+            total_out += p.bytes;
+            *per_flow.entry(p.flow).or_insert(0u64) += p.bytes;
+        }
+        prop_assert_eq!(total_out, total_in);
+        prop_assert_eq!(q.total_bytes(), 0);
+        prop_assert_eq!(q.relayed_bytes(), 0);
+        for (i, &(bytes, _)) in flows.iter().enumerate() {
+            prop_assert_eq!(per_flow[&(i as u64)], bytes);
+        }
+    }
+
+    /// Level-targeted dequeues also conserve and never cross levels.
+    #[test]
+    fn destqueue_level_dequeues_conserve(
+        sizes in prop::collection::vec(1u64..50_000, 1..20),
+    ) {
+        let mut q = DestQueue::new();
+        let mut total = 0;
+        for (i, &b) in sizes.iter().enumerate() {
+            q.enqueue_flow(i as u64, b, 0, true, [1_000, 10_000]);
+            total += b;
+        }
+        let mut out = 0;
+        for level in 0..negotiator::queues::PRIORITY_LEVELS {
+            while let Some(p) = q.dequeue_level_packet(level, 1_115) {
+                prop_assert_eq!(p.priority, level);
+                out += p.bytes;
+            }
+            prop_assert_eq!(q.level_bytes(level), 0);
+        }
+        prop_assert_eq!(out, total);
+    }
+
+    /// The fault detector excludes a link only after `DETECT_EPOCHS`
+    /// consecutive misses and re-admits on the first success, whatever
+    /// the observation sequence.
+    #[test]
+    fn detector_tracks_consecutive_misses(observations in prop::collection::vec(any::<bool>(), 1..200)) {
+        let mut d = FaultDetector::new(2, 1);
+        let mut consecutive_misses = 0u32;
+        for &delivered in &observations {
+            d.observe_egress(0, 0, delivered);
+            consecutive_misses = if delivered { 0 } else { consecutive_misses + 1 };
+            prop_assert_eq!(
+                d.egress_excluded(0, 0),
+                consecutive_misses >= DETECT_EPOCHS,
+                "after misses {}", consecutive_misses
+            );
+        }
+    }
+
+    /// Flow-size quantile is the inverse of the CDF within support:
+    /// fraction_below(quantile(u)) ≈ u.
+    #[test]
+    fn dist_quantile_inverts_cdf(u in 0.001f64..0.999, which in 0usize..3) {
+        let d = match which {
+            0 => FlowSizeDist::hadoop(),
+            1 => FlowSizeDist::web_search(),
+            _ => FlowSizeDist::google(),
+        };
+        let x = d.quantile(u) as f64;
+        let back = d.fraction_below(x);
+        // Rounding to whole bytes costs precision at the tiny end.
+        prop_assert!((back - u).abs() < 0.05, "u {} -> x {} -> {}", u, x, back);
+    }
+
+    /// Sampling never leaves the distribution's support and the empirical
+    /// mice fraction tracks the CDF.
+    #[test]
+    fn dist_samples_within_support(seed in any::<u64>()) {
+        let d = FlowSizeDist::hadoop();
+        let mut rng = Xoshiro256::new(seed);
+        let n = 2_000;
+        let mut mice = 0;
+        for _ in 0..n {
+            let s = d.sample(&mut rng);
+            prop_assert!((1..=10_000_000).contains(&s));
+            if s < 10_000 {
+                mice += 1;
+            }
+        }
+        let frac = mice as f64 / n as f64;
+        let expect = d.fraction_below(10_000.0);
+        prop_assert!((frac - expect).abs() < 0.06, "mice {} vs {}", frac, expect);
+    }
+
+    /// Bandwidth series: total bytes recorded equals the sum over windows,
+    /// independent of the record pattern.
+    #[test]
+    fn series_conserves_bytes(
+        window in 1u64..10_000,
+        events in prop::collection::vec((0u64..1_000_000, 0u64..100_000), 0..50),
+    ) {
+        let mut s = BandwidthSeries::new(window);
+        let mut total = 0u64;
+        for &(at, bytes) in &events {
+            s.record(at, bytes);
+            total += bytes;
+        }
+        prop_assert_eq!(s.bytes_per_window().iter().sum::<u64>(), total);
+    }
+}

@@ -1,0 +1,122 @@
+//! Byte-conservation and determinism properties of the two full engines:
+//! nothing is ever delivered twice, everything offered is eventually
+//! delivered (absent failures), and a seed pins the whole run.
+
+use negotiator::{NegotiatorConfig, NegotiatorSim, SchedulerMode, SimOptions};
+use oblivious::{ObliviousConfig, ObliviousSim};
+use proptest::prelude::*;
+use topology::{NetworkConfig, TopologyKind};
+use workload::{FlowSizeDist, PoissonWorkload, WorkloadSpec};
+
+fn trace(load: f64, duration: u64, seed: u64) -> workload::FlowTrace {
+    PoissonWorkload::new(WorkloadSpec {
+        dist: FlowSizeDist::hadoop(),
+        load,
+        n_tors: 16,
+        host_bps: 200_000_000_000,
+    })
+    .generate(duration, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// With a generous drain horizon and no failures, NegotiaToR delivers
+    /// every byte of every flow exactly once, on both topologies.
+    #[test]
+    fn negotiator_conserves_bytes(
+        seed in any::<u64>(),
+        load in 0.1f64..0.7,
+        kind_pick in any::<bool>(),
+    ) {
+        let kind = if kind_pick { TopologyKind::Parallel } else { TopologyKind::ThinClos };
+        let gen_window = 300_000u64;
+        let horizon = 60_000_000u64; // engines exit early once drained
+        let t = trace(load, gen_window, seed);
+        let mut sim = NegotiatorSim::new(
+            NegotiatorConfig::paper_default(NetworkConfig::small_for_tests()),
+            kind,
+        );
+        sim.run(&t, horizon);
+        // FlowTracker::deliver panics on over-delivery, so completion of
+        // every flow here implies exactly-once byte accounting.
+        prop_assert_eq!(sim.tracker().completed_count(), t.len());
+        prop_assert_eq!(sim.tracker().delivered_payload(), t.total_bytes());
+    }
+
+    /// Same conservation for the traffic-oblivious baseline (its VLB path
+    /// must neither lose nor duplicate relayed chunks).
+    #[test]
+    fn oblivious_conserves_bytes(seed in any::<u64>(), load in 0.1f64..0.7) {
+        let gen_window = 300_000u64;
+        let horizon = 120_000_000u64;
+        let t = trace(load, gen_window, seed);
+        let mut sim = ObliviousSim::new(
+            ObliviousConfig::paper_default(NetworkConfig::small_for_tests()),
+            TopologyKind::ThinClos,
+        );
+        sim.run(&t, horizon);
+        prop_assert_eq!(sim.tracker().completed_count(), t.len());
+        prop_assert_eq!(sim.tracker().delivered_payload(), t.total_bytes());
+    }
+
+    /// Variant schedulers also conserve bytes.
+    #[test]
+    fn variants_conserve_bytes(seed in any::<u64>(), mode_pick in 0usize..5) {
+        let mode = [
+            SchedulerMode::Iterative { rounds: 3 },
+            SchedulerMode::DataSize,
+            SchedulerMode::HolDelay { alpha: 0.001 },
+            SchedulerMode::Stateful,
+            SchedulerMode::Projector,
+        ][mode_pick];
+        let t = trace(0.4, 200_000, seed);
+        let mut sim = NegotiatorSim::with_options(
+            NegotiatorConfig::paper_default(NetworkConfig::small_for_tests()),
+            TopologyKind::Parallel,
+            SimOptions { mode, ..SimOptions::default() },
+        );
+        sim.run(&t, 60_000_000);
+        prop_assert_eq!(sim.tracker().completed_count(), t.len(), "{:?}", mode);
+    }
+}
+
+#[test]
+fn selective_relay_conserves_bytes() {
+    let t = trace(0.5, 400_000, 77);
+    let mut sim = NegotiatorSim::with_options(
+        NegotiatorConfig::paper_default(NetworkConfig::small_for_tests()),
+        TopologyKind::ThinClos,
+        SimOptions {
+            selective_relay: true,
+            ..SimOptions::default()
+        },
+    );
+    sim.run(&t, 120_000_000);
+    assert_eq!(sim.tracker().completed_count(), t.len());
+    assert_eq!(sim.tracker().delivered_payload(), t.total_bytes());
+}
+
+#[test]
+fn engines_are_deterministic_end_to_end() {
+    let t = trace(0.6, 400_000, 5);
+    let run_nego = || {
+        let mut sim = NegotiatorSim::new(
+            NegotiatorConfig::paper_default(NetworkConfig::small_for_tests()),
+            TopologyKind::Parallel,
+        );
+        let mut rep = sim.run(&t, 2_000_000);
+        (rep.mice.p99_ns(), rep.goodput.delivered_bytes)
+    };
+    assert_eq!(run_nego(), run_nego());
+
+    let run_oblv = || {
+        let mut sim = ObliviousSim::new(
+            ObliviousConfig::paper_default(NetworkConfig::small_for_tests()),
+            TopologyKind::ThinClos,
+        );
+        let mut rep = sim.run(&t, 2_000_000);
+        (rep.mice.p99_ns(), rep.goodput.delivered_bytes)
+    };
+    assert_eq!(run_oblv(), run_oblv());
+}

@@ -1,0 +1,196 @@
+//! Edge cases of the full engines: degenerate fabrics, empty traces,
+//! boundary-sized flows, horizon boundaries, and odd configurations.
+
+use negotiator::{NegotiatorConfig, NegotiatorSim, SchedulerMode, SimOptions};
+use oblivious::{ObliviousConfig, ObliviousSim};
+use topology::{NetworkConfig, TopologyKind};
+use workload::{Flow, FlowTrace};
+
+fn tiny_net() -> NetworkConfig {
+    // The smallest fabric both topologies accept: 4 ToRs × 2 ports.
+    NetworkConfig {
+        n_tors: 4,
+        n_ports: 2,
+        ..NetworkConfig::small_for_tests()
+    }
+}
+
+fn flow(src: usize, dst: usize, bytes: u64, arrival: u64) -> Flow {
+    Flow {
+        id: 0,
+        src,
+        dst,
+        bytes,
+        arrival,
+    }
+}
+
+#[test]
+fn empty_trace_is_a_noop() {
+    for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
+        let mut s = NegotiatorSim::new(NegotiatorConfig::paper_default(tiny_net()), kind);
+        let report = s.run(&FlowTrace::default(), 100_000);
+        assert_eq!(report.all.total, 0);
+        assert_eq!(report.goodput.delivered_bytes, 0);
+    }
+    let mut s = ObliviousSim::new(ObliviousConfig::paper_default(tiny_net()), TopologyKind::ThinClos);
+    let report = s.run(&FlowTrace::default(), 100_000);
+    assert_eq!(report.goodput.delivered_bytes, 0);
+}
+
+#[test]
+fn one_byte_flow_completes_everywhere() {
+    let t = FlowTrace::new(vec![flow(0, 1, 1, 0)]);
+    for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
+        let mut s = NegotiatorSim::new(NegotiatorConfig::paper_default(tiny_net()), kind);
+        s.run(&t, 5_000_000);
+        assert_eq!(s.tracker().completed_count(), 1, "{kind:?}");
+    }
+    let mut s = ObliviousSim::new(ObliviousConfig::paper_default(tiny_net()), TopologyKind::ThinClos);
+    s.run(&t, 5_000_000);
+    assert_eq!(s.tracker().completed_count(), 1);
+}
+
+#[test]
+fn flow_arriving_after_horizon_never_starts() {
+    let t = FlowTrace::new(vec![flow(0, 1, 1_000, 10_000_000)]);
+    let mut s = NegotiatorSim::new(NegotiatorConfig::paper_default(tiny_net()), TopologyKind::Parallel);
+    let report = s.run(&t, 1_000_000);
+    assert_eq!(report.all.completed, 0);
+    assert_eq!(report.goodput.delivered_bytes, 0);
+}
+
+#[test]
+fn tiny_fabric_all_to_all_drains() {
+    // Every pair of the 4-ToR fabric loaded simultaneously.
+    let mut flows = Vec::new();
+    for src in 0..4 {
+        for dst in 0..4 {
+            if src != dst {
+                flows.push(flow(src, dst, 40_000, 0));
+            }
+        }
+    }
+    let t = FlowTrace::new(flows);
+    for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
+        let mut s = NegotiatorSim::new(NegotiatorConfig::paper_default(tiny_net()), kind);
+        s.run(&t, 50_000_000);
+        assert_eq!(s.tracker().completed_count(), t.len(), "{kind:?}");
+        assert_eq!(s.tracker().delivered_payload(), t.total_bytes());
+    }
+}
+
+#[test]
+fn exactly_threshold_sized_queue_relies_on_piggyback_alone() {
+    // §3.4.1: requests fire only *above* three piggybacked packets. A flow
+    // of exactly 3 × 595 B must still complete (via piggybacking), just
+    // without ever being granted.
+    let cfg = NegotiatorConfig::paper_default(tiny_net());
+    let threshold = cfg.request_threshold_bytes();
+    let t = FlowTrace::new(vec![flow(0, 1, threshold, 0)]);
+    let mut s = NegotiatorSim::new(cfg, TopologyKind::Parallel);
+    s.run(&t, 50_000_000);
+    assert_eq!(s.tracker().completed_count(), 1);
+    assert_eq!(s.stats().requests_sent, 0, "never above threshold");
+    assert_eq!(s.stats().scheduled_packets, 0);
+    assert!(s.stats().piggyback_packets >= 3);
+}
+
+#[test]
+fn threshold_plus_one_byte_does_request() {
+    let cfg = NegotiatorConfig::paper_default(tiny_net());
+    let threshold = cfg.request_threshold_bytes();
+    let t = FlowTrace::new(vec![flow(0, 1, threshold + 1, 0)]);
+    let mut s = NegotiatorSim::new(cfg, TopologyKind::Parallel);
+    s.run(&t, 50_000_000);
+    assert_eq!(s.tracker().completed_count(), 1);
+    assert!(s.stats().requests_sent > 0);
+}
+
+#[test]
+fn no_piggyback_no_pq_still_drains() {
+    let mut cfg = NegotiatorConfig::paper_default(tiny_net());
+    cfg.piggyback = false;
+    cfg.priority_queues = false;
+    let t = FlowTrace::new(vec![flow(2, 3, 123_456, 777)]);
+    let mut s = NegotiatorSim::new(cfg, TopologyKind::ThinClos);
+    s.run(&t, 50_000_000);
+    assert_eq!(s.tracker().completed_count(), 1);
+    assert_eq!(s.stats().piggyback_packets, 0);
+}
+
+#[test]
+fn variants_work_on_thin_clos_too() {
+    let t = FlowTrace::new(vec![flow(0, 3, 80_000, 0), flow(1, 3, 80_000, 0)]);
+    for mode in [
+        SchedulerMode::Iterative { rounds: 2 },
+        SchedulerMode::DataSize,
+        SchedulerMode::HolDelay { alpha: 0.001 },
+        SchedulerMode::Stateful,
+        SchedulerMode::Projector,
+    ] {
+        let mut s = NegotiatorSim::with_options(
+            NegotiatorConfig::paper_default(tiny_net()),
+            TopologyKind::ThinClos,
+            SimOptions {
+                mode,
+                ..SimOptions::default()
+            },
+        );
+        s.run(&t, 50_000_000);
+        assert_eq!(s.tracker().completed_count(), 2, "{mode:?}");
+    }
+}
+
+#[test]
+fn scheduled_phase_of_one_slot_works() {
+    let mut cfg = NegotiatorConfig::paper_default(tiny_net());
+    cfg.epoch.scheduled_slots = 1;
+    let t = FlowTrace::new(vec![flow(0, 2, 50_000, 0)]);
+    let mut s = NegotiatorSim::new(cfg, TopologyKind::Parallel);
+    s.run(&t, 100_000_000);
+    assert_eq!(s.tracker().completed_count(), 1);
+}
+
+#[test]
+fn oblivious_without_pq_on_tiny_fabric() {
+    let mut cfg = ObliviousConfig::paper_default(tiny_net());
+    cfg.priority_queues = false;
+    let t = FlowTrace::new(vec![flow(0, 1, 30_000, 0), flow(2, 1, 500, 0)]);
+    let mut s = ObliviousSim::new(cfg, TopologyKind::ThinClos);
+    s.run(&t, 50_000_000);
+    assert_eq!(s.tracker().completed_count(), 2);
+    assert_eq!(s.tracker().delivered_payload(), 30_500);
+}
+
+#[test]
+fn two_flows_same_pair_preserve_order_per_flow() {
+    // In-order per flow (§3.6.5): with PQ off, flow 0's bytes must all
+    // arrive before flow 1's first byte (same pair, FIFO).
+    let mut cfg = NegotiatorConfig::paper_default(tiny_net());
+    cfg.priority_queues = false;
+    cfg.piggyback = false;
+    let t = FlowTrace::new(vec![flow(0, 1, 20_000, 0), flow(0, 1, 1_000, 10)]);
+    let mut s = NegotiatorSim::new(cfg, TopologyKind::Parallel);
+    s.run(&t, 50_000_000);
+    let first_done = s.tracker().completion(0).unwrap();
+    let second_done = s.tracker().completion(1).unwrap();
+    assert!(first_done <= second_done);
+}
+
+#[test]
+fn host_buffer_smaller_than_packet_still_progresses() {
+    let t = FlowTrace::new(vec![flow(0, 1, 50_000, 0)]);
+    let mut s = NegotiatorSim::with_options(
+        NegotiatorConfig::paper_default(tiny_net()),
+        TopologyKind::Parallel,
+        SimOptions {
+            host_buffer_bytes: Some(100), // pathological: always backpressured
+            ..SimOptions::default()
+        },
+    );
+    s.run(&t, 200_000_000);
+    // Piggybacking is not subject to grant backpressure, so the flow still
+    // drains, just slowly.
+    assert_eq!(s.tracker().completed_count(), 1);
+}

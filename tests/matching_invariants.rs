@@ -1,0 +1,210 @@
+//! Property-based tests of the core scheduling invariants, across random
+//! network sizes, request patterns and seeds.
+//!
+//! The one invariant everything rests on (§3.2): whatever the demand
+//! pattern, the REQUEST → GRANT → ACCEPT pipeline must emit a matching
+//! that is physically realizable on the bufferless fabric — no egress
+//! port double-booked, no ingress port hearing two lasers, no
+//! unreachable path.
+
+use negotiator::matching::{AcceptArbiter, Grant, GrantArbiter};
+use negotiator::rings::Ring;
+use negotiator::variants::iterative::IterativeMatcher;
+use proptest::prelude::*;
+use sim::Xoshiro256;
+use topology::{
+    validate_matching, AnyTopology, MatchEntry, NetworkConfig, Topology, TopologyKind,
+};
+
+/// A random but always-valid network shape (thin-clos needs n_tors to be
+/// a multiple of n_ports).
+fn arb_net() -> impl Strategy<Value = NetworkConfig> {
+    (2usize..=8, 2usize..=8).prop_map(|(ports, groups)| NetworkConfig {
+        n_tors: ports * groups,
+        n_ports: ports,
+        ..NetworkConfig::small_for_tests()
+    })
+}
+
+fn arb_kind() -> impl Strategy<Value = TopologyKind> {
+    prop_oneof![Just(TopologyKind::Parallel), Just(TopologyKind::ThinClos)]
+}
+
+/// Run one full GRANT/ACCEPT cycle over an arbitrary request matrix.
+fn one_cycle(
+    topo: &AnyTopology,
+    requests: &[Vec<usize>],
+    seed: u64,
+    rounds: usize,
+) -> Vec<MatchEntry> {
+    let n = topo.net().n_tors;
+    let s = topo.net().n_ports;
+    let mut rng = Xoshiro256::new(seed);
+    let mut grant_arbs: Vec<GrantArbiter> =
+        (0..n).map(|d| GrantArbiter::new(topo, d, &mut rng)).collect();
+    let mut accept_arbs: Vec<AcceptArbiter> =
+        (0..n).map(|t| AcceptArbiter::new(topo, t, &mut rng)).collect();
+    if rounds > 1 {
+        let accepted =
+            IterativeMatcher::compute(topo, requests, &mut grant_arbs, &mut accept_arbs, rounds);
+        return accepted
+            .iter()
+            .enumerate()
+            .flat_map(|(src, v)| {
+                v.iter().map(move |a| MatchEntry {
+                    src,
+                    port: a.port,
+                    dst: a.dst,
+                })
+            })
+            .collect();
+    }
+    let mut grants_by_src: Vec<Vec<Grant>> = vec![Vec::new(); n];
+    for dst in 0..n {
+        for (src, port) in grant_arbs[dst].grant(s, &requests[dst], |_, _| true) {
+            grants_by_src[src].push(Grant { dst, port });
+        }
+    }
+    let mut out = Vec::new();
+    for src in 0..n {
+        for a in accept_arbs[src].accept(s, &grants_by_src[src], |_, _| true) {
+            out.push(MatchEntry {
+                src,
+                port: a.port,
+                dst: a.dst,
+            });
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any request pattern on any topology yields a collision-free matching.
+    #[test]
+    fn matching_is_always_collision_free(
+        net in arb_net(),
+        kind in arb_kind(),
+        seed in any::<u64>(),
+        density in 0.05f64..1.0,
+    ) {
+        let topo = AnyTopology::build(kind, net.clone());
+        let n = net.n_tors;
+        let mut rng = Xoshiro256::new(seed);
+        let requests: Vec<Vec<usize>> = (0..n)
+            .map(|dst| {
+                (0..n)
+                    .filter(|&src| src != dst && rng.next_f64() < density)
+                    .collect()
+            })
+            .collect();
+        let matches = one_cycle(&topo, &requests, seed ^ 0xA5, 1);
+        prop_assert!(validate_matching(&topo, &matches).is_ok());
+        // Every match must answer an actual request.
+        for m in &matches {
+            prop_assert!(requests[m.dst].contains(&m.src));
+        }
+    }
+
+    /// Iterative matching (any round count) stays collision-free and
+    /// never matches fewer ports than it did the round before.
+    #[test]
+    fn iterative_matching_is_monotone_and_valid(
+        net in arb_net(),
+        kind in arb_kind(),
+        seed in any::<u64>(),
+        rounds in 1usize..=5,
+    ) {
+        let topo = AnyTopology::build(kind, net.clone());
+        let n = net.n_tors;
+        let requests: Vec<Vec<usize>> = (0..n)
+            .map(|dst| (0..n).filter(|&s| s != dst).collect())
+            .collect();
+        let one = one_cycle(&topo, &requests, seed, 1);
+        let many = one_cycle(&topo, &requests, seed, rounds);
+        prop_assert!(validate_matching(&topo, &many).is_ok());
+        prop_assert!(many.len() >= one.len().min(many.len()));
+    }
+
+    /// The predefined phase connects every ordered pair exactly once per
+    /// round, collision-free, under any rotation — for any fabric shape.
+    #[test]
+    fn predefined_round_is_perfect(
+        net in arb_net(),
+        kind in arb_kind(),
+        rot in 0u64..64,
+    ) {
+        let topo = AnyTopology::build(kind, net.clone());
+        let n = net.n_tors;
+        let s = net.n_ports;
+        let mut pair_count = vec![0u32; n * n];
+        for slot in 0..topo.predefined_slots() {
+            let mut ingress = vec![false; n * s];
+            for tor in 0..n {
+                for port in 0..s {
+                    if let Some(dst) = topo.predefined_dst(rot, slot, tor, port) {
+                        prop_assert_ne!(dst, tor);
+                        prop_assert_eq!(topo.predefined_src(rot, slot, dst, port), Some(tor));
+                        pair_count[tor * n + dst] += 1;
+                        let key = dst * s + port;
+                        prop_assert!(!ingress[key], "ingress collision");
+                        ingress[key] = true;
+                    }
+                }
+            }
+        }
+        for src in 0..n {
+            for dst in 0..n {
+                let expect = u32::from(src != dst);
+                prop_assert_eq!(pair_count[src * n + dst], expect,
+                    "pair ({}, {}) seen {} times", src, dst, pair_count[src * n + dst]);
+            }
+        }
+    }
+
+    /// Ring arbiters never pick non-candidates and never starve a
+    /// persistent candidate.
+    #[test]
+    fn ring_is_fair_and_sound(
+        members in prop::collection::btree_set(0usize..64, 2..32),
+        seed in any::<u64>(),
+    ) {
+        let members: Vec<usize> = members.into_iter().collect();
+        let mut rng = Xoshiro256::new(seed);
+        let mut ring = Ring::new(members.clone(), &mut rng);
+        let candidates: Vec<usize> = members.iter().copied().step_by(2).collect();
+        let mut counts = std::collections::HashMap::new();
+        let rounds = candidates.len() * 10;
+        for _ in 0..rounds {
+            let pick = ring.pick(&candidates).expect("candidates exist");
+            prop_assert!(candidates.contains(&pick));
+            *counts.entry(pick).or_insert(0usize) += 1;
+        }
+        // Perfect round-robin: every persistent candidate is served the
+        // same number of times (up to the partial first lap).
+        let min = counts.values().min().copied().unwrap_or(0);
+        let max = counts.values().max().copied().unwrap_or(0);
+        prop_assert!(max - min <= 1, "counts {:?}", counts);
+        prop_assert_eq!(counts.len(), candidates.len());
+    }
+
+    /// Thin-clos structure: each ordered pair is reachable through exactly
+    /// one port, and grant scopes partition the sources.
+    #[test]
+    fn thin_clos_single_path(net in arb_net(), dst_pick in any::<u64>()) {
+        let topo = AnyTopology::build(TopologyKind::ThinClos, net.clone());
+        let n = net.n_tors;
+        let dst = (dst_pick % n as u64) as usize;
+        let mut covered = vec![0u32; n];
+        for port in 0..net.n_ports {
+            for src in topo.grant_scope(dst, port) {
+                prop_assert!(topo.port_reaches(src, port, dst));
+                covered[src] += 1;
+            }
+        }
+        for (src, &c) in covered.iter().enumerate() {
+            prop_assert_eq!(c, u32::from(src != dst));
+        }
+    }
+}
