@@ -98,7 +98,7 @@ impl FlowTracker {
 }
 
 /// FCT statistics over one class of flows.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FctReport {
     /// Full FCT distribution in nanoseconds.
     pub cdf: Cdf,
@@ -130,7 +130,7 @@ impl FctReport {
 }
 
 /// Goodput over a run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GoodputReport {
     /// Payload bytes delivered to destination ToRs.
     pub delivered_bytes: u64,
@@ -159,7 +159,7 @@ impl GoodputReport {
 }
 
 /// Everything a simulator run produces.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// FCT of mice flows (< 10 KB).
     pub mice: FctReport,

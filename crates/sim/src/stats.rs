@@ -78,6 +78,26 @@ pub struct Cdf {
     sorted: bool,
 }
 
+/// Two distributions are equal when they hold the same multiset of
+/// samples; insertion order and lazy-sort state don't matter. Used by the
+/// determinism tests to compare whole reports across runs.
+impl PartialEq for Cdf {
+    fn eq(&self, other: &Self) -> bool {
+        if self.samples.len() != other.samples.len() {
+            return false;
+        }
+        if self.sorted && other.sorted {
+            return self.samples == other.samples;
+        }
+        let sort = |samples: &[f64]| {
+            let mut v = samples.to_vec();
+            v.sort_unstable_by(f64::total_cmp);
+            v
+        };
+        sort(&self.samples) == sort(&other.samples)
+    }
+}
+
 impl Cdf {
     /// Empty distribution.
     pub fn new() -> Self {

@@ -30,7 +30,7 @@ impl Flow {
 }
 
 /// A time-sorted collection of flows, the unit handed to a simulator run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FlowTrace {
     flows: Vec<Flow>,
 }
