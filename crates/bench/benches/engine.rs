@@ -27,10 +27,12 @@ fn grant_accept_cycle(c: &mut Criterion) {
     let n = topo.net().n_tors;
     let s = topo.net().n_ports;
     let mut rng = Xoshiro256::new(2);
-    let mut grant_arbs: Vec<GrantArbiter> =
-        (0..n).map(|d| GrantArbiter::new(&topo, d, &mut rng)).collect();
-    let mut accept_arbs: Vec<AcceptArbiter> =
-        (0..n).map(|t| AcceptArbiter::new(&topo, t, &mut rng)).collect();
+    let mut grant_arbs: Vec<GrantArbiter> = (0..n)
+        .map(|d| GrantArbiter::new(&topo, d, &mut rng))
+        .collect();
+    let mut accept_arbs: Vec<AcceptArbiter> = (0..n)
+        .map(|t| AcceptArbiter::new(&topo, t, &mut rng))
+        .collect();
     let requests: Vec<usize> = (0..n).collect();
     c.bench_function("grant_accept_cycle_128tors_saturated", |b| {
         b.iter(|| {

@@ -90,7 +90,13 @@ fn fig7a_incast(c: &mut Criterion) {
     .generate(3);
     c.bench_function("fig7a_incast", |b| {
         b.iter_batched(
-            || nego(NegotiatorConfig::paper_default(net()), TopologyKind::Parallel, SimOptions::default()),
+            || {
+                nego(
+                    NegotiatorConfig::paper_default(net()),
+                    TopologyKind::Parallel,
+                    SimOptions::default(),
+                )
+            },
             |mut sim| sim.run(&tr, DURATION),
             BatchSize::SmallInput,
         )
@@ -106,7 +112,13 @@ fn fig7b_alltoall(c: &mut Criterion) {
     .generate();
     c.bench_function("fig7b_alltoall", |b| {
         b.iter_batched(
-            || nego(NegotiatorConfig::paper_default(net()), TopologyKind::ThinClos, SimOptions::default()),
+            || {
+                nego(
+                    NegotiatorConfig::paper_default(net()),
+                    TopologyKind::ThinClos,
+                    SimOptions::default(),
+                )
+            },
             |mut sim| sim.run(&tr, DURATION),
             BatchSize::SmallInput,
         )
@@ -142,7 +154,12 @@ fn fig9_main_result(c: &mut Criterion) {
     );
     c.bench_function("fig9_oblivious_75pct", |b| {
         b.iter_batched(
-            || ObliviousSim::new(ObliviousConfig::paper_default(net()), TopologyKind::ThinClos),
+            || {
+                ObliviousSim::new(
+                    ObliviousConfig::paper_default(net()),
+                    TopologyKind::ThinClos,
+                )
+            },
             |mut sim| sim.run(&tr, DURATION),
             BatchSize::SmallInput,
         )
@@ -162,7 +179,13 @@ fn fig10_failures(c: &mut Criterion) {
                         ..SimOptions::default()
                     },
                 );
-                sim.schedule_failure(DURATION / 3, FailureAction::FailRandom { ratio: 0.05, seed: 5 });
+                sim.schedule_failure(
+                    DURATION / 3,
+                    FailureAction::FailRandom {
+                        ratio: 0.05,
+                        seed: 5,
+                    },
+                );
                 sim.schedule_failure(2 * DURATION / 3, FailureAction::RepairAll);
                 sim
             },
@@ -186,7 +209,13 @@ fn fig11_no_speedup(c: &mut Criterion) {
     .generate(DURATION, 13);
     c.bench_function("fig11_no_speedup", |b| {
         b.iter_batched(
-            || nego(NegotiatorConfig::paper_default(flat.clone()), TopologyKind::Parallel, SimOptions::default()),
+            || {
+                nego(
+                    NegotiatorConfig::paper_default(flat.clone()),
+                    TopologyKind::Parallel,
+                    SimOptions::default(),
+                )
+            },
             |mut sim| sim.run(&tr, DURATION),
             BatchSize::SmallInput,
         )
@@ -409,7 +438,13 @@ fn figs17_19_observability(c: &mut Criterion) {
                         ..SimOptions::default()
                     },
                 );
-                sim.schedule_failure(DURATION / 3, FailureAction::FailRandom { ratio: 0.1, seed: 3 });
+                sim.schedule_failure(
+                    DURATION / 3,
+                    FailureAction::FailRandom {
+                        ratio: 0.1,
+                        seed: 3,
+                    },
+                );
                 sim.schedule_failure(2 * DURATION / 3, FailureAction::RepairAll);
                 sim
             },

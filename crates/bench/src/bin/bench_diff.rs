@@ -1,0 +1,163 @@
+//! Compare two sweep-result directories and gate on regressions.
+//!
+//! ```text
+//! bench-diff <baseline-dir> <current-dir> [--tolerance PCT]
+//! ```
+//!
+//! Reads every `<id>.json` the baseline directory holds (as written by
+//! `paper --json --out DIR`), finds the matching file in the current
+//! directory, and compares all numeric metrics run by run. Exits 1 when
+//! any metric moved more than the tolerance (default 5%), when runs or
+//! metrics appear/vanish, or when a baseline file has no current
+//! counterpart; wall-clock fields are ignored. Experiments present only
+//! in the current directory are reported but do not fail the gate — new
+//! experiments need a baseline refresh, not a red build.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use bench::results::diff_reports;
+use metrics::Json;
+
+struct Options {
+    baseline: PathBuf,
+    current: PathBuf,
+    tolerance_pct: f64,
+}
+
+fn main() -> ExitCode {
+    let options = match parse(std::env::args().skip(1).collect()) {
+        Ok(options) => options,
+        Err(error) => {
+            eprintln!("error: {error}");
+            eprintln!("usage: bench-diff <baseline-dir> <current-dir> [--tolerance PCT]");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_files = match result_files(&options.baseline) {
+        Ok(files) => files,
+        Err(error) => {
+            eprintln!("error: reading {}: {error}", options.baseline.display());
+            return ExitCode::from(2);
+        }
+    };
+    if baseline_files.is_empty() {
+        eprintln!(
+            "error: no .json result files in {}",
+            options.baseline.display()
+        );
+        return ExitCode::from(2);
+    }
+    let mut failures: Vec<String> = Vec::new();
+    let mut compared = 0usize;
+    for file in &baseline_files {
+        let id = file.file_stem().and_then(|s| s.to_str()).unwrap_or("?");
+        let current_path = options.current.join(file.file_name().expect("file name"));
+        if !current_path.exists() {
+            failures.push(format!(
+                "{id}: baseline file {} has no counterpart in {}",
+                file.display(),
+                options.current.display()
+            ));
+            continue;
+        }
+        match (load(file), load(&current_path)) {
+            (Ok(baseline), Ok(current)) => {
+                let diffs = diff_reports(id, &baseline, &current, options.tolerance_pct);
+                println!(
+                    "{id}: {} ({} runs)",
+                    if diffs.is_empty() { "OK" } else { "REGRESSED" },
+                    baseline
+                        .get("runs")
+                        .and_then(Json::as_array)
+                        .map_or(0, <[Json]>::len),
+                );
+                failures.extend(diffs);
+                compared += 1;
+            }
+            (Err(error), _) => failures.push(format!("{id}: parsing baseline: {error}")),
+            (_, Err(error)) => failures.push(format!("{id}: parsing current: {error}")),
+        }
+    }
+    // Extra files in current are informational only.
+    if let Ok(current_files) = result_files(&options.current) {
+        for file in current_files {
+            if !options
+                .baseline
+                .join(file.file_name().expect("name"))
+                .exists()
+            {
+                println!(
+                    "note: {} has no baseline (refresh results/baseline to start gating it)",
+                    file.display()
+                );
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "bench-diff: {compared} experiment(s) within {}% tolerance",
+            options.tolerance_pct
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!();
+        for failure in &failures {
+            eprintln!("FAIL {failure}");
+        }
+        eprintln!(
+            "bench-diff: {} regression(s) beyond {}% tolerance",
+            failures.len(),
+            options.tolerance_pct
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn parse(argv: Vec<String>) -> Result<Options, String> {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut tolerance_pct = 5.0;
+    let mut it = argv.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                let v = it.next().ok_or("--tolerance needs a value")?;
+                tolerance_pct = v
+                    .parse()
+                    .map_err(|_| format!("--tolerance: '{v}' is not a number"))?;
+                if !(0.0..=1000.0).contains(&tolerance_pct) {
+                    return Err(format!("--tolerance: {tolerance_pct} out of range"));
+                }
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            dir => dirs.push(PathBuf::from(dir)),
+        }
+    }
+    if dirs.len() != 2 {
+        return Err(format!("expected 2 directories, got {}", dirs.len()));
+    }
+    let current = dirs.pop().expect("two dirs");
+    let baseline = dirs.pop().expect("two dirs");
+    Ok(Options {
+        baseline,
+        current,
+        tolerance_pct,
+    })
+}
+
+/// All `*.json` files directly inside `dir`, sorted by name for stable
+/// output.
+fn result_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|path| path.extension().is_some_and(|e| e == "json") && path.is_file())
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    Json::parse(&text)
+}

@@ -16,7 +16,10 @@ use topology::{NetworkConfig, TopologyKind};
 use workload::FlowSizeDist;
 
 fn main() {
-    let duration: u64 = std::env::args().nth(1).map(|a| a.parse().unwrap()).unwrap_or(2_000_000);
+    let duration: u64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().unwrap())
+        .unwrap_or(2_000_000);
     let net = NetworkConfig::paper_default();
     for load in [0.25, 0.5, 1.0] {
         let trace = background(FlowSizeDist::hadoop(), load, &net, duration);
@@ -31,13 +34,10 @@ fn main() {
         let tn = t0.elapsed();
         let t1 = std::time::Instant::now();
         let mut ocfg = ObliviousConfig::paper_default(net.clone());
-        if let Some(pk) = std::env::args().nth(2) { ocfg.relay_pair_packets = pk.parse().unwrap(); }
-        let (mut ro, _) = run_oblivious(
-            ocfg,
-            TopologyKind::ThinClos,
-            &trace,
-            duration,
-        );
+        if let Some(pk) = std::env::args().nth(2) {
+            ocfg.relay_pair_packets = pk.parse().unwrap();
+        }
+        let (mut ro, _) = run_oblivious(ocfg, TopologyKind::ThinClos, &trace, duration);
         let tob = t1.elapsed();
         println!(
             "load {:>4}: NEGO goodput {:.3} mice99 {:>9.1}us cr {:.3} ({:?}) | OBLV goodput {:.3} mice99 {:>9.1}us cr {:.3} ({:?}) flows {}",

@@ -1,75 +1,97 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! paper <experiment-id>... [--duration-ms N] [--loads 10,50,100]
-//! paper all [--duration-ms N]
+//! paper <experiment-id>... [--duration-ms N] [--loads 10,50,100] [--seed N]
+//!       [--jobs N] [--json] [--out DIR] [--seeds A,B,C]
+//! paper all --jobs 8 --json --out results/
 //! paper list
 //! ```
+//!
+//! Experiments expand into independent runs executed across `--jobs`
+//! worker threads; output is byte-identical at any job count. `--json`
+//! writes one machine-readable `results/<id>.json` per experiment
+//! (schema: see `bench::results`), which `bench-diff` compares across
+//! revisions to gate CI on regressions.
 
-use bench::{run_experiment, Args, EXPERIMENTS};
+use bench::experiments::{find_experiment, Args, Experiment, EXPERIMENTS};
+use bench::{cli, results, sweep};
 
 fn main() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.is_empty() {
-        usage();
-        return;
-    }
-    let mut args = Args::default();
-    let mut ids: Vec<String> = Vec::new();
-    let mut it = argv.into_iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--duration-ms" => {
-                let v = it.next().expect("--duration-ms needs a value");
-                let ms: f64 = v.parse().expect("--duration-ms must be a number");
-                args.duration = (ms * 1e6) as u64;
-            }
-            "--seed" => {
-                let v = it.next().expect("--seed needs a value");
-                args.seed = v.parse().expect("--seed must be an integer");
-            }
-            "--loads" => {
-                let v = it.next().expect("--loads needs a comma-separated list");
-                args.loads = v
-                    .split(',')
-                    .map(|s| s.parse::<f64>().expect("load must be a number") / 100.0)
-                    .collect();
-            }
-            "list" => {
-                for (id, desc) in EXPERIMENTS {
-                    println!("{id:<8} {desc}");
-                }
-                return;
-            }
-            "all" => ids.extend(EXPERIMENTS.iter().map(|(id, _)| id.to_string())),
-            other => ids.push(other.to_string()),
+    let parsed = cli::parse(std::env::args().skip(1).collect());
+    let cli = match parsed {
+        Ok(cli) => cli,
+        Err(error) => {
+            eprintln!("error: {error}\n");
+            usage();
+            std::process::exit(2);
         }
-    }
-    if ids.is_empty() {
-        usage();
+    };
+    if cli.list {
+        for exp in EXPERIMENTS {
+            println!("{:<8} {}", exp.id(), exp.artifact());
+        }
         return;
     }
-    println!(
-        "# NegotiaToR reproduction — duration {} ms per run, loads {:?}\n",
-        args.duration as f64 / 1e6,
-        args.loads.iter().map(|l| l * 100.0).collect::<Vec<_>>()
-    );
-    for id in ids {
+    if cli.ids.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+    let exps: Vec<&'static dyn Experiment> = cli
+        .ids
+        .iter()
+        .map(|id| find_experiment(id).expect("ids validated by the parser"))
+        .collect();
+    let multi_seed = cli.seeds.len() > 1;
+    for &seed in &cli.seeds {
+        let args = Args {
+            seed,
+            ..cli.args.clone()
+        };
+        println!(
+            "# NegotiaToR reproduction — duration {} ms per run, loads {:?}, seed {seed}\n",
+            args.duration as f64 / 1e6,
+            args.loads.iter().map(|l| l * 100.0).collect::<Vec<_>>(),
+        );
+        eprintln!("[{} experiments across {} jobs]", exps.len(), cli.jobs);
         let started = std::time::Instant::now();
-        match run_experiment(&id, &args) {
-            Some(output) => {
-                println!("{output}");
-                eprintln!("[{id} done in {:.1?}]", started.elapsed());
-            }
-            None => eprintln!("unknown experiment '{id}' — try `paper list`"),
+        let reports = sweep::run_sweep(&exps, &args, cli.jobs);
+        for report in &reports {
+            println!("{}", report.rendered);
+            eprintln!(
+                "[{}: {} runs, {:.1}s simulated-run time]",
+                report.id,
+                report.results.len(),
+                report.runs_wall_secs()
+            );
         }
+        if cli.json {
+            match results::write_reports(&cli.out, &reports, cli.jobs, multi_seed) {
+                Ok(paths) => {
+                    for path in paths {
+                        eprintln!("[wrote {}]", path.display());
+                    }
+                }
+                Err(error) => {
+                    eprintln!("error: writing {}: {error}", cli.out.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        eprintln!(
+            "[sweep of {} experiments done in {:.1?}]",
+            reports.len(),
+            started.elapsed()
+        );
     }
 }
 
 fn usage() {
-    eprintln!("usage: paper <experiment-id>|all|list [--duration-ms N] [--loads 10,50,100] [--seed N]");
+    eprintln!(
+        "usage: paper <experiment-id>|all|list [--duration-ms N] [--loads 10,50,100]\n\
+         \u{20}      [--seed N | --seeds A,B,C] [--jobs N] [--json] [--out DIR]"
+    );
     eprintln!("experiments:");
-    for (id, desc) in EXPERIMENTS {
-        eprintln!("  {id:<8} {desc}");
+    for exp in EXPERIMENTS {
+        eprintln!("  {:<8} {}", exp.id(), exp.artifact());
     }
 }

@@ -1,0 +1,218 @@
+//! Command-line parsing for the `paper` binary, separated out so the
+//! validation rules are unit-testable.
+
+use std::path::PathBuf;
+
+use crate::experiments::{find_experiment, Args, EXPERIMENTS};
+
+/// A parsed `paper` invocation.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// `paper list` — print the registry and exit.
+    pub list: bool,
+    /// Experiment ids to run, in request order (`all` expands here).
+    pub ids: Vec<String>,
+    /// Harness parameters (duration, loads; seed is taken from `seeds`).
+    pub args: Args,
+    /// Workload seeds — one full sweep per seed (`--seed N` or
+    /// `--seeds A,B,C`).
+    pub seeds: Vec<u64>,
+    /// Worker threads for the sweep engine (`--jobs N`, default: available
+    /// parallelism).
+    pub jobs: usize,
+    /// Write `results/<id>.json` files (`--json`).
+    pub json: bool,
+    /// Output directory for `--json` (`--out DIR`, default `results`).
+    pub out: PathBuf,
+}
+
+/// Parse and validate `argv` (without the program name).
+pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        list: false,
+        ids: Vec::new(),
+        args: Args::default(),
+        seeds: Vec::new(),
+        jobs: sim::pool::default_jobs(),
+        json: false,
+        out: PathBuf::from("results"),
+    };
+    let mut it = argv.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--duration-ms" => {
+                let v = value(&mut it, "--duration-ms")?;
+                let ms: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--duration-ms: '{v}' is not a number"))?;
+                if !ms.is_finite() || ms <= 0.0 {
+                    return Err(format!("--duration-ms: {ms} must be > 0"));
+                }
+                cli.args.duration = (ms * 1e6) as u64;
+            }
+            "--seed" => {
+                let v = value(&mut it, "--seed")?;
+                cli.seeds = vec![v
+                    .parse()
+                    .map_err(|_| format!("--seed: '{v}' is not an integer"))?];
+            }
+            "--seeds" => {
+                let v = value(&mut it, "--seeds")?;
+                cli.seeds = v
+                    .split(',')
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| format!("--seeds: '{s}' is not an integer"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if cli.seeds.is_empty() {
+                    return Err("--seeds: need at least one seed".into());
+                }
+            }
+            "--loads" => {
+                let v = value(&mut it, "--loads")?;
+                cli.args.loads = v.split(',').map(parse_load).collect::<Result<_, _>>()?;
+            }
+            "--jobs" => {
+                let v = value(&mut it, "--jobs")?;
+                let jobs: usize = v
+                    .parse()
+                    .map_err(|_| format!("--jobs: '{v}' is not an integer"))?;
+                if jobs == 0 {
+                    return Err("--jobs: need at least 1 worker".into());
+                }
+                cli.jobs = jobs;
+            }
+            "--json" => cli.json = true,
+            "--out" => cli.out = PathBuf::from(value(&mut it, "--out")?),
+            "list" => cli.list = true,
+            "all" => cli
+                .ids
+                .extend(EXPERIMENTS.iter().map(|e| e.id().to_string())),
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag '{flag}'"));
+            }
+            id => {
+                if find_experiment(id).is_none() {
+                    return Err(format!("unknown experiment '{id}' — try `paper list`"));
+                }
+                cli.ids.push(id.to_string());
+            }
+        }
+    }
+    if cli.seeds.is_empty() {
+        cli.seeds = vec![cli.args.seed];
+    }
+    Ok(cli)
+}
+
+/// Parse one `--loads` entry: a percentage in (0, 100], returned as a
+/// fraction. Loads outside that range used to be silently accepted and
+/// produced meaningless sweeps; now they error out.
+fn parse_load(s: &str) -> Result<f64, String> {
+    let pct: f64 = s
+        .trim()
+        .parse()
+        .map_err(|_| format!("--loads: '{s}' is not a number"))?;
+    if !pct.is_finite() || pct <= 0.0 || pct > 100.0 {
+        return Err(format!(
+            "--loads: {pct}% is out of range — loads are percentages in (0, 100]"
+        ));
+    }
+    Ok(pct / 100.0)
+}
+
+fn value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_strs(args: &[&str]) -> Result<Cli, String> {
+        parse(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn parses_a_full_invocation() {
+        let cli = parse_strs(&[
+            "fig9",
+            "table2",
+            "--duration-ms",
+            "0.5",
+            "--loads",
+            "10,50,100",
+            "--jobs",
+            "2",
+            "--json",
+            "--out",
+            "results/current",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        assert_eq!(cli.ids, vec!["fig9", "table2"]);
+        assert_eq!(cli.args.duration, 500_000);
+        assert_eq!(cli.args.loads, vec![0.10, 0.50, 1.00]);
+        assert_eq!(cli.jobs, 2);
+        assert!(cli.json);
+        assert_eq!(cli.out, PathBuf::from("results/current"));
+        assert_eq!(cli.seeds, vec![7]);
+    }
+
+    #[test]
+    fn all_expands_to_the_registry() {
+        let cli = parse_strs(&["all"]).unwrap();
+        assert_eq!(cli.ids.len(), EXPERIMENTS.len());
+        assert_eq!(cli.seeds, vec![crate::runs::SEED]);
+    }
+
+    #[test]
+    fn loads_must_be_percentages_in_range() {
+        // The old parser accepted these silently; they must error now.
+        let err = parse_strs(&["fig9", "--loads", "0"]).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err = parse_strs(&["fig9", "--loads", "150"]).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err = parse_strs(&["fig9", "--loads", "50,-10"]).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err = parse_strs(&["fig9", "--loads", "abc"]).unwrap_err();
+        assert!(err.contains("not a number"), "{err}");
+        // 100% inclusive, tiny loads fine.
+        let cli = parse_strs(&["fig9", "--loads", "0.1,100"]).unwrap();
+        assert_eq!(cli.args.loads, vec![0.001, 1.0]);
+    }
+
+    #[test]
+    fn rejects_bad_flags_ids_and_values() {
+        assert!(parse_strs(&["--nope"])
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(parse_strs(&["fig99"])
+            .unwrap_err()
+            .contains("unknown experiment"));
+        assert!(parse_strs(&["--jobs", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_strs(&["--jobs"])
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse_strs(&["--duration-ms", "-1"])
+            .unwrap_err()
+            .contains("> 0"));
+        // 0 would yield an empty trace and NaN ratio cells; reject it too.
+        assert!(parse_strs(&["--duration-ms", "0"])
+            .unwrap_err()
+            .contains("> 0"));
+        assert!(parse_strs(&["--seeds", "1,x"])
+            .unwrap_err()
+            .contains("not an integer"));
+    }
+
+    #[test]
+    fn seeds_sweep() {
+        let cli = parse_strs(&["fig9", "--seeds", "1,2,3"]).unwrap();
+        assert_eq!(cli.seeds, vec![1, 2, 3]);
+    }
+}

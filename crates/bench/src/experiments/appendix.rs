@@ -1,205 +1,386 @@
 //! Appendix experiments: A.1 match-ratio validation (Figure 14) and the
 //! A.2 design-space comparisons (Figure 15, Tables 3–6).
 
-use super::Args;
+use std::sync::Arc;
+
+use super::{Args, Experiment};
 use crate::runs::{background_seeded, run_negotiator};
+use crate::sweep::{Rendered, RunMeta, RunMetrics, RunResult, RunSpec};
 use metrics::{report, Table};
 use negotiator::{theory, NegotiatorConfig, SchedulerMode, SimOptions};
 use topology::{NetworkConfig, TopologyKind};
 use workload::FlowSizeDist;
 
 /// Figure 14 (A.1): per-epoch match ratio at 100% load vs the closed-form
-/// `E[Y] = 1 − (1 − 1/n)^n`.
-pub fn fig14(args: &Args) -> String {
-    let net = NetworkConfig::paper_default();
-    let trace = background_seeded(FlowSizeDist::hadoop(), 1.0, &net, args.duration, args.seed);
-    let mut out = String::new();
-    for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
-        let cfg = NegotiatorConfig::paper_default(net.clone());
-        let (_, sim) = run_negotiator(cfg, kind, SimOptions::default(), &trace, args.duration);
-        let rec = sim.match_recorder();
-        let series = rec.series();
-        let mut table = Table::new(
-            format!("Figure 14 — match ratio per epoch, {} (100% load)", kind.label()),
-            &["epoch", "match_ratio"],
-        );
-        let step = (series.len() / 16).max(1);
-        for (e, r) in series.iter().step_by(step) {
-            table.row(vec![e.to_string(), format!("{r:.3}")]);
-        }
-        out.push_str(&table.render());
-        let n = theory::competitors(kind, net.n_tors, net.n_ports);
-        out.push_str(&format!(
-            "overall {:.3} vs theory E[Y](n={n}) = {:.3}\n\n",
-            rec.overall_ratio().unwrap_or(0.0),
-            theory::expected_match_efficiency(n),
-        ));
+/// `E[Y] = 1 − (1 − 1/n)^n` — one run per topology.
+pub struct Fig14;
+
+impl Experiment for Fig14 {
+    fn id(&self) -> &'static str {
+        "fig14"
     }
-    out
+    fn artifact(&self) -> &'static str {
+        "Figure 14 (A.1): per-epoch match ratio vs theory"
+    }
+    fn specs(&self, args: &Args) -> Vec<RunSpec> {
+        let net = NetworkConfig::paper_default();
+        let trace = Arc::new(background_seeded(
+            FlowSizeDist::hadoop(),
+            1.0,
+            &net,
+            args.duration,
+            args.seed,
+        ));
+        [TopologyKind::Parallel, TopologyKind::ThinClos]
+            .into_iter()
+            .enumerate()
+            .map(|(index, kind)| {
+                let net = net.clone();
+                let trace = Arc::clone(&trace);
+                let duration = args.duration;
+                let meta = RunMeta::new(self.id(), index, format!("nego/{}", kind.label()), args)
+                    .load(1.0);
+                RunSpec::new(meta, move || {
+                    let cfg = NegotiatorConfig::paper_default(net.clone());
+                    let (rep, sim) =
+                        run_negotiator(cfg, kind, SimOptions::default(), &trace, duration);
+                    let rec = sim.match_recorder();
+                    let series = rec.series();
+                    let mut table = Table::new(
+                        format!(
+                            "Figure 14 — match ratio per epoch, {} (100% load)",
+                            kind.label()
+                        ),
+                        &["epoch", "match_ratio"],
+                    );
+                    let step = (series.len() / 16).max(1);
+                    for (e, r) in series.iter().step_by(step) {
+                        table.row(vec![e.to_string(), format!("{r:.3}")]);
+                    }
+                    let n = theory::competitors(kind, net.n_tors, net.n_ports);
+                    let overall = rec.overall_ratio();
+                    let expected = theory::expected_match_efficiency(n);
+                    let block = format!(
+                        "{}overall {:.3} vs theory E[Y](n={n}) = {:.3}\n\n",
+                        table.render(),
+                        overall.unwrap_or(0.0),
+                        expected,
+                    );
+                    RunMetrics::with_report(Rendered::Block(block), rep)
+                        .with_match_ratio(overall)
+                        .push_extra("theory_match_ratio", expected)
+                })
+            })
+            .collect()
+    }
+    fn render(&self, results: &[RunResult]) -> String {
+        results.iter().map(|r| r.block()).collect()
+    }
 }
 
 /// Figure 15 (A.2.1): iterative matching (no speedup) vs the non-iterative
-/// algorithm with 2× speedup, parallel network.
-pub fn fig15(args: &Args) -> String {
-    let speedup_net = NetworkConfig::paper_default();
-    let flat_net = NetworkConfig::paper_no_speedup();
-    let mut fct = Table::new(
-        "Figure 15 — 99p mice FCT (ms), parallel",
-        &["load", "speedup 2x", "ITER_I", "ITER_III", "ITER_V"],
-    );
-    let mut gp = Table::new(
-        "Figure 15 — normalized goodput, parallel",
-        &["load", "speedup 2x", "ITER_I", "ITER_III", "ITER_V"],
-    );
-    for &load in &args.loads {
-        let mut fct_cells = vec![report::pct(load)];
-        let mut gp_cells = vec![report::pct(load)];
-        // Non-iterative with 2× speedup (the paper's pick).
-        {
-            let trace = background_seeded(FlowSizeDist::hadoop(), load, &speedup_net, args.duration, args.seed);
-            let cfg = NegotiatorConfig::paper_default(speedup_net.clone());
-            let (mut rep, _) = run_negotiator(
-                cfg,
-                TopologyKind::Parallel,
-                SimOptions::default(),
-                &trace,
-                args.duration,
-            );
-            fct_cells.push(report::ms(rep.mice.p99_ns()));
-            gp_cells.push(format!("{:.3}", rep.goodput.normalized()));
-        }
-        // Iterative at 1×.
-        for rounds in [1usize, 3, 5] {
-            let trace = background_seeded(FlowSizeDist::hadoop(), load, &flat_net, args.duration, args.seed);
-            let cfg = NegotiatorConfig::paper_default(flat_net.clone());
-            let (mut rep, _) = run_negotiator(
-                cfg,
-                TopologyKind::Parallel,
-                SimOptions {
-                    mode: SchedulerMode::Iterative { rounds },
-                    ..SimOptions::default()
-                },
-                &trace,
-                args.duration,
-            );
-            fct_cells.push(report::ms(rep.mice.p99_ns()));
-            gp_cells.push(format!("{:.3}", rep.goodput.normalized()));
-        }
-        fct.row(fct_cells);
-        gp.row(gp_cells);
+/// algorithm with 2× speedup, parallel network — one run per
+/// (load, variant).
+pub struct Fig15;
+
+const FIG15_LABELS: &[&str] = &["speedup 2x", "ITER_I", "ITER_III", "ITER_V"];
+const FIG15_ITER_ROUNDS: [usize; 3] = [1, 3, 5];
+
+impl Experiment for Fig15 {
+    fn id(&self) -> &'static str {
+        "fig15"
     }
-    format!("{}\n{}", fct.render(), gp.render())
+    fn artifact(&self) -> &'static str {
+        "Figure 15 (A.2.1): iterative matching vs 2x speedup"
+    }
+    fn specs(&self, args: &Args) -> Vec<RunSpec> {
+        let speedup_net = NetworkConfig::paper_default();
+        let flat_net = NetworkConfig::paper_no_speedup();
+        let mut specs = Vec::new();
+        for &load in &args.loads {
+            let speedup_trace = Arc::new(background_seeded(
+                FlowSizeDist::hadoop(),
+                load,
+                &speedup_net,
+                args.duration,
+                args.seed,
+            ));
+            let flat_trace = Arc::new(background_seeded(
+                FlowSizeDist::hadoop(),
+                load,
+                &flat_net,
+                args.duration,
+                args.seed,
+            ));
+            // Non-iterative with 2× speedup (the paper's pick).
+            {
+                let net = speedup_net.clone();
+                let trace = Arc::clone(&speedup_trace);
+                let duration = args.duration;
+                let meta = RunMeta::new(self.id(), specs.len(), FIG15_LABELS[0], args).load(load);
+                specs.push(RunSpec::new(meta, move || {
+                    let cfg = NegotiatorConfig::paper_default(net.clone());
+                    let (rep, _) = run_negotiator(
+                        cfg,
+                        TopologyKind::Parallel,
+                        SimOptions::default(),
+                        &trace,
+                        duration,
+                    );
+                    fig15_metrics(rep)
+                }));
+            }
+            // Iterative at 1×.
+            for (v, rounds) in FIG15_ITER_ROUNDS.into_iter().enumerate() {
+                let net = flat_net.clone();
+                let trace = Arc::clone(&flat_trace);
+                let duration = args.duration;
+                let meta = RunMeta::new(self.id(), specs.len(), FIG15_LABELS[v + 1], args)
+                    .load(load)
+                    .param("iterations", rounds as f64);
+                specs.push(RunSpec::new(meta, move || {
+                    let cfg = NegotiatorConfig::paper_default(net.clone());
+                    let (rep, _) = run_negotiator(
+                        cfg,
+                        TopologyKind::Parallel,
+                        SimOptions {
+                            mode: SchedulerMode::Iterative { rounds },
+                            ..SimOptions::default()
+                        },
+                        &trace,
+                        duration,
+                    );
+                    fig15_metrics(rep)
+                }));
+            }
+        }
+        specs
+    }
+    fn render(&self, results: &[RunResult]) -> String {
+        let mut headers: Vec<&str> = vec!["load"];
+        headers.extend(FIG15_LABELS);
+        let mut fct = Table::new("Figure 15 — 99p mice FCT (ms), parallel", &headers);
+        let mut gp = Table::new("Figure 15 — normalized goodput, parallel", &headers);
+        for chunk in results.chunks(FIG15_LABELS.len()) {
+            let mut fct_cells = vec![report::pct(chunk[0].load())];
+            let mut gp_cells = vec![report::pct(chunk[0].load())];
+            for r in chunk {
+                fct_cells.push(r.cells()[0].clone());
+                gp_cells.push(r.cells()[1].clone());
+            }
+            fct.row(fct_cells);
+            gp.row(gp_cells);
+        }
+        format!("{}\n{}", fct.render(), gp.render())
+    }
+}
+
+fn fig15_metrics(mut rep: metrics::RunReport) -> RunMetrics {
+    let cells = vec![
+        report::ms(rep.mice.p99_ns()),
+        format!("{:.3}", rep.goodput.normalized()),
+    ];
+    RunMetrics::with_report(Rendered::Cells(cells), rep)
 }
 
 /// Shared shape of Tables 3–6: base vs variants, `99p mice FCT (us) /
-/// normalized goodput` per load.
-fn variant_table(
-    title: &str,
+/// normalized goodput` per load — one run per (load, variant).
+fn variant_specs(
+    experiment: &'static str,
     kind: TopologyKind,
-    variants: &[(&str, SimOptions)],
+    variants: Vec<(&'static str, SimOptions)>,
     args: &Args,
-) -> String {
+) -> Vec<RunSpec> {
     let net = NetworkConfig::paper_default();
-    let mut headers: Vec<&str> = vec!["load"];
-    headers.extend(variants.iter().map(|(l, _)| *l));
-    let mut table = Table::new(title, &headers);
+    let mut specs = Vec::new();
     for &load in &args.loads {
-        let trace = background_seeded(FlowSizeDist::hadoop(), load, &net, args.duration, args.seed);
-        let mut cells = vec![report::pct(load)];
-        for (_, opts) in variants {
-            let cfg = NegotiatorConfig::paper_default(net.clone());
-            let (mut rep, _) =
-                run_negotiator(cfg, kind, opts.clone(), &trace, args.duration);
-            cells.push(format!(
-                "{}/{}",
-                report::us(rep.mice.p99_ns()),
-                report::pct(rep.goodput.normalized())
-            ));
+        let trace = Arc::new(background_seeded(
+            FlowSizeDist::hadoop(),
+            load,
+            &net,
+            args.duration,
+            args.seed,
+        ));
+        for (label, opts) in &variants {
+            let net = net.clone();
+            let trace = Arc::clone(&trace);
+            let opts = opts.clone();
+            let duration = args.duration;
+            let meta = RunMeta::new(experiment, specs.len(), *label, args).load(load);
+            specs.push(RunSpec::new(meta, move || {
+                let cfg = NegotiatorConfig::paper_default(net.clone());
+                let (mut rep, _) = run_negotiator(cfg, kind, opts, &trace, duration);
+                let cell = format!(
+                    "{}/{}",
+                    report::us(rep.mice.p99_ns()),
+                    report::pct(rep.goodput.normalized())
+                );
+                RunMetrics::with_report(Rendered::Cells(vec![cell]), rep)
+            }));
         }
+    }
+    specs
+}
+
+fn variant_render(title: &str, labels: &[&str], results: &[RunResult]) -> String {
+    let mut headers: Vec<&str> = vec!["load"];
+    headers.extend(labels);
+    let mut table = Table::new(title, &headers);
+    for chunk in results.chunks(labels.len()) {
+        let mut cells = vec![report::pct(chunk[0].load())];
+        cells.extend(chunk.iter().map(|r| r.cells()[0].clone()));
         table.row(cells);
     }
     table.render()
 }
 
 /// Table 3 (A.2.2): traffic-aware selective relay on thin-clos.
-pub fn table3(args: &Args) -> String {
-    variant_table(
-        "Table 3 — selective relay, thin-clos: 99p mice FCT (us) / goodput",
-        TopologyKind::ThinClos,
-        &[
-            ("Base", SimOptions::default()),
-            (
-                "Two-Hop",
-                SimOptions {
-                    selective_relay: true,
-                    ..SimOptions::default()
-                },
-            ),
-        ],
-        args,
-    )
+pub struct Table3;
+
+impl Experiment for Table3 {
+    fn id(&self) -> &'static str {
+        "table3"
+    }
+    fn artifact(&self) -> &'static str {
+        "Table 3 (A.2.2): traffic-aware selective relay"
+    }
+    fn specs(&self, args: &Args) -> Vec<RunSpec> {
+        variant_specs(
+            self.id(),
+            TopologyKind::ThinClos,
+            vec![
+                ("Base", SimOptions::default()),
+                (
+                    "Two-Hop",
+                    SimOptions {
+                        selective_relay: true,
+                        ..SimOptions::default()
+                    },
+                ),
+            ],
+            args,
+        )
+    }
+    fn render(&self, results: &[RunResult]) -> String {
+        variant_render(
+            "Table 3 — selective relay, thin-clos: 99p mice FCT (us) / goodput",
+            &["Base", "Two-Hop"],
+            results,
+        )
+    }
 }
 
 /// Table 4 (A.2.3): informative requests on the parallel network.
-pub fn table4(args: &Args) -> String {
-    variant_table(
-        "Table 4 — informative requests, parallel: 99p mice FCT (us) / goodput",
-        TopologyKind::Parallel,
-        &[
-            ("Base", SimOptions::default()),
-            (
-                "Data-Size",
-                SimOptions {
-                    mode: SchedulerMode::DataSize,
-                    ..SimOptions::default()
-                },
-            ),
-            (
-                "HoL-Delay",
-                SimOptions {
-                    mode: SchedulerMode::HolDelay { alpha: 0.001 },
-                    ..SimOptions::default()
-                },
-            ),
-        ],
-        args,
-    )
+pub struct Table4;
+
+impl Experiment for Table4 {
+    fn id(&self) -> &'static str {
+        "table4"
+    }
+    fn artifact(&self) -> &'static str {
+        "Table 4 (A.2.3): informative requests"
+    }
+    fn specs(&self, args: &Args) -> Vec<RunSpec> {
+        variant_specs(
+            self.id(),
+            TopologyKind::Parallel,
+            vec![
+                ("Base", SimOptions::default()),
+                (
+                    "Data-Size",
+                    SimOptions {
+                        mode: SchedulerMode::DataSize,
+                        ..SimOptions::default()
+                    },
+                ),
+                (
+                    "HoL-Delay",
+                    SimOptions {
+                        mode: SchedulerMode::HolDelay { alpha: 0.001 },
+                        ..SimOptions::default()
+                    },
+                ),
+            ],
+            args,
+        )
+    }
+    fn render(&self, results: &[RunResult]) -> String {
+        variant_render(
+            "Table 4 — informative requests, parallel: 99p mice FCT (us) / goodput",
+            &["Base", "Data-Size", "HoL-Delay"],
+            results,
+        )
+    }
 }
 
 /// Table 5 (A.2.4): stateful scheduling on the parallel network.
-pub fn table5(args: &Args) -> String {
-    variant_table(
-        "Table 5 — stateful scheduling, parallel: 99p mice FCT (us) / goodput",
-        TopologyKind::Parallel,
-        &[
-            ("Base", SimOptions::default()),
-            (
-                "Stateful",
-                SimOptions {
-                    mode: SchedulerMode::Stateful,
-                    ..SimOptions::default()
-                },
-            ),
-        ],
-        args,
-    )
+pub struct Table5;
+
+impl Experiment for Table5 {
+    fn id(&self) -> &'static str {
+        "table5"
+    }
+    fn artifact(&self) -> &'static str {
+        "Table 5 (A.2.4): stateful scheduling"
+    }
+    fn specs(&self, args: &Args) -> Vec<RunSpec> {
+        variant_specs(
+            self.id(),
+            TopologyKind::Parallel,
+            vec![
+                ("Base", SimOptions::default()),
+                (
+                    "Stateful",
+                    SimOptions {
+                        mode: SchedulerMode::Stateful,
+                        ..SimOptions::default()
+                    },
+                ),
+            ],
+            args,
+        )
+    }
+    fn render(&self, results: &[RunResult]) -> String {
+        variant_render(
+            "Table 5 — stateful scheduling, parallel: 99p mice FCT (us) / goodput",
+            &["Base", "Stateful"],
+            results,
+        )
+    }
 }
 
 /// Table 6 (A.2.5): ProjecToR-style scheduling on the parallel network.
-pub fn table6(args: &Args) -> String {
-    variant_table(
-        "Table 6 — ProjecToR scheduling, parallel: 99p mice FCT (us) / goodput",
-        TopologyKind::Parallel,
-        &[
-            ("Base", SimOptions::default()),
-            (
-                "ProjecToR",
-                SimOptions {
-                    mode: SchedulerMode::Projector,
-                    ..SimOptions::default()
-                },
-            ),
-        ],
-        args,
-    )
+pub struct Table6;
+
+impl Experiment for Table6 {
+    fn id(&self) -> &'static str {
+        "table6"
+    }
+    fn artifact(&self) -> &'static str {
+        "Table 6 (A.2.5): ProjecToR-style scheduling"
+    }
+    fn specs(&self, args: &Args) -> Vec<RunSpec> {
+        variant_specs(
+            self.id(),
+            TopologyKind::Parallel,
+            vec![
+                ("Base", SimOptions::default()),
+                (
+                    "ProjecToR",
+                    SimOptions {
+                        mode: SchedulerMode::Projector,
+                        ..SimOptions::default()
+                    },
+                ),
+            ],
+            args,
+        )
+    }
+    fn render(&self, results: &[RunResult]) -> String {
+        variant_render(
+            "Table 6 — ProjecToR scheduling, parallel: 99p mice FCT (us) / goodput",
+            &["Base", "ProjecToR"],
+            results,
+        )
+    }
 }

@@ -1,5 +1,8 @@
-//! The experiment registry: one entry per table/figure of the paper.
+//! The experiment registry: one [`Experiment`] per table/figure of the
+//! paper, each decomposed into independently schedulable runs so the
+//! sweep engine (`crate::sweep`) can execute any mix of them in parallel.
 
+use crate::sweep::{RunResult, RunSpec};
 use sim::time::Nanos;
 
 pub mod ablation;
@@ -30,62 +33,76 @@ impl Default for Args {
     }
 }
 
-/// `(id, paper artifact, runner)` for every experiment.
-pub const EXPERIMENTS: &[(&str, &str)] = &[
-    ("table2", "Table 2: PB/PQ ablation, mice FCT at 100% load"),
-    ("fig6", "Figure 6: CDF of mice FCT at 100% load"),
-    ("fig7a", "Figure 7(a): incast finish time vs degree"),
-    ("fig7b", "Figure 7(b): all-to-all goodput vs flow size"),
-    ("fig8", "Figure 8: reconfiguration-delay sweep at 100% load"),
-    ("fig9", "Figure 9: mice FCT and goodput vs load (main result)"),
-    ("fig10", "Figure 10: bandwidth under link failure and recovery"),
-    ("fig11", "Figure 11: FCT and goodput vs load without speedup"),
-    ("fig12a", "Figure 12(a): predefined-phase timeslot sensitivity"),
-    ("fig12b", "Figure 12(b): scheduled-phase length sensitivity"),
-    ("fig13a", "Figure 13(a): Hadoop mixed with incasts"),
-    ("fig13b", "Figure 13(b): web-search workload"),
-    ("fig13c", "Figure 13(c): Google workload"),
-    ("fig14", "Figure 14 (A.1): per-epoch match ratio vs theory"),
-    ("fig15", "Figure 15 (A.2.1): iterative matching vs 2x speedup"),
-    ("table3", "Table 3 (A.2.2): traffic-aware selective relay"),
-    ("table4", "Table 4 (A.2.3): informative requests"),
-    ("table5", "Table 5 (A.2.4): stateful scheduling"),
-    ("table6", "Table 6 (A.2.5): ProjecToR-style scheduling"),
-    ("fig17", "Figure 17 (A.3): receiver bandwidth under incast"),
-    ("fig18", "Figure 18 (A.3): receiver bandwidth under all-to-all"),
-    ("fig19", "Figure 19 (A.4): bandwidth occupation under failures"),
-    ("abl-th", "Ablation: request threshold vs over-scheduling waste"),
-    ("abl-rot", "Ablation: predefined-rule rotation under failures"),
+/// One paper artifact, split into schedulable runs.
+///
+/// `specs` expands the harness [`Args`] into the experiment's flat run
+/// list; `render` reassembles the executed results (always handed back in
+/// spec order) into the same text report a serial loop would have printed.
+/// Implementations must keep both sides deterministic — the determinism
+/// suite asserts `--jobs N` output is byte-identical to `--jobs 1`.
+pub trait Experiment: Sync {
+    /// Registry id (`fig9`, `table2`, ...).
+    fn id(&self) -> &'static str;
+    /// The paper artifact this reproduces.
+    fn artifact(&self) -> &'static str;
+    /// Expand into independently schedulable runs.
+    fn specs(&self, args: &Args) -> Vec<RunSpec>;
+    /// Reassemble executed runs (in spec order) into the text report.
+    fn render(&self, results: &[RunResult]) -> String;
+}
+
+/// Every experiment of the harness, in the paper's presentation order.
+pub static EXPERIMENTS: &[&dyn Experiment] = &[
+    &micro::Table2,
+    &micro::Fig6,
+    &micro::Fig7a,
+    &micro::Fig7b,
+    &micro::Fig8,
+    &main_results::Fig9,
+    &main_results::Fig10,
+    &main_results::Fig11,
+    &deepdive::Fig12a,
+    &deepdive::Fig12b,
+    &deepdive::Fig13a,
+    &deepdive::Fig13b,
+    &deepdive::Fig13c,
+    &appendix::Fig14,
+    &appendix::Fig15,
+    &appendix::Table3,
+    &appendix::Table4,
+    &appendix::Table5,
+    &appendix::Table6,
+    &observe::Fig17,
+    &observe::Fig18,
+    &observe::Fig19,
+    &ablation::AblThreshold,
+    &ablation::AblRotation,
 ];
 
-/// Run one experiment by id, returning its rendered report.
+/// Look an experiment up by id.
+pub fn find_experiment(id: &str) -> Option<&'static dyn Experiment> {
+    EXPERIMENTS.iter().copied().find(|e| e.id() == id)
+}
+
+/// Run one experiment by id on the calling thread, returning its rendered
+/// report (compatibility shim over the sweep engine).
 pub fn run_experiment(id: &str, args: &Args) -> Option<String> {
-    let out = match id {
-        "table2" => micro::table2(args),
-        "fig6" => micro::fig6(args),
-        "fig7a" => micro::fig7a(args),
-        "fig7b" => micro::fig7b(args),
-        "fig8" => micro::fig8(args),
-        "fig9" => main_results::fig9(args),
-        "fig10" => main_results::fig10(args),
-        "fig11" => main_results::fig11(args),
-        "fig12a" => deepdive::fig12a(args),
-        "fig12b" => deepdive::fig12b(args),
-        "fig13a" => deepdive::fig13a(args),
-        "fig13b" => deepdive::fig13b(args),
-        "fig13c" => deepdive::fig13c(args),
-        "fig14" => appendix::fig14(args),
-        "fig15" => appendix::fig15(args),
-        "table3" => appendix::table3(args),
-        "table4" => appendix::table4(args),
-        "table5" => appendix::table5(args),
-        "table6" => appendix::table6(args),
-        "fig17" => observe::fig17(args),
-        "fig18" => observe::fig18(args),
-        "fig19" => observe::fig19(args),
-        "abl-th" => ablation::ablation_threshold(args),
-        "abl-rot" => ablation::ablation_rotation(args),
-        _ => return None,
-    };
-    Some(out)
+    Some(crate::sweep::run_one(find_experiment(id)?, args, 1).rendered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_findable() {
+        let mut seen = std::collections::HashSet::new();
+        for exp in EXPERIMENTS {
+            assert!(seen.insert(exp.id()), "duplicate id {}", exp.id());
+            assert_eq!(find_experiment(exp.id()).unwrap().id(), exp.id());
+            assert!(!exp.artifact().is_empty());
+        }
+        assert_eq!(EXPERIMENTS.len(), 24);
+        assert!(find_experiment("nope").is_none());
+    }
 }

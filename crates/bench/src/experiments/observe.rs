@@ -1,9 +1,13 @@
 //! Micro-observations (Appendix A.3/A.4): receiver-bandwidth time series
 //! under incast (Figure 17), all-to-all (Figure 18) and link failures
-//! (Figure 19).
+//! (Figure 19). Each system's series is one schedulable run emitting a
+//! fully rendered block.
 
-use super::Args;
+use std::sync::Arc;
+
+use super::{Args, Experiment};
 use crate::runs::SEED;
+use crate::sweep::{Rendered, RunMeta, RunMetrics, RunResult, RunSpec};
 use metrics::Table;
 use negotiator::{FailureAction, NegotiatorConfig, NegotiatorSim, SimOptions};
 use oblivious::sim::ObliviousRecording;
@@ -15,7 +19,12 @@ use workload::{AllToAllWorkload, FlowTrace, IncastWorkload};
 
 const WINDOW: Nanos = 1_000; // 1 µs sampling window for the series
 
-fn series_rows(table: &mut Table, series: &BandwidthSeries, until: Nanos, extra: Option<&BandwidthSeries>) {
+fn series_rows(
+    table: &mut Table,
+    series: &BandwidthSeries,
+    until: Nanos,
+    extra: Option<&BandwidthSeries>,
+) {
     for (t, gbps) in series.gbps_points() {
         if t > until {
             break;
@@ -30,164 +39,280 @@ fn series_rows(table: &mut Table, series: &BandwidthSeries, until: Nanos, extra:
     }
 }
 
-/// Figure 17: receiver bandwidth during a degree-15 incast injected at
-/// 10 µs, for the three systems.
-pub fn fig17(_args: &Args) -> String {
-    let net = NetworkConfig::paper_default();
-    let trace = IncastWorkload {
-        degree: 15,
-        flow_bytes: 1_000,
-        n_tors: net.n_tors,
-        start: 10_000,
-    }
-    .generate(SEED);
-    let dst = trace.flows()[0].dst;
-    let horizon = 60_000;
-    let mut out = String::new();
-    for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
-        let mut sim = NegotiatorSim::with_options(
-            NegotiatorConfig::paper_default(net.clone()),
-            kind,
-            SimOptions {
-                rx_window: Some(WINDOW),
-                ..SimOptions::default()
-            },
-        );
-        sim.run(&trace, horizon);
-        let mut table = Table::new(
-            format!("Figure 17 — receiver bandwidth, NegotiaToR {}", kind.label()),
-            &["time_us", "gbps"],
-        );
-        series_rows(&mut table, sim.rx_series(dst).unwrap(), 40_000, None);
-        out.push_str(&table.render());
-        out.push('\n');
-    }
-    let mut sim = ObliviousSim::with_recording(
-        ObliviousConfig::paper_default(net.clone()),
-        TopologyKind::ThinClos,
-        ObliviousRecording {
+/// Run a NegotiaToR burst and render destination `dst`'s receiver series.
+fn nego_rx_block(
+    title: String,
+    net: &NetworkConfig,
+    kind: TopologyKind,
+    trace: &FlowTrace,
+    dst: usize,
+    horizon: Nanos,
+    until: Nanos,
+) -> String {
+    let mut sim = NegotiatorSim::with_options(
+        NegotiatorConfig::paper_default(net.clone()),
+        kind,
+        SimOptions {
             rx_window: Some(WINDOW),
-            transit_window: None,
+            ..SimOptions::default()
         },
     );
-    sim.run(&trace, horizon);
-    let mut table = Table::new(
-        "Figure 17 — receiver bandwidth, traffic-oblivious thin-clos",
-        &["time_us", "gbps"],
-    );
-    series_rows(&mut table, sim.rx_final(dst).unwrap(), 40_000, None);
-    out.push_str(&table.render());
-    out
+    sim.run(trace, horizon);
+    let mut table = Table::new(title, &["time_us", "gbps"]);
+    series_rows(&mut table, sim.rx_series(dst).unwrap(), until, None);
+    table.render()
+}
+
+/// Figure 17: receiver bandwidth during a degree-15 incast injected at
+/// 10 µs, for the three systems.
+pub struct Fig17;
+
+impl Experiment for Fig17 {
+    fn id(&self) -> &'static str {
+        "fig17"
+    }
+    fn artifact(&self) -> &'static str {
+        "Figure 17 (A.3): receiver bandwidth under incast"
+    }
+    fn specs(&self, args: &Args) -> Vec<RunSpec> {
+        let net = NetworkConfig::paper_default();
+        let trace = Arc::new(
+            IncastWorkload {
+                degree: 15,
+                flow_bytes: 1_000,
+                n_tors: net.n_tors,
+                start: 10_000,
+            }
+            .generate(SEED),
+        );
+        let dst = trace.flows()[0].dst;
+        let horizon = 60_000;
+        let mut specs = Vec::new();
+        for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
+            let net = net.clone();
+            let trace = Arc::clone(&trace);
+            let meta = RunMeta::new(
+                self.id(),
+                specs.len(),
+                format!("nego/{}", kind.label()),
+                args,
+            )
+            .seed(SEED)
+            .duration(horizon);
+            specs.push(RunSpec::new(meta, move || {
+                let block = format!(
+                    "{}\n",
+                    nego_rx_block(
+                        format!(
+                            "Figure 17 — receiver bandwidth, NegotiaToR {}",
+                            kind.label()
+                        ),
+                        &net,
+                        kind,
+                        &trace,
+                        dst,
+                        horizon,
+                        40_000,
+                    )
+                );
+                RunMetrics::new(Rendered::Block(block))
+            }));
+        }
+        {
+            let net = net.clone();
+            let trace = Arc::clone(&trace);
+            let meta = RunMeta::new(self.id(), specs.len(), "oblivious/thin-clos", args)
+                .seed(SEED)
+                .duration(horizon);
+            specs.push(RunSpec::new(meta, move || {
+                let mut sim = ObliviousSim::with_recording(
+                    ObliviousConfig::paper_default(net.clone()),
+                    TopologyKind::ThinClos,
+                    ObliviousRecording {
+                        rx_window: Some(WINDOW),
+                        transit_window: None,
+                    },
+                );
+                sim.run(&trace, horizon);
+                let mut table = Table::new(
+                    "Figure 17 — receiver bandwidth, traffic-oblivious thin-clos",
+                    &["time_us", "gbps"],
+                );
+                series_rows(&mut table, sim.rx_final(dst).unwrap(), 40_000, None);
+                RunMetrics::new(Rendered::Block(table.render()))
+            }));
+        }
+        specs
+    }
+    fn render(&self, results: &[RunResult]) -> String {
+        results.iter().map(|r| r.block()).collect()
+    }
 }
 
 /// Figure 18: receiver bandwidth during a 30 KB all-to-all injected at
 /// 10 µs; the oblivious system additionally shows the transit (relay)
 /// traffic competing at the same receiver.
-pub fn fig18(_args: &Args) -> String {
-    let net = NetworkConfig::paper_default();
-    let trace = AllToAllWorkload {
-        flow_bytes: 30_000,
-        n_tors: net.n_tors,
-        start: 10_000,
+pub struct Fig18;
+
+impl Experiment for Fig18 {
+    fn id(&self) -> &'static str {
+        "fig18"
     }
-    .generate();
-    let dst = 17; // "a randomly chosen destination"
-    let horizon = 600_000;
-    let until = 250_000;
-    let mut out = String::new();
-    for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
-        let mut sim = NegotiatorSim::with_options(
-            NegotiatorConfig::paper_default(net.clone()),
-            kind,
-            SimOptions {
-                rx_window: Some(WINDOW),
-                ..SimOptions::default()
-            },
-        );
-        sim.run(&trace, horizon);
-        let mut table = Table::new(
-            format!("Figure 18 — receiver bandwidth, NegotiaToR {}", kind.label()),
-            &["time_us", "gbps"],
-        );
-        series_rows(&mut table, sim.rx_series(dst).unwrap(), until, None);
-        out.push_str(&table.render());
-        out.push('\n');
+    fn artifact(&self) -> &'static str {
+        "Figure 18 (A.3): receiver bandwidth under all-to-all"
     }
-    let mut sim = ObliviousSim::with_recording(
-        ObliviousConfig::paper_default(net.clone()),
-        TopologyKind::ThinClos,
-        ObliviousRecording {
-            rx_window: Some(WINDOW),
-            transit_window: Some(WINDOW),
-        },
-    );
-    sim.run(&trace, horizon);
-    let mut table = Table::new(
-        "Figure 18 — receiver bandwidth, traffic-oblivious (final + transit)",
-        &["time_us", "final_gbps", "transit_gbps"],
-    );
-    series_rows(
-        &mut table,
-        sim.rx_final(dst).unwrap(),
-        until,
-        sim.rx_transit(dst),
-    );
-    out.push_str(&table.render());
-    out
+    fn specs(&self, args: &Args) -> Vec<RunSpec> {
+        let net = NetworkConfig::paper_default();
+        let trace = Arc::new(
+            AllToAllWorkload {
+                flow_bytes: 30_000,
+                n_tors: net.n_tors,
+                start: 10_000,
+            }
+            .generate(),
+        );
+        let dst = 17; // "a randomly chosen destination"
+        let horizon = 600_000;
+        let until = 250_000;
+        let mut specs = Vec::new();
+        for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
+            let net = net.clone();
+            let trace = Arc::clone(&trace);
+            let meta = RunMeta::new(
+                self.id(),
+                specs.len(),
+                format!("nego/{}", kind.label()),
+                args,
+            )
+            .duration(horizon);
+            specs.push(RunSpec::new(meta, move || {
+                let block = format!(
+                    "{}\n",
+                    nego_rx_block(
+                        format!(
+                            "Figure 18 — receiver bandwidth, NegotiaToR {}",
+                            kind.label()
+                        ),
+                        &net,
+                        kind,
+                        &trace,
+                        dst,
+                        horizon,
+                        until,
+                    )
+                );
+                RunMetrics::new(Rendered::Block(block))
+            }));
+        }
+        {
+            let net = net.clone();
+            let trace = Arc::clone(&trace);
+            let meta =
+                RunMeta::new(self.id(), specs.len(), "oblivious/thin-clos", args).duration(horizon);
+            specs.push(RunSpec::new(meta, move || {
+                let mut sim = ObliviousSim::with_recording(
+                    ObliviousConfig::paper_default(net.clone()),
+                    TopologyKind::ThinClos,
+                    ObliviousRecording {
+                        rx_window: Some(WINDOW),
+                        transit_window: Some(WINDOW),
+                    },
+                );
+                sim.run(&trace, horizon);
+                let mut table = Table::new(
+                    "Figure 18 — receiver bandwidth, traffic-oblivious (final + transit)",
+                    &["time_us", "final_gbps", "transit_gbps"],
+                );
+                series_rows(
+                    &mut table,
+                    sim.rx_final(dst).unwrap(),
+                    until,
+                    sim.rx_transit(dst),
+                );
+                RunMetrics::new(Rendered::Block(table.render()))
+            }));
+        }
+        specs
+    }
+    fn render(&self, results: &[RunResult]) -> String {
+        results.iter().map(|r| r.block()).collect()
+    }
 }
 
 /// Figure 19: a single pair transmits continuously on the parallel network
 /// while links fail at 100 µs and recover at 300 µs; per-epoch receiver
 /// bandwidth shows the failure window and the zero-bandwidth epochs caused
 /// by lost scheduling messages.
-pub fn fig19(_args: &Args) -> String {
-    let net = NetworkConfig::paper_default();
-    let trace = FlowTrace::new(vec![workload::Flow {
-        id: 0,
-        src: 3,
-        dst: 77,
-        bytes: 1_000_000_000, // effectively endless
-        arrival: 0,
-    }]);
-    let mut sim = NegotiatorSim::with_options(
-        NegotiatorConfig::paper_default(net.clone()),
-        TopologyKind::Parallel,
-        SimOptions {
-            rx_window: Some(WINDOW),
-            ..SimOptions::default()
-        },
-    );
-    let epoch = sim.epoch_len();
-    sim.schedule_failure(
-        100_000,
-        FailureAction::FailRandom {
-            ratio: 0.10,
-            seed: SEED,
-        },
-    );
-    sim.schedule_failure(300_000, FailureAction::RepairAll);
-    sim.run(&trace, 400_000);
-    let rx = sim.rx_series(77).unwrap();
-    let mut table = Table::new(
-        "Figure 19 — pair bandwidth through failures (fail @100us, repair @300us)",
-        &["time_us", "gbps"],
-    );
-    series_rows(&mut table, rx, 400_000, None);
-    let mut zero_epochs = 0;
-    let mut total_epochs = 0;
-    // Whole failure window, skipping the detection transient.
-    let mut from = 100_000 + 5 * epoch;
-    while from + epoch <= 300_000 {
-        total_epochs += 1;
-        if rx.mean_gbps(from, from + epoch) == 0.0 {
-            zero_epochs += 1;
-        }
-        from += epoch;
+pub struct Fig19;
+
+impl Experiment for Fig19 {
+    fn id(&self) -> &'static str {
+        "fig19"
     }
-    format!(
-        "{}\nzero-bandwidth epochs in failure window: {zero_epochs}/{total_epochs} \
-         (lost scheduling messages suspend the pair until the rotated round-robin \
-         rule routes them over healthy links)\n",
-        table.render()
-    )
+    fn artifact(&self) -> &'static str {
+        "Figure 19 (A.4): bandwidth occupation under failures"
+    }
+    fn specs(&self, args: &Args) -> Vec<RunSpec> {
+        let horizon = 400_000;
+        let meta = RunMeta::new(self.id(), 0, "nego/parallel", args)
+            .seed(SEED)
+            .duration(horizon);
+        vec![RunSpec::new(meta, move || {
+            let net = NetworkConfig::paper_default();
+            let trace = FlowTrace::new(vec![workload::Flow {
+                id: 0,
+                src: 3,
+                dst: 77,
+                bytes: 1_000_000_000, // effectively endless
+                arrival: 0,
+            }]);
+            let mut sim = NegotiatorSim::with_options(
+                NegotiatorConfig::paper_default(net.clone()),
+                TopologyKind::Parallel,
+                SimOptions {
+                    rx_window: Some(WINDOW),
+                    ..SimOptions::default()
+                },
+            );
+            let epoch = sim.epoch_len();
+            sim.schedule_failure(
+                100_000,
+                FailureAction::FailRandom {
+                    ratio: 0.10,
+                    seed: SEED,
+                },
+            );
+            sim.schedule_failure(300_000, FailureAction::RepairAll);
+            sim.run(&trace, horizon);
+            let rx = sim.rx_series(77).unwrap();
+            let mut table = Table::new(
+                "Figure 19 — pair bandwidth through failures (fail @100us, repair @300us)",
+                &["time_us", "gbps"],
+            );
+            series_rows(&mut table, rx, horizon, None);
+            let mut zero_epochs = 0;
+            let mut total_epochs = 0;
+            // Whole failure window, skipping the detection transient.
+            let mut from = 100_000 + 5 * epoch;
+            while from + epoch <= 300_000 {
+                total_epochs += 1;
+                if rx.mean_gbps(from, from + epoch) == 0.0 {
+                    zero_epochs += 1;
+                }
+                from += epoch;
+            }
+            let block = format!(
+                "{}\nzero-bandwidth epochs in failure window: {zero_epochs}/{total_epochs} \
+                 (lost scheduling messages suspend the pair until the rotated round-robin \
+                 rule routes them over healthy links)\n",
+                table.render()
+            );
+            RunMetrics::new(Rendered::Block(block))
+                .push_extra("zero_epochs", zero_epochs as f64)
+                .push_extra("total_epochs", total_epochs as f64)
+        })]
+    }
+    fn render(&self, results: &[RunResult]) -> String {
+        results.iter().map(|r| r.block()).collect()
+    }
 }

@@ -5,15 +5,25 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin paper -- fig9
-//! cargo run --release -p bench --bin paper -- all --duration-ms 5
+//! cargo run --release -p bench --bin paper -- all --jobs 8 --json --out results/
 //! ```
 //!
 //! Each experiment prints the same rows/series the paper reports, as
-//! aligned text tables. DESIGN.md carries the per-experiment index mapping
-//! every id to its paper artifact, workload and modules; EXPERIMENTS.md
-//! records paper-vs-measured comparisons.
+//! aligned text tables; `--json` additionally writes one machine-readable
+//! `results/<id>.json` per experiment (see [`results`] for the schema and
+//! the `bench-diff` binary for the CI regression gate). The sweep layer
+//! ([`sweep`]) expands every experiment into independent runs and executes
+//! them across `--jobs N` worker threads, reassembling outputs in spec
+//! order so parallel reports are byte-identical to serial ones.
+//!
+//! DESIGN.md carries the per-experiment index mapping every id to its
+//! paper artifact, workload and modules; EXPERIMENTS.md records
+//! paper-vs-measured comparisons.
 
+pub mod cli;
 pub mod experiments;
+pub mod results;
 pub mod runs;
+pub mod sweep;
 
-pub use experiments::{run_experiment, Args, EXPERIMENTS};
+pub use experiments::{find_experiment, run_experiment, Args, Experiment, EXPERIMENTS};

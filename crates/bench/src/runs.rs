@@ -17,7 +17,12 @@ pub const DEFAULT_DURATION: Nanos = 5_000_000;
 pub const SEED: u64 = 20240804; // SIGCOMM'24 week
 
 /// Build the paper's Poisson background trace at `load` over `net`.
-pub fn background(dist: FlowSizeDist, load: f64, net: &NetworkConfig, duration: Nanos) -> FlowTrace {
+pub fn background(
+    dist: FlowSizeDist,
+    load: f64,
+    net: &NetworkConfig,
+    duration: Nanos,
+) -> FlowTrace {
     background_seeded(dist, load, net, duration, SEED)
 }
 

@@ -127,6 +127,56 @@ impl FctReport {
             self.completed as f64 / self.total as f64
         }
     }
+
+    /// Condense into the scalar summary the JSON emit carries. Unlike the
+    /// report itself, the summary holds no per-flow samples, so it is
+    /// cheap to keep for hundreds of runs of a sweep.
+    pub fn summary(&mut self) -> FctSummary {
+        FctSummary {
+            p50_ns: self.cdf.percentile(50.0),
+            p99_ns: self.cdf.percentile(99.0),
+            mean_ns: if self.cdf.is_empty() {
+                None
+            } else {
+                Some(self.mean_ns())
+            },
+            completed: self.completed,
+            total: self.total,
+        }
+    }
+
+    /// Machine-readable form: percentiles, mean and completion counts.
+    pub fn to_json(&mut self) -> crate::Json {
+        self.summary().to_json()
+    }
+}
+
+/// The scalar digest of an [`FctReport`] (no sample vectors).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FctSummary {
+    /// Median FCT in ns (`None` when no flow completed).
+    pub p50_ns: Option<f64>,
+    /// 99th-percentile FCT in ns (`None` when no flow completed).
+    pub p99_ns: Option<f64>,
+    /// Mean FCT in ns (`None` when no flow completed).
+    pub mean_ns: Option<f64>,
+    /// Flows in the class that completed.
+    pub completed: usize,
+    /// Flows in the class overall.
+    pub total: usize,
+}
+
+impl FctSummary {
+    /// Machine-readable form: percentiles, mean and completion counts.
+    pub fn to_json(&self) -> crate::Json {
+        let mut obj = crate::Json::object();
+        obj.push("p50_ns", self.p50_ns)
+            .push("p99_ns", self.p99_ns)
+            .push("mean_ns", self.mean_ns)
+            .push("completed", self.completed as u64)
+            .push("total", self.total as u64);
+        obj
+    }
 }
 
 /// Goodput over a run.
@@ -155,6 +205,16 @@ impl GoodputReport {
     /// receives at the full 400 Gbps host rate).
     pub fn normalized(&self) -> f64 {
         self.per_tor_gbps() * 1e9 / self.host_bps as f64
+    }
+
+    /// Machine-readable form: raw bytes plus the derived rates.
+    pub fn to_json(&self) -> crate::Json {
+        let mut obj = crate::Json::object();
+        obj.push("delivered_bytes", self.delivered_bytes)
+            .push("duration_ns", self.duration)
+            .push("per_tor_gbps", self.per_tor_gbps())
+            .push("normalized", self.normalized());
+        obj
     }
 }
 
@@ -224,6 +284,22 @@ impl RunReport {
         }
     }
 
+    /// Condense into the scalar digest the sweep engine retains per run
+    /// (full reports hold one sample per flow; summaries are a few words).
+    pub fn summary(&mut self) -> RunSummary {
+        RunSummary {
+            mice: self.mice.summary(),
+            all: self.all.summary(),
+            goodput: self.goodput,
+        }
+    }
+
+    /// Machine-readable form of the whole report (schema: `mice`/`all`
+    /// FCT summaries + `goodput`), used by the sweep engine's JSON emit.
+    pub fn to_json(&mut self) -> crate::Json {
+        self.summary().to_json()
+    }
+
     /// Finish time of a synchronized burst: latest completion among the
     /// flows, relative to their common arrival. `None` unless every flow
     /// completed (an unfinished incast has no finish time).
@@ -234,6 +310,30 @@ impl RunReport {
             latest = latest.max(done - f.arrival);
         }
         Some(latest)
+    }
+}
+
+/// The scalar digest of a [`RunReport`]: FCT summaries for both flow
+/// classes plus the goodput figures, with no per-flow sample vectors —
+/// what a sweep keeps per run and what the JSON emit reads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSummary {
+    /// Digest of mice-flow (< 10 KB) FCT.
+    pub mice: FctSummary,
+    /// Digest of all-flow FCT.
+    pub all: FctSummary,
+    /// Goodput over the run.
+    pub goodput: GoodputReport,
+}
+
+impl RunSummary {
+    /// Machine-readable form (same shape as [`RunReport::to_json`]).
+    pub fn to_json(&self) -> crate::Json {
+        let mut obj = crate::Json::object();
+        obj.push("mice", self.mice.to_json())
+            .push("all", self.all.to_json())
+            .push("goodput", self.goodput.to_json());
+        obj
     }
 }
 
@@ -319,6 +419,30 @@ mod tests {
         let r = RunReport::build(&t, &tr, 20_000, 2, 400_000_000_000, Some(&tags));
         assert_eq!(r.all.total, 1);
         assert_eq!(r.goodput.delivered_bytes, 51_000);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let t = trace();
+        let mut tr = FlowTracker::new(&t);
+        tr.deliver(0, 1_000, 1_100);
+        tr.deliver(1, 50_000, 10_200);
+        let mut r = RunReport::build(&t, &tr, 20_000, 2, 400_000_000_000, None);
+        let j = r.to_json();
+        let mice = j.get("mice").unwrap();
+        assert_eq!(mice.get("p99_ns").unwrap().as_f64(), Some(1_000.0));
+        assert_eq!(mice.get("total").unwrap().as_f64(), Some(1.0));
+        let gp = j.get("goodput").unwrap();
+        assert_eq!(gp.get("delivered_bytes").unwrap().as_f64(), Some(51_000.0));
+        // Empty classes serialize as nulls, not NaNs.
+        let mut empty = RunReport::build(&t, &FlowTracker::new(&t), 20_000, 2, 1, None);
+        assert!(empty
+            .to_json()
+            .get("mice")
+            .unwrap()
+            .get("p99_ns")
+            .unwrap()
+            .is_null());
     }
 
     #[test]

@@ -1,0 +1,536 @@
+//! Hand-rolled JSON: a tiny writer/parser pair for the harness's
+//! machine-readable results.
+//!
+//! The workspace builds offline with no crates.io dependencies, so instead
+//! of serde this module carries the ~200 lines of JSON the sweep engine
+//! actually needs: an ordered object model ([`Json`]), a deterministic
+//! pretty renderer (stable key order, shortest-round-trip floats — the
+//! byte-identity the determinism tests assert rests on this), and a strict
+//! recursive-descent parser for `bench-diff` to read result files back.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order so rendering is
+/// deterministic and diffs of result files stay readable.
+///
+/// Unsigned integers get their own variant so values beyond f64's 2^53
+/// integer range — notably hash-derived workload seeds — round-trip
+/// exactly. [`PartialEq`] treats numerically equal `Num`/`UInt` values as
+/// equal, so `parse(render(x)) == x` holds regardless of which variant a
+/// whole number started in.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number; non-finite values render as `null`.
+    Num(f64),
+    /// A non-negative integer, kept exact beyond 2^53.
+    UInt(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as an ordered key/value list.
+    Obj(Vec<(String, Json)>),
+}
+
+impl PartialEq for Json {
+    fn eq(&self, other: &Json) -> bool {
+        match (self, other) {
+            (Json::Null, Json::Null) => true,
+            (Json::Bool(a), Json::Bool(b)) => a == b,
+            (Json::Num(a), Json::Num(b)) => a == b,
+            (Json::UInt(a), Json::UInt(b)) => a == b,
+            // A whole number is the same value whichever variant holds it.
+            (Json::Num(a), Json::UInt(b)) | (Json::UInt(b), Json::Num(a)) => *a == *b as f64,
+            (Json::Str(a), Json::Str(b)) => a == b,
+            (Json::Arr(a), Json::Arr(b)) => a == b,
+            (Json::Obj(a), Json::Obj(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Json {
+    /// An empty object, ready for [`Json::push`].
+    pub fn object() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Append a key to an object. Panics on non-objects — misuse is a
+    /// harness bug, not a data error.
+    pub fn push(&mut self, key: &str, value: impl Into<Json>) -> &mut Json {
+        match self {
+            Json::Obj(members) => members.push((key.to_string(), value.into())),
+            other => panic!("Json::push on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Member of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number (`UInt` beyond 2^53 loses
+    /// precision here; use [`Json::as_u64`] for exact integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            Json::UInt(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// The exact integer value, if this is a `UInt` or a whole `Num`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(x) => Some(*x),
+            Json::Num(x) if *x >= 0.0 && *x == x.trunc() && *x < u64::MAX as f64 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The ordered members, if this is an object.
+    pub fn members(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Render as pretty-printed JSON (two-space indent, no trailing
+    /// newline). Deterministic: same value, same bytes.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => out.push_str(&fmt_f64(*x)),
+            Json::UInt(x) => {
+                let _ = write!(out, "{x}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document. Errors carry the byte offset.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Num(x)
+    }
+}
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::UInt(x)
+    }
+}
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::UInt(x as u64)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl From<Option<f64>> for Json {
+    fn from(x: Option<f64>) -> Json {
+        x.map_or(Json::Null, Json::Num)
+    }
+}
+
+/// Deterministic float formatting: integral values print without a
+/// fraction, everything else uses Rust's shortest round-trip form. JSON
+/// has no NaN/∞, so non-finite values become `null`.
+pub fn fmt_f64(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_string();
+    }
+    if x == x.trunc() && x.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            // Surrogates never appear in our own output;
+                            // map them to U+FFFD rather than failing.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so this
+                    // is always on a boundary).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // Plain non-negative integer literals stay exact (seeds exceed
+        // f64's 2^53 integer range); everything else goes through f64.
+        if !text.contains(['.', 'e', 'E', '-']) {
+            if let Ok(x) = text.parse::<u64>() {
+                return Ok(Json::UInt(x));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number '{text}' at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_parses_back() {
+        let mut obj = Json::object();
+        obj.push("schema_version", 1u64)
+            .push("name", "fig9")
+            .push("loads", Json::Arr(vec![Json::Num(0.1), Json::Num(1.0)]))
+            .push("missing", Json::Null)
+            .push("ok", true);
+        let text = obj.render();
+        assert_eq!(Json::parse(&text).unwrap(), obj);
+        // Stable key order in the rendering.
+        let v = text.find("schema_version").unwrap();
+        let n = text.find("name").unwrap();
+        assert!(v < n);
+    }
+
+    #[test]
+    fn float_formats() {
+        assert_eq!(fmt_f64(5.0), "5");
+        assert_eq!(fmt_f64(-3.0), "-3");
+        assert_eq!(fmt_f64(0.1), "0.1");
+        assert_eq!(fmt_f64(20240804.0), "20240804");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        // Round trip through parse.
+        for x in [0.1, 1.0 / 3.0, 1e-9, 123456.789, -0.25] {
+            let t = fmt_f64(x);
+            assert_eq!(Json::parse(&t).unwrap().as_f64(), Some(x), "{t}");
+        }
+    }
+
+    #[test]
+    fn big_integers_stay_exact() {
+        // Seeds beyond f64's 2^53 integer range must round-trip exactly.
+        let seed: u64 = 9_007_199_254_740_993; // 2^53 + 1
+        let mut obj = Json::object();
+        obj.push("seed", seed).push("max", u64::MAX);
+        let text = obj.render();
+        assert!(text.contains("9007199254740993"), "{text}");
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.get("seed").unwrap().as_u64(), Some(seed));
+        assert_eq!(back.get("max").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(back, obj);
+        // Whole numbers compare equal across variants; distinct big
+        // integers stay distinct (f64 would have collapsed them).
+        assert_eq!(Json::Num(5.0), Json::UInt(5));
+        assert_ne!(Json::UInt(seed), Json::UInt(seed - 1));
+        // Too big for u64 falls back to a float.
+        assert!(matches!(
+            Json::parse("123456789012345678901234567890").unwrap(),
+            Json::Num(_)
+        ));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let j = Json::Str("a\"b\\c\nd\u{1}".to_string());
+        let text = j.render();
+        assert_eq!(text, "\"a\\\"b\\\\c\\nd\\u0001\"");
+        assert_eq!(Json::parse(&text).unwrap(), j);
+    }
+
+    #[test]
+    fn parses_nested() {
+        let text = r#" { "a": [1, 2.5, {"b": null}], "c": "x", "d": false } "#;
+        let j = Json::parse(text).unwrap();
+        assert_eq!(j.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(j.get("c").unwrap().as_str(), Some("x"));
+        assert_eq!(j.get("d"), Some(&Json::Bool(false)));
+        assert!(j.get("a").unwrap().as_array().unwrap()[2]
+            .get("b")
+            .unwrap()
+            .is_null());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("\"open").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn push_guards_type() {
+        Json::Arr(vec![]).push("k", 1u64);
+    }
+}

@@ -14,11 +14,15 @@
 //! * [`FctReport`] / [`RunReport`] — derived statistics.
 //! * [`matchratio::MatchRatioRecorder`] — accepts/grants per epoch.
 //! * [`report`] — plain-text table rendering for the experiment harness.
+//! * [`json`] — a dependency-free JSON writer/parser so sweep results are
+//!   machine-readable (`results/<id>.json`, consumed by `bench-diff`).
 
 pub mod fct;
+pub mod json;
 pub mod matchratio;
 pub mod report;
 
-pub use fct::{FctReport, FlowTracker, GoodputReport, RunReport};
+pub use fct::{FctReport, FctSummary, FlowTracker, GoodputReport, RunReport, RunSummary};
+pub use json::Json;
 pub use matchratio::MatchRatioRecorder;
 pub use report::Table;

@@ -52,7 +52,8 @@ impl MatchRatioRecorder {
         self.per_epoch
             .iter()
             .enumerate()
-            .filter(|&(_i, &(g, _a))| g > 0).map(|(i, &(g, a))| (i, a as f64 / g as f64))
+            .filter(|&(_i, &(g, _a))| g > 0)
+            .map(|(i, &(g, a))| (i, a as f64 / g as f64))
             .collect()
     }
 }
@@ -95,7 +96,10 @@ mod tests {
         assert!((theoretical_match_efficiency(16) - 0.644).abs() < 0.001);
         assert!((theoretical_match_efficiency(128) - 0.634).abs() < 0.001);
         // Limit: 1 - 1/e ≈ 0.632.
-        assert!((theoretical_match_efficiency(1_000_000) - (1.0 - 1.0 / std::f64::consts::E)).abs() < 1e-5);
+        assert!(
+            (theoretical_match_efficiency(1_000_000) - (1.0 - 1.0 / std::f64::consts::E)).abs()
+                < 1e-5
+        );
     }
 
     #[test]

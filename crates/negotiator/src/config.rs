@@ -78,8 +78,7 @@ impl EpochConfig {
         let p = predefined_slots as f64;
         let g = guardband as f64;
         // overhead = P·g / (P·(g+w) + slot·k)  ⇒  solve for k.
-        let k = (p * (g / r0 - g - self.predefined_window as f64)
-            / self.scheduled_slot as f64)
+        let k = (p * (g / r0 - g - self.predefined_window as f64) / self.scheduled_slot as f64)
             .round()
             .max(1.0) as usize;
         EpochConfig {

@@ -144,7 +144,10 @@ impl AcceptArbiter {
 /// ToR-level REQUEST (§3.2.1 + the §3.4.1 threshold): a source requests
 /// every destination whose per-destination queue holds more than
 /// `threshold_bytes` (strictly; zero threshold means "any pending data").
-pub fn compute_requests(queue_bytes: impl Iterator<Item = (usize, u64)>, threshold_bytes: u64) -> Vec<usize> {
+pub fn compute_requests(
+    queue_bytes: impl Iterator<Item = (usize, u64)>,
+    threshold_bytes: u64,
+) -> Vec<usize> {
     queue_bytes
         .filter_map(|(dst, bytes)| (bytes > threshold_bytes).then_some(dst))
         .collect()
@@ -253,10 +256,12 @@ mod tests {
             let n = topo.net().n_tors;
             let s = topo.net().n_ports;
             let mut rng = Xoshiro256::new(11);
-            let mut grant_arbs: Vec<GrantArbiter> =
-                (0..n).map(|d| GrantArbiter::new(&topo, d, &mut rng)).collect();
-            let mut accept_arbs: Vec<AcceptArbiter> =
-                (0..n).map(|d| AcceptArbiter::new(&topo, d, &mut rng)).collect();
+            let mut grant_arbs: Vec<GrantArbiter> = (0..n)
+                .map(|d| GrantArbiter::new(&topo, d, &mut rng))
+                .collect();
+            let mut accept_arbs: Vec<AcceptArbiter> = (0..n)
+                .map(|d| AcceptArbiter::new(&topo, d, &mut rng))
+                .collect();
 
             // Everyone requests everyone.
             let mut grants_by_src: Vec<Vec<Grant>> = vec![Vec::new(); n];
@@ -291,10 +296,12 @@ mod tests {
         let n = topo.net().n_tors;
         let s = topo.net().n_ports;
         let mut rng = Xoshiro256::new(13);
-        let mut grant_arbs: Vec<GrantArbiter> =
-            (0..n).map(|d| GrantArbiter::new(&topo, d, &mut rng)).collect();
-        let mut accept_arbs: Vec<AcceptArbiter> =
-            (0..n).map(|d| AcceptArbiter::new(&topo, d, &mut rng)).collect();
+        let mut grant_arbs: Vec<GrantArbiter> = (0..n)
+            .map(|d| GrantArbiter::new(&topo, d, &mut rng))
+            .collect();
+        let mut accept_arbs: Vec<AcceptArbiter> = (0..n)
+            .map(|d| AcceptArbiter::new(&topo, d, &mut rng))
+            .collect();
         let (mut grants_total, mut accepts_total) = (0usize, 0usize);
         for _ in 0..400 {
             let mut grants_by_src: Vec<Vec<Grant>> = vec![Vec::new(); n];

@@ -65,7 +65,14 @@ impl DestQueue {
     /// Enqueue `bytes` of `flow` at `now`, split across priority levels by
     /// the PIAS `thresholds` (cumulative byte boundaries, e.g. `[1000,
     /// 10000]`). With `pias` false, all bytes go to level 0 (plain FIFO).
-    pub fn enqueue_flow(&mut self, flow: u64, bytes: u64, now: Nanos, pias: bool, thresholds: [u64; PRIORITY_LEVELS - 1]) {
+    pub fn enqueue_flow(
+        &mut self,
+        flow: u64,
+        bytes: u64,
+        now: Nanos,
+        pias: bool,
+        thresholds: [u64; PRIORITY_LEVELS - 1],
+    ) {
         debug_assert!(bytes > 0, "flows carry at least one byte");
         self.total_bytes += bytes;
         if !pias {
@@ -295,7 +302,7 @@ mod tests {
         let mut q = DestQueue::new();
         q.enqueue_flow(1, 50_000, 0, true, TH); // elephant first
         q.enqueue_flow(2, 500, 1, true, TH); // mice later
-        // Elephant's first 1 KB is level 0 and FIFO-ahead of the mice…
+                                             // Elephant's first 1 KB is level 0 and FIFO-ahead of the mice…
         assert_eq!(q.dequeue_packet(1_115).unwrap().flow, 1);
         // …but the mice's 500 B now outranks the elephant's levels 1/2.
         let p = q.dequeue_packet(1_115).unwrap();

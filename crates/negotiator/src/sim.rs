@@ -165,17 +165,17 @@ pub struct NegotiatorSim {
     // Pipeline outboxes (filled at epoch start, drained by the predefined
     // phase) and inboxes (filled by the predefined phase, consumed next
     // epoch start).
-    req_out: Vec<f64>,        // src * n + dst; NAN = no request
-    req_port_out: Vec<usize>, // projector port binding
+    req_out: Vec<f64>,                         // src * n + dst; NAN = no request
+    req_port_out: Vec<usize>,                  // projector port binding
     grants_out: Vec<Vec<(usize, usize, u64)>>, // per dst: (src, port, debit)
-    inbox_requests: Vec<Vec<ReqIn>>, // per dst
-    inbox_grants: Vec<Vec<(Grant, u64)>>, // per src: (grant, stateful debit)
-    active: Vec<Option<usize>>, // src * s + port -> dst
+    inbox_requests: Vec<Vec<ReqIn>>,           // per dst
+    inbox_grants: Vec<Vec<(Grant, u64)>>,      // per src: (grant, stateful debit)
+    active: Vec<Option<usize>>,                // src * s + port -> dst
 
     // Variant state.
-    matrices: Vec<DemandMatrix>,    // stateful (empty otherwise)
-    enqueued_total: Vec<u64>,       // src * n + dst, lifetime enqueued bytes
-    reported_total: Vec<u64>,       // stateful: bytes already reported
+    matrices: Vec<DemandMatrix>, // stateful (empty otherwise)
+    enqueued_total: Vec<u64>,    // src * n + dst, lifetime enqueued bytes
+    reported_total: Vec<u64>,    // stateful: bytes already reported
     iter_pending: VecDeque<Vec<Vec<Accept>>>, // iterative activation queue
 
     // Selective relay state.
@@ -233,8 +233,12 @@ impl NegotiatorSim {
         let s = cfg.net.n_ports;
         let pre_slots = topo.predefined_slots();
         let mut rng = Xoshiro256::new(cfg.seed);
-        let grant_arbs = (0..n).map(|d| GrantArbiter::new(&topo, d, &mut rng)).collect();
-        let accept_arbs = (0..n).map(|t| AcceptArbiter::new(&topo, t, &mut rng)).collect();
+        let grant_arbs = (0..n)
+            .map(|d| GrantArbiter::new(&topo, d, &mut rng))
+            .collect();
+        let accept_arbs = (0..n)
+            .map(|t| AcceptArbiter::new(&topo, t, &mut rng))
+            .collect();
         let sched_payload = cfg.scheduled_payload();
         let epoch_capacity = sched_payload * cfg.epoch.scheduled_slots as u64;
         let stateful = matches!(opts.mode, SchedulerMode::Stateful);
@@ -284,7 +288,14 @@ impl NegotiatorSim {
             egress_ok: vec![false; n * s],
             ingress_attempted: vec![false; n * s],
             ingress_ok: vec![false; n * s],
-            rx_buffer: vec![0; if opts.host_buffer_bytes.is_some() { n } else { 0 }],
+            rx_buffer: vec![
+                0;
+                if opts.host_buffer_bytes.is_some() {
+                    n
+                } else {
+                    0
+                }
+            ],
             host_drain_per_epoch: 0, // finalized below (needs epoch length)
             tracker: None,
             match_rec: MatchRatioRecorder::new(),
@@ -298,11 +309,7 @@ impl NegotiatorSim {
             topo,
             opts,
         };
-        sim.host_drain_per_epoch = sim
-            .cfg
-            .net
-            .host_bandwidth
-            .bytes_in(sim.epoch_len);
+        sim.host_drain_per_epoch = sim.cfg.net.host_bandwidth.bytes_in(sim.epoch_len);
         sim
     }
 
@@ -360,7 +367,10 @@ impl NegotiatorSim {
     /// The engine may stop early once every flow has completed and all
     /// queues are drained; goodput is still normalized over `duration`.
     pub fn run(&mut self, trace: &FlowTrace, duration: Nanos) -> RunReport {
-        assert!(!self.ran, "NegotiatorSim::run is single-shot; build a new sim");
+        assert!(
+            !self.ran,
+            "NegotiatorSim::run is single-shot; build a new sim"
+        );
         self.ran = true;
         self.ran_duration = duration;
         let mut tracker = FlowTracker::new(trace);
@@ -493,9 +503,8 @@ impl NegotiatorSim {
                     })
                     .collect()
             } else {
-                self.accept_arbs[src].accept(self.s, &grants, |dst, port| {
-                    detector.usable(src, dst, port)
-                })
+                self.accept_arbs[src]
+                    .accept(self.s, &grants, |dst, port| detector.usable(src, dst, port))
             };
             total_accepts += accepts.len() as u64;
             for a in &accepts {
@@ -556,23 +565,20 @@ impl NegotiatorSim {
             match self.opts.mode {
                 SchedulerMode::Base | SchedulerMode::Iterative { .. } => {
                     let srcs: Vec<usize> = reqs.iter().map(|r| r.src).collect();
-                    let grants = self.grant_arbs[dst].grant(self.s, &srcs, |src, port| {
-                        detector.usable(src, dst, port)
-                    });
+                    let grants = self.grant_arbs[dst]
+                        .grant(self.s, &srcs, |src, port| detector.usable(src, dst, port));
                     self.grants_out[dst].extend(grants.into_iter().map(|(s, p)| (s, p, 0)));
                 }
                 SchedulerMode::Stateful => {
                     // Candidates: sources whose matrix entry shows pending
                     // data (requests above already refreshed the matrix).
                     let matrix = &self.matrices[dst];
-                    let srcs: Vec<usize> =
-                        (0..self.n).filter(|&s| matrix.has_pending(s)).collect();
+                    let srcs: Vec<usize> = (0..self.n).filter(|&s| matrix.has_pending(s)).collect();
                     if srcs.is_empty() {
                         continue;
                     }
-                    let grants = self.grant_arbs[dst].grant(self.s, &srcs, |src, port| {
-                        detector.usable(src, dst, port)
-                    });
+                    let grants = self.grant_arbs[dst]
+                        .grant(self.s, &srcs, |src, port| detector.usable(src, dst, port));
                     let cap = self.epoch_capacity;
                     for (src, port) in grants {
                         let debit = self.matrices[dst].debit(src, cap);
@@ -732,8 +738,7 @@ impl NegotiatorSim {
                 if dst == src {
                     continue;
                 }
-                if !relay::pair_qualifies(&self.queues[src * self.n + dst], &self.relay_policy)
-                {
+                if !relay::pair_qualifies(&self.queues[src * self.n + dst], &self.relay_policy) {
                     continue;
                 }
                 // Scan a rotating window of intermediates; keep up to two
@@ -748,8 +753,7 @@ impl NegotiatorSim {
                         Some(p) => p,
                         None => continue,
                     };
-                    if relay::port_busy(self.direct_backlog_via_port(src, p1), &self.relay_policy)
-                    {
+                    if relay::port_busy(self.direct_backlog_via_port(src, p1), &self.relay_policy) {
                         continue;
                     }
                     self.relay_req_out[src].push(RelayRequest {
@@ -962,9 +966,8 @@ impl NegotiatorSim {
                                 // its relay buffer and re-queued for the
                                 // final destination at lowest priority.
                                 self.relay_buffers[via].admit(pkt.bytes);
-                                self.queues[via * self.n + final_dst].enqueue_relay(
-                                    pkt.flow, pkt.bytes, arrive,
-                                );
+                                self.queues[via * self.n + final_dst]
+                                    .enqueue_relay(pkt.flow, pkt.bytes, arrive);
                             }
                         } else {
                             self.active_relay[slot] = None; // drained
@@ -1096,8 +1099,8 @@ mod tests {
             let mut s = NegotiatorSim::new(small_cfg(), TopologyKind::Parallel);
             let epoch = s.epoch_len();
             s.run(&trace, 100 * epoch);
-            let t = RunReport::burst_finish_time(&trace, s.tracker())
-                .expect("incast must complete");
+            let t =
+                RunReport::burst_finish_time(&trace, s.tracker()).expect("incast must complete");
             finish.push(t);
         }
         let spread = *finish.iter().max().unwrap() as f64 / *finish.iter().min().unwrap() as f64;
@@ -1158,7 +1161,13 @@ mod tests {
         let epoch = s.epoch_len();
         let fail_at = 60 * epoch;
         let repair_at = 160 * epoch;
-        s.schedule_failure(fail_at, FailureAction::FailRandom { ratio: 0.25, seed: 7 });
+        s.schedule_failure(
+            fail_at,
+            FailureAction::FailRandom {
+                ratio: 0.25,
+                seed: 7,
+            },
+        );
         s.schedule_failure(repair_at, FailureAction::RepairAll);
         s.run(&trace, 260 * epoch);
         let rx = s.total_rx().unwrap();
@@ -1259,7 +1268,13 @@ mod tests {
     fn lost_packets_counted_under_ground_failures() {
         let mut s = NegotiatorSim::new(small_cfg(), TopologyKind::Parallel);
         let epoch = s.epoch_len();
-        s.schedule_failure(0, FailureAction::FailRandom { ratio: 0.3, seed: 2 });
+        s.schedule_failure(
+            0,
+            FailureAction::FailRandom {
+                ratio: 0.3,
+                seed: 2,
+            },
+        );
         s.run(&single_flow(500_000, 0), 50 * epoch);
         assert!(
             s.stats().lost_packets > 0,
@@ -1296,15 +1311,18 @@ mod tests {
             let epoch = s.epoch_len();
             s.run(&trace, 600 * epoch);
             // Received rate at the hot ToR while the burst drains, in Gbps.
-            let finish = RunReport::burst_finish_time(&trace, s.tracker())
-                .expect("burst must complete");
+            let finish =
+                RunReport::burst_finish_time(&trace, s.tracker()).expect("burst must complete");
             (s.tracker().delivered_payload() * 8) as f64 / finish as f64
         };
         let unbounded = run(None);
         let bounded = run(Some(100_000));
         // Hosts drain at 200 Gbps on the test fabric; the fabric can push
         // 400 Gbps into one ToR.
-        assert!(unbounded > 250.0, "unbounded should use speedup: {unbounded}");
+        assert!(
+            unbounded > 250.0,
+            "unbounded should use speedup: {unbounded}"
+        );
         assert!(
             bounded < unbounded * 0.85,
             "backpressure must throttle: bounded {bounded} vs unbounded {unbounded}"

@@ -93,8 +93,12 @@ mod tests {
         let n = topo.net().n_tors;
         let mut rng = Xoshiro256::new(21);
         (
-            (0..n).map(|d| GrantArbiter::new(topo, d, &mut rng)).collect(),
-            (0..n).map(|d| AcceptArbiter::new(topo, d, &mut rng)).collect(),
+            (0..n)
+                .map(|d| GrantArbiter::new(topo, d, &mut rng))
+                .collect(),
+            (0..n)
+                .map(|d| AcceptArbiter::new(topo, d, &mut rng))
+                .collect(),
         )
     }
 
@@ -133,8 +137,7 @@ mod tests {
             let topo = AnyTopology::build(kind, NetworkConfig::small_for_tests());
             let n = topo.net().n_tors;
             let (mut ga, mut aa) = setup(&topo);
-            let accepted =
-                IterativeMatcher::compute(&topo, &all_requests(n), &mut ga, &mut aa, 5);
+            let accepted = IterativeMatcher::compute(&topo, &all_requests(n), &mut ga, &mut aa, 5);
             let entries: Vec<MatchEntry> = accepted
                 .iter()
                 .enumerate()

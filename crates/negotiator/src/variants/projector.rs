@@ -75,10 +75,12 @@ pub fn bind_requests<T: Topology>(
 pub fn grant_by_waiting(n_ports: usize, requests: &[PortRequest]) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     for port in 0..n_ports {
-        let winner = requests
-            .iter()
-            .filter(|r| r.port == port)
-            .max_by(|a, b| a.waiting.partial_cmp(&b.waiting).unwrap().then(b.src.cmp(&a.src)));
+        let winner = requests.iter().filter(|r| r.port == port).max_by(|a, b| {
+            a.waiting
+                .partial_cmp(&b.waiting)
+                .unwrap()
+                .then(b.src.cmp(&a.src))
+        });
         if let Some(r) = winner {
             out.push((r.src, port));
         }
@@ -109,16 +111,14 @@ mod tests {
         let reqs = bind_requests(&topo, 0, &qs, 1_000);
         assert_eq!(reqs.len(), 3);
         assert_eq!(reqs[0].0, 1, "oldest bundle binds first");
-        let ports: std::collections::HashSet<usize> =
-            reqs.iter().map(|(_, r)| r.port).collect();
+        let ports: std::collections::HashSet<usize> = reqs.iter().map(|(_, r)| r.port).collect();
         assert_eq!(ports.len(), 3, "distinct ports");
     }
 
     #[test]
     fn binding_saturates_at_port_count() {
         let topo = AnyTopology::build(TopologyKind::Parallel, NetworkConfig::small_for_tests());
-        let demands: Vec<(usize, u64, Nanos)> =
-            (1..9).map(|d| (d, 500u64, 0 as Nanos)).collect();
+        let demands: Vec<(usize, u64, Nanos)> = (1..9).map(|d| (d, 500u64, 0 as Nanos)).collect();
         let reqs = bind_requests(&topo, 0, &queues_with(16, &demands), 1_000);
         assert_eq!(reqs.len(), 4, "only 4 ports available");
     }
@@ -139,9 +139,21 @@ mod tests {
     #[test]
     fn grant_prefers_longest_waiting() {
         let reqs = vec![
-            PortRequest { src: 1, port: 0, waiting: 10.0 },
-            PortRequest { src: 2, port: 0, waiting: 90.0 },
-            PortRequest { src: 3, port: 2, waiting: 5.0 },
+            PortRequest {
+                src: 1,
+                port: 0,
+                waiting: 10.0,
+            },
+            PortRequest {
+                src: 2,
+                port: 0,
+                waiting: 90.0,
+            },
+            PortRequest {
+                src: 3,
+                port: 2,
+                waiting: 5.0,
+            },
         ];
         let grants = grant_by_waiting(4, &reqs);
         assert!(grants.contains(&(2, 0)));

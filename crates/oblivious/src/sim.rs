@@ -250,7 +250,10 @@ impl ObliviousSim {
 
     /// Play `trace` for `duration` ns and report.
     pub fn run(&mut self, trace: &FlowTrace, duration: Nanos) -> RunReport {
-        assert!(!self.ran, "ObliviousSim::run is single-shot; build a new sim");
+        assert!(
+            !self.ran,
+            "ObliviousSim::run is single-shot; build a new sim"
+        );
         self.ran = true;
         self.ran_duration = duration;
         let mut tracker = FlowTracker::new(trace);
@@ -283,8 +286,8 @@ impl ObliviousSim {
             }
 
             let arrive = now + self.slot_len + prop;
-            let arrive_slot = (t as usize + (self.slot_len + prop).div_ceil(self.slot_len) as usize)
-                % depth;
+            let arrive_slot =
+                (t as usize + (self.slot_len + prop).div_ceil(self.slot_len) as usize) % depth;
             for src in 0..self.n {
                 for port in 0..self.s {
                     let slot = (t % self.round as u64) as usize;
@@ -292,14 +295,7 @@ impl ObliviousSim {
                         Some(v) => v,
                         None => continue,
                     };
-                    self.serve_slot(
-                        src,
-                        via,
-                        arrive,
-                        arrive_slot,
-                        per_pair_cap,
-                        &mut tracker,
-                    );
+                    self.serve_slot(src, via, arrive, arrive_slot, per_pair_cap, &mut tracker);
                 }
             }
             t += 1;
@@ -500,8 +496,20 @@ mod tests {
         // Same trace with and without PQ: an elephant enqueued just before
         // a mice flow to the same destination.
         let trace = FlowTrace::new(vec![
-            Flow { id: 0, src: 0, dst: 5, bytes: 3_000_000, arrival: 0 },
-            Flow { id: 1, src: 0, dst: 5, bytes: 500, arrival: 100 },
+            Flow {
+                id: 0,
+                src: 0,
+                dst: 5,
+                bytes: 3_000_000,
+                arrival: 0,
+            },
+            Flow {
+                id: 1,
+                src: 0,
+                dst: 5,
+                bytes: 500,
+                arrival: 100,
+            },
         ]);
         let run = |pq: bool| {
             let mut cfg = small_cfg();
@@ -541,11 +549,23 @@ mod tests {
         );
         s.run(&single_flow(100_000), 20_000_000);
         let transit_total: u64 = (0..16)
-            .map(|d| s.rx_transit(d).unwrap().bytes_per_window().iter().sum::<u64>())
+            .map(|d| {
+                s.rx_transit(d)
+                    .unwrap()
+                    .bytes_per_window()
+                    .iter()
+                    .sum::<u64>()
+            })
             .sum();
         assert!(transit_total > 0, "VLB must generate transit traffic");
         let final_total: u64 = (0..16)
-            .map(|d| s.rx_final(d).unwrap().bytes_per_window().iter().sum::<u64>())
+            .map(|d| {
+                s.rx_final(d)
+                    .unwrap()
+                    .bytes_per_window()
+                    .iter()
+                    .sum::<u64>()
+            })
             .sum();
         assert_eq!(final_total, 100_000);
     }

@@ -15,17 +15,21 @@
 //! * [`stats`] — percentiles, means, CDFs and histograms used by the
 //!   metrics crate and the experiment harness.
 //! * [`series`] — windowed time-series sampling (receiver-bandwidth plots).
+//! * [`pool`] — a minimal ordered worker pool so the experiment harness can
+//!   fan independent runs across cores.
 //!
 //! Design notes: the simulators built on top of this crate are
 //! *slot-synchronous* (both architectures in the paper transmit in fixed,
 //! globally synchronized timeslots), so the event queue is used for
 //! irregular events (flow arrivals, link failures) while the per-slot fabric
-//! work advances with plain arithmetic on [`Nanos`]. Everything is
+//! work advances with plain arithmetic on [`Nanos`]. Each simulation run is
 //! single-threaded by design: reproducibility of the paper's experiments
 //! trumps parallel speed, and a full 30 ms run of the 128-ToR network
-//! completes in seconds.
+//! completes in seconds. Parallelism lives one layer up — [`pool`] executes
+//! many independent runs at once and reassembles their outputs in order.
 
 pub mod events;
+pub mod pool;
 pub mod rng;
 pub mod series;
 pub mod stats;

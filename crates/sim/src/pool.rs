@@ -1,0 +1,167 @@
+//! A minimal fixed-size worker pool for embarrassingly parallel sweeps.
+//!
+//! The experiment harness expands a sweep into independent, deterministic
+//! runs; this module executes them across threads and hands the outputs
+//! back **in submission order**, so a parallel sweep is indistinguishable
+//! from a serial one. The design is deliberately tiny and dependency-free
+//! (scoped threads + channels, no work stealing): workers pull the next
+//! task from a shared channel, compute, and send `(index, output)` back to
+//! the caller, which reassembles the slots.
+//!
+//! The simulators themselves stay single-threaded — reproducibility of a
+//! single run is untouched; only the sweep layer above them fans out.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// A boxed task the pool can run.
+pub type Task<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// Worker count matching the machine: `std::thread::available_parallelism`,
+/// falling back to 1 when the platform cannot say.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `tasks` across up to `jobs` worker threads and return the outputs
+/// in task order, regardless of completion order.
+///
+/// `jobs <= 1` (or a single task) degenerates to a plain in-order loop on
+/// the calling thread — the serial and parallel paths share everything
+/// else, which is what makes `--jobs N` output byte-identical to
+/// `--jobs 1`. A panicking task propagates its panic to the caller once
+/// the surviving workers drain.
+pub fn run_ordered<'a, T: Send + 'a>(jobs: usize, tasks: Vec<Task<'a, T>>) -> Vec<T> {
+    let n = tasks.len();
+    if jobs <= 1 || n <= 1 {
+        return tasks.into_iter().map(|task| task()).collect();
+    }
+    let workers = jobs.min(n);
+    // Pre-load the indexed tasks; the channel then acts as the shared,
+    // contention-light work queue (recv never blocks: it yields a task or
+    // reports the queue empty).
+    let (task_tx, task_rx) = mpsc::channel::<(usize, Task<'a, T>)>();
+    for pair in tasks.into_iter().enumerate() {
+        task_tx.send(pair).expect("receiver alive");
+    }
+    drop(task_tx);
+    let task_rx = Mutex::new(task_rx);
+    type Out<T> = (usize, std::thread::Result<T>);
+    let (out_tx, out_rx) = mpsc::channel::<Out<T>>();
+    let mut slots: Vec<Option<std::thread::Result<T>>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let out_tx = out_tx.clone();
+            let task_rx = &task_rx;
+            scope.spawn(move || loop {
+                let task = match task_rx.lock().expect("queue lock").recv() {
+                    Ok(task) => task,
+                    Err(_) => break, // queue drained
+                };
+                let (index, run) = task;
+                // Catch panics so the caller can re-raise the original
+                // payload (of the lowest-indexed failing task) instead of
+                // the scope's generic "a scoped thread panicked".
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+                // Errors mean the collector hung up; stop quietly.
+                if out_tx.send((index, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(out_tx);
+        for (index, value) in out_rx {
+            slots[index] = Some(value);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| match slot.expect("every task delivered an output") {
+            Ok(value) => value,
+            Err(payload) => std::panic::resume_unwind(payload),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed<'a, T: Send>(fns: Vec<impl FnOnce() -> T + Send + 'a>) -> Vec<Task<'a, T>> {
+        fns.into_iter()
+            .map(|f| Box::new(f) as Task<'a, T>)
+            .collect()
+    }
+
+    #[test]
+    fn outputs_follow_submission_order() {
+        // Later tasks finish first (earlier ones sleep); order must hold.
+        let tasks: Vec<Task<u64>> = (0..16u64)
+            .map(|i| {
+                Box::new(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(16 - i));
+                    i * i
+                }) as Task<u64>
+            })
+            .collect();
+        let out = run_ordered(4, tasks);
+        assert_eq!(out, (0..16u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let make = || {
+            boxed(
+                (0..32u64)
+                    .map(|i| move || i.wrapping_mul(0x9E3779B9))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run_ordered(1, make()), run_ordered(8, make()));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(run_ordered::<u32>(8, Vec::new()), Vec::<u32>::new());
+        assert_eq!(run_ordered(8, boxed(vec![|| 7])), vec![7]);
+    }
+
+    #[test]
+    fn more_jobs_than_tasks() {
+        assert_eq!(run_ordered(64, boxed(vec![|| 1, || 2])), vec![1, 2]);
+    }
+
+    #[test]
+    fn borrows_from_the_caller() {
+        // Non-'static tasks: scoped threads let tasks borrow locals.
+        let base = [10u64, 20, 30];
+        let tasks: Vec<Task<u64>> = base
+            .iter()
+            .map(|v| Box::new(move || v + 1) as Task<u64>)
+            .collect();
+        assert_eq!(run_ordered(2, tasks), vec![11, 21, 31]);
+    }
+
+    #[test]
+    #[should_panic(expected = "task 3 exploded")]
+    fn worker_panics_propagate() {
+        let tasks: Vec<Task<u64>> = (0..8u64)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("task 3 exploded");
+                    }
+                    i
+                }) as Task<u64>
+            })
+            .collect();
+        run_ordered(4, tasks);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

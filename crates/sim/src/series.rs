@@ -72,12 +72,7 @@ impl BandwidthSeries {
         }
         let lo = (from / self.window) as usize;
         let hi = to.div_ceil(self.window) as usize;
-        let total: u64 = self
-            .bytes
-            .iter()
-            .skip(lo)
-            .take(hi.saturating_sub(lo))
-            .sum();
+        let total: u64 = self.bytes.iter().skip(lo).take(hi.saturating_sub(lo)).sum();
         (total * 8) as f64 / (to - from) as f64
     }
 }

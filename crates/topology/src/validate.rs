@@ -46,7 +46,10 @@ pub enum MatchingError {
 /// Check that `matches` is collision-free and realizable on `topo`.
 ///
 /// Returns the first violation found, or `Ok(())`.
-pub fn validate_matching<T: Topology>(topo: &T, matches: &[MatchEntry]) -> Result<(), MatchingError> {
+pub fn validate_matching<T: Topology>(
+    topo: &T,
+    matches: &[MatchEntry],
+) -> Result<(), MatchingError> {
     let n = topo.net().n_tors;
     let s = topo.net().n_ports;
     let mut egress = vec![false; n * s];
@@ -92,10 +95,26 @@ mod tests {
     fn accepts_valid_matching() {
         let t = par();
         let m = [
-            MatchEntry { src: 0, port: 0, dst: 1 },
-            MatchEntry { src: 0, port: 1, dst: 1 }, // same pair, second port: fine
-            MatchEntry { src: 1, port: 0, dst: 2 },
-            MatchEntry { src: 2, port: 0, dst: 0 },
+            MatchEntry {
+                src: 0,
+                port: 0,
+                dst: 1,
+            },
+            MatchEntry {
+                src: 0,
+                port: 1,
+                dst: 1,
+            }, // same pair, second port: fine
+            MatchEntry {
+                src: 1,
+                port: 0,
+                dst: 2,
+            },
+            MatchEntry {
+                src: 2,
+                port: 0,
+                dst: 0,
+            },
         ];
         assert_eq!(validate_matching(&t, &m), Ok(()));
     }
@@ -104,8 +123,16 @@ mod tests {
     fn rejects_egress_conflict() {
         let t = par();
         let m = [
-            MatchEntry { src: 0, port: 0, dst: 1 },
-            MatchEntry { src: 0, port: 0, dst: 2 },
+            MatchEntry {
+                src: 0,
+                port: 0,
+                dst: 1,
+            },
+            MatchEntry {
+                src: 0,
+                port: 0,
+                dst: 2,
+            },
         ];
         assert_eq!(
             validate_matching(&t, &m),
@@ -117,8 +144,16 @@ mod tests {
     fn rejects_ingress_conflict() {
         let t = par();
         let m = [
-            MatchEntry { src: 0, port: 3, dst: 5 },
-            MatchEntry { src: 1, port: 3, dst: 5 },
+            MatchEntry {
+                src: 0,
+                port: 3,
+                dst: 5,
+            },
+            MatchEntry {
+                src: 1,
+                port: 3,
+                dst: 5,
+            },
         ];
         assert_eq!(
             validate_matching(&t, &m),
@@ -129,7 +164,11 @@ mod tests {
     #[test]
     fn rejects_self_loop_and_unreachable() {
         let t = par();
-        let selfy = MatchEntry { src: 3, port: 0, dst: 3 };
+        let selfy = MatchEntry {
+            src: 3,
+            port: 0,
+            dst: 3,
+        };
         assert_eq!(
             validate_matching(&t, &[selfy]),
             Err(MatchingError::SelfLoop(selfy))
@@ -138,7 +177,11 @@ mod tests {
         let thin = AnyTopology::build(TopologyKind::ThinClos, NetworkConfig::small_for_tests());
         // On thin-clos (16 ToRs, 4 ports, groups of 4): ToR 0 (group 0) via
         // port 1 reaches only group 1 = ToRs 4..8; dst 12 is unreachable.
-        let bad = MatchEntry { src: 0, port: 1, dst: 12 };
+        let bad = MatchEntry {
+            src: 0,
+            port: 1,
+            dst: 12,
+        };
         assert_eq!(
             validate_matching(&thin, &[bad]),
             Err(MatchingError::Unreachable(bad))

@@ -33,7 +33,9 @@ impl FlowSizeDist {
     pub fn from_points(name: &'static str, points: Vec<(f64, f64)>) -> Self {
         assert!(points.len() >= 2, "need at least two CDF points");
         assert!(
-            points.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1),
+            points
+                .windows(2)
+                .all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1),
             "CDF points must be strictly increasing"
         );
         let last = points.last().unwrap();
@@ -53,10 +55,10 @@ impl FlowSizeDist {
                 (120.0, 0.10),
                 (250.0, 0.25),
                 (500.0, 0.42),
-                (1_000.0, 0.60),   // 60% of flows < 1 KB
+                (1_000.0, 0.60), // 60% of flows < 1 KB
                 (2_000.0, 0.70),
                 (5_000.0, 0.76),
-                (10_000.0, 0.80),  // 80% mice by count
+                (10_000.0, 0.80), // 80% mice by count
                 (30_000.0, 0.85),
                 (100_000.0, 0.90), // 10% elephants > 100 KB …
                 (300_000.0, 0.95),
@@ -187,9 +189,8 @@ impl FlowSizeDist {
         let pts = &self.points;
         let mut above = 0.0;
         // First implicit segment [1, pts[0].0).
-        let segs = std::iter::once(((1.0, 0.0), pts[0])).chain(
-            pts.windows(2).map(|w| (w[0], w[1])),
-        );
+        let segs =
+            std::iter::once(((1.0, 0.0), pts[0])).chain(pts.windows(2).map(|w| (w[0], w[1])));
         for ((x0, p0), (x1, p1)) in segs {
             if x1 <= bytes {
                 continue;

@@ -106,8 +106,20 @@ mod tests {
     #[test]
     fn roundtrip() {
         let t = FlowTrace::new(vec![
-            Flow { id: 0, src: 1, dst: 2, bytes: 1_000, arrival: 50 },
-            Flow { id: 1, src: 3, dst: 0, bytes: 99, arrival: 10 },
+            Flow {
+                id: 0,
+                src: 1,
+                dst: 2,
+                bytes: 1_000,
+                arrival: 50,
+            },
+            Flow {
+                id: 1,
+                src: 3,
+                dst: 0,
+                bytes: 99,
+                arrival: 10,
+            },
         ]);
         let text = format_trace(&t);
         let back = parse_trace(&text).unwrap();
@@ -123,11 +135,11 @@ mod tests {
     #[test]
     fn rejects_malformed_lines() {
         for bad in [
-            "0 1 500",          // missing arrival
-            "0 1 500 0 extra",  // trailing field
-            "0 0 500 0",        // self-loop
-            "0 1 0 0",          // zero bytes
-            "a b c d",          // not numbers
+            "0 1 500",         // missing arrival
+            "0 1 500 0 extra", // trailing field
+            "0 0 500 0",       // self-loop
+            "0 1 0 0",         // zero bytes
+            "a b c d",         // not numbers
         ] {
             let err = parse_trace(bad).unwrap_err();
             assert!(matches!(err, TraceError::Parse { line: 1, .. }), "{bad}");

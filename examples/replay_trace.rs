@@ -53,10 +53,7 @@ fn main() {
         rn.goodput.normalized()
     );
 
-    let mut oblv = ObliviousSim::new(
-        ObliviousConfig::paper_default(net),
-        TopologyKind::ThinClos,
-    );
+    let mut oblv = ObliviousSim::new(ObliviousConfig::paper_default(net), TopologyKind::ThinClos);
     let mut ro = oblv.run(&trace, horizon);
     println!(
         "oblivious  : mice p99 {:>8.1} us, completed {}/{}, goodput {:.3}",

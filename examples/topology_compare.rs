@@ -27,8 +27,7 @@ fn main() {
         })
         .generate(duration, 7);
         for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
-            let mut sim =
-                NegotiatorSim::new(NegotiatorConfig::paper_default(net.clone()), kind);
+            let mut sim = NegotiatorSim::new(NegotiatorConfig::paper_default(net.clone()), kind);
             let mut report = sim.run(&trace, duration);
             println!(
                 "{:>4.0}%  {:<9}  {:>11.1}  {:>7.3}  {:>11.3}",

@@ -33,7 +33,10 @@ fn empty_trace_is_a_noop() {
         assert_eq!(report.all.total, 0);
         assert_eq!(report.goodput.delivered_bytes, 0);
     }
-    let mut s = ObliviousSim::new(ObliviousConfig::paper_default(tiny_net()), TopologyKind::ThinClos);
+    let mut s = ObliviousSim::new(
+        ObliviousConfig::paper_default(tiny_net()),
+        TopologyKind::ThinClos,
+    );
     let report = s.run(&FlowTrace::default(), 100_000);
     assert_eq!(report.goodput.delivered_bytes, 0);
 }
@@ -46,7 +49,10 @@ fn one_byte_flow_completes_everywhere() {
         s.run(&t, 5_000_000);
         assert_eq!(s.tracker().completed_count(), 1, "{kind:?}");
     }
-    let mut s = ObliviousSim::new(ObliviousConfig::paper_default(tiny_net()), TopologyKind::ThinClos);
+    let mut s = ObliviousSim::new(
+        ObliviousConfig::paper_default(tiny_net()),
+        TopologyKind::ThinClos,
+    );
     s.run(&t, 5_000_000);
     assert_eq!(s.tracker().completed_count(), 1);
 }
@@ -54,7 +60,10 @@ fn one_byte_flow_completes_everywhere() {
 #[test]
 fn flow_arriving_after_horizon_never_starts() {
     let t = FlowTrace::new(vec![flow(0, 1, 1_000, 10_000_000)]);
-    let mut s = NegotiatorSim::new(NegotiatorConfig::paper_default(tiny_net()), TopologyKind::Parallel);
+    let mut s = NegotiatorSim::new(
+        NegotiatorConfig::paper_default(tiny_net()),
+        TopologyKind::Parallel,
+    );
     let report = s.run(&t, 1_000_000);
     assert_eq!(report.all.completed, 0);
     assert_eq!(report.goodput.delivered_bytes, 0);

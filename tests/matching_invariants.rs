@@ -12,9 +12,7 @@ use negotiator::rings::Ring;
 use negotiator::variants::iterative::IterativeMatcher;
 use proptest::prelude::*;
 use sim::Xoshiro256;
-use topology::{
-    validate_matching, AnyTopology, MatchEntry, NetworkConfig, Topology, TopologyKind,
-};
+use topology::{validate_matching, AnyTopology, MatchEntry, NetworkConfig, Topology, TopologyKind};
 
 /// A random but always-valid network shape (thin-clos needs n_tors to be
 /// a multiple of n_ports).
@@ -40,10 +38,12 @@ fn one_cycle(
     let n = topo.net().n_tors;
     let s = topo.net().n_ports;
     let mut rng = Xoshiro256::new(seed);
-    let mut grant_arbs: Vec<GrantArbiter> =
-        (0..n).map(|d| GrantArbiter::new(topo, d, &mut rng)).collect();
-    let mut accept_arbs: Vec<AcceptArbiter> =
-        (0..n).map(|t| AcceptArbiter::new(topo, t, &mut rng)).collect();
+    let mut grant_arbs: Vec<GrantArbiter> = (0..n)
+        .map(|d| GrantArbiter::new(topo, d, &mut rng))
+        .collect();
+    let mut accept_arbs: Vec<AcceptArbiter> = (0..n)
+        .map(|t| AcceptArbiter::new(topo, t, &mut rng))
+        .collect();
     if rounds > 1 {
         let accepted =
             IterativeMatcher::compute(topo, requests, &mut grant_arbs, &mut accept_arbs, rounds);

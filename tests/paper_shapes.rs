@@ -28,9 +28,15 @@ fn trace(load: f64, duration: u64) -> workload::FlowTrace {
 fn negotiator_mice_fct_beats_oblivious() {
     let duration = 1_500_000;
     let t = trace(0.9, duration);
-    let mut nego = NegotiatorSim::new(NegotiatorConfig::paper_default(net()), TopologyKind::Parallel);
+    let mut nego = NegotiatorSim::new(
+        NegotiatorConfig::paper_default(net()),
+        TopologyKind::Parallel,
+    );
     let mut rn = nego.run(&t, duration);
-    let mut oblv = ObliviousSim::new(ObliviousConfig::paper_default(net()), TopologyKind::ThinClos);
+    let mut oblv = ObliviousSim::new(
+        ObliviousConfig::paper_default(net()),
+        TopologyKind::ThinClos,
+    );
     let mut ro = oblv.run(&t, duration);
     assert!(
         ro.mice.p99_ns() > 3.0 * rn.mice.p99_ns(),
@@ -45,9 +51,15 @@ fn negotiator_mice_fct_beats_oblivious() {
 fn negotiator_goodput_beats_oblivious_at_heavy_load() {
     let duration = 2_000_000;
     let t = trace(1.0, duration);
-    let mut nego = NegotiatorSim::new(NegotiatorConfig::paper_default(net()), TopologyKind::Parallel);
+    let mut nego = NegotiatorSim::new(
+        NegotiatorConfig::paper_default(net()),
+        TopologyKind::Parallel,
+    );
     let rn = nego.run(&t, duration);
-    let mut oblv = ObliviousSim::new(ObliviousConfig::paper_default(net()), TopologyKind::ThinClos);
+    let mut oblv = ObliviousSim::new(
+        ObliviousConfig::paper_default(net()),
+        TopologyKind::ThinClos,
+    );
     let ro = oblv.run(&t, duration);
     assert!(
         rn.goodput.normalized() > ro.goodput.normalized(),
@@ -63,7 +75,10 @@ fn negotiator_goodput_beats_oblivious_at_heavy_load() {
 fn most_mice_finish_within_two_epochs() {
     let duration = 1_500_000;
     let t = trace(1.0, duration);
-    let mut sim = NegotiatorSim::new(NegotiatorConfig::paper_default(net()), TopologyKind::Parallel);
+    let mut sim = NegotiatorSim::new(
+        NegotiatorConfig::paper_default(net()),
+        TopologyKind::Parallel,
+    );
     let mut rep = sim.run(&t, duration);
     let epoch = sim.epoch_len() as f64;
     let within = rep.mice.cdf.fraction_below(2.0 * epoch);
@@ -106,18 +121,27 @@ fn incast_scaling_shapes() {
         .generate(1);
         let horizon = 3_000_000;
         let tracker = if nego {
-            let mut s = NegotiatorSim::new(NegotiatorConfig::paper_default(net()), TopologyKind::Parallel);
+            let mut s = NegotiatorSim::new(
+                NegotiatorConfig::paper_default(net()),
+                TopologyKind::Parallel,
+            );
             s.run(&t, horizon);
             RunReport::burst_finish_time(&t, s.tracker())
         } else {
-            let mut s = ObliviousSim::new(ObliviousConfig::paper_default(net()), TopologyKind::ThinClos);
+            let mut s = ObliviousSim::new(
+                ObliviousConfig::paper_default(net()),
+                TopologyKind::ThinClos,
+            );
             s.run(&t, horizon);
             RunReport::burst_finish_time(&t, s.tracker())
         };
         tracker.expect("incast completes") as f64
     };
     let nego_ratio = finish(14, true) / finish(2, true);
-    assert!(nego_ratio < 2.0, "negotiator incast should stay flat: {nego_ratio}");
+    assert!(
+        nego_ratio < 2.0,
+        "negotiator incast should stay flat: {nego_ratio}"
+    );
     // The baseline's growth with degree is at least as steep as
     // NegotiaToR's (at paper scale it overtakes in absolute terms too, but
     // on this 16-ToR miniature its rotor round is much shorter than an
@@ -134,7 +158,10 @@ fn incast_scaling_shapes() {
 fn match_ratio_near_theory() {
     let duration = 2_000_000;
     let t = trace(1.0, duration);
-    let mut sim = NegotiatorSim::new(NegotiatorConfig::paper_default(net()), TopologyKind::Parallel);
+    let mut sim = NegotiatorSim::new(
+        NegotiatorConfig::paper_default(net()),
+        TopologyKind::Parallel,
+    );
     sim.run(&t, duration);
     let measured = sim.match_recorder().overall_ratio().expect("activity");
     let theory = negotiator::theory::expected_match_efficiency(16);
@@ -154,8 +181,10 @@ fn no_speedup_still_wins() {
     };
     let duration = 2_000_000;
     let t = trace(1.0, duration);
-    let mut nego =
-        NegotiatorSim::new(NegotiatorConfig::paper_default(flat.clone()), TopologyKind::Parallel);
+    let mut nego = NegotiatorSim::new(
+        NegotiatorConfig::paper_default(flat.clone()),
+        TopologyKind::Parallel,
+    );
     let rn = nego.run(&t, duration);
     let mut oblv = ObliviousSim::new(ObliviousConfig::paper_default(flat), TopologyKind::ThinClos);
     let ro = oblv.run(&t, duration);
@@ -180,7 +209,10 @@ fn subset_reports_partition() {
         incast_load: 0.02,
     }
     .generate(duration, 4);
-    let mut sim = NegotiatorSim::new(NegotiatorConfig::paper_default(net()), TopologyKind::Parallel);
+    let mut sim = NegotiatorSim::new(
+        NegotiatorConfig::paper_default(net()),
+        TopologyKind::Parallel,
+    );
     sim.run(&t, duration);
     let bg_tags: Vec<bool> = tags.iter().map(|&x| !x).collect();
     let a = sim.report_subset(&t, &tags);
