@@ -37,10 +37,9 @@ fn grant_accept_cycle(c: &mut Criterion) {
     c.bench_function("grant_accept_cycle_128tors_saturated", |b| {
         b.iter(|| {
             let mut grants_by_src: Vec<Vec<Grant>> = vec![Vec::new(); n];
-            #[allow(clippy::needless_range_loop)] // dst drives several arrays
-            for dst in 0..n {
+            for (dst, arb) in grant_arbs.iter_mut().enumerate() {
                 let reqs: Vec<usize> = requests.iter().copied().filter(|&r| r != dst).collect();
-                for (src, port) in grant_arbs[dst].grant(s, &reqs, |_, _| true) {
+                for (src, port) in arb.grant(s, &reqs, |_, _| true) {
                     grants_by_src[src].push(Grant { dst, port });
                 }
             }
@@ -84,6 +83,41 @@ fn small_trace(load: f64, duration: u64) -> workload::FlowTrace {
     .generate(duration, 7)
 }
 
+/// Paper-scale (128 ToRs × 8 ports) epoch throughput: a fixed number of
+/// epochs at moderate load, so `epochs / reported-time` is the engine's
+/// epochs/sec figure. The PR gate for hot-path work: this must not regress,
+/// and hot-path rewrites should move it by integer factors. `wall_time` in
+/// sweep results JSON is the same quantity aggregated over a whole
+/// experiment (see README § Performance).
+fn engine_epoch_throughput(c: &mut Criterion) {
+    const EPOCHS: u64 = 200;
+    for (label, kind, load) in [
+        ("parallel_40load", TopologyKind::Parallel, 0.4),
+        ("thinclos_40load", TopologyKind::ThinClos, 0.4),
+    ] {
+        let cfg = NegotiatorConfig::paper_default(NetworkConfig::paper_default());
+        let probe = NegotiatorSim::new(cfg.clone(), kind);
+        let duration = EPOCHS * probe.epoch_len();
+        let trace = PoissonWorkload::new(WorkloadSpec {
+            dist: FlowSizeDist::hadoop(),
+            load,
+            n_tors: cfg.net.n_tors,
+            host_bps: cfg.net.host_bandwidth.bps(),
+        })
+        .generate(duration, 11);
+        c.bench_function(
+            format!("engine_epoch_throughput_{label}_{EPOCHS}epochs"),
+            |b| {
+                b.iter_batched(
+                    || NegotiatorSim::new(cfg.clone(), kind),
+                    |mut sim| sim.run(&trace, duration),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+}
+
 fn negotiator_epoch_throughput(c: &mut Criterion) {
     let duration = 200_000; // ≈ 54 epochs on the 16-ToR fabric
     let trace = small_trace(1.0, duration);
@@ -124,6 +158,7 @@ criterion_group!(
     grant_accept_cycle,
     queue_ops,
     negotiator_epoch_throughput,
-    oblivious_slot_throughput
+    oblivious_slot_throughput,
+    engine_epoch_throughput
 );
 criterion_main!(benches);

@@ -9,14 +9,16 @@
 //! directory, and compares all numeric metrics run by run. Exits 1 when
 //! any metric moved more than the tolerance (default 5%), when runs or
 //! metrics appear/vanish, or when a baseline file has no current
-//! counterpart; wall-clock fields are ignored. Experiments present only
-//! in the current directory are reported but do not fail the gate — new
-//! experiments need a baseline refresh, not a red build.
+//! counterpart; wall-clock fields never gate, but when both sides carry
+//! timing the current/baseline wall-time ratio is printed as an
+//! informational note. Experiments present only in the current directory
+//! are reported but do not fail the gate — new experiments need a
+//! baseline refresh, not a red build.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use bench::results::diff_reports;
+use bench::results::{diff_reports, wall_time_ratio};
 use metrics::Json;
 
 struct Options {
@@ -64,8 +66,12 @@ fn main() -> ExitCode {
         match (load(file), load(&current_path)) {
             (Ok(baseline), Ok(current)) => {
                 let diffs = diff_reports(id, &baseline, &current, options.tolerance_pct);
+                // Wall time is informational only (hardware-dependent),
+                // shown so perf work is visible next to the metric gate.
+                let wall = wall_time_ratio(&baseline, &current)
+                    .map_or(String::new(), |r| format!(", wall-time ratio {r:.2}x"));
                 println!(
-                    "{id}: {} ({} runs)",
+                    "{id}: {} ({} runs{wall})",
                     if diffs.is_empty() { "OK" } else { "REGRESSED" },
                     baseline
                         .get("runs")

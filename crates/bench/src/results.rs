@@ -135,6 +135,21 @@ pub fn write_reports(
     Ok(paths)
 }
 
+/// Wall-time ratio `current / baseline` from the two documents' optional
+/// `timing.total_run_secs` fields. Purely informational — wall time varies
+/// with hardware and load, so it never participates in gating — but it is
+/// how the CI log shows a hot-path change's speedup (or regression) next
+/// to the metric diff.
+pub fn wall_time_ratio(baseline: &Json, current: &Json) -> Option<f64> {
+    let secs = |doc: &Json| {
+        doc.get("timing")
+            .and_then(|t| t.get("total_run_secs"))
+            .and_then(Json::as_f64)
+            .filter(|&s| s > 0.0)
+    };
+    Some(secs(current)? / secs(baseline)?)
+}
+
 /// Compare two parsed result documents (baseline vs current) and return
 /// the regressions: every numeric metric that moved more than
 /// `tolerance_pct` percent, plus any structural mismatch. Empty means the
@@ -343,6 +358,21 @@ mod tests {
         assert!(run.get("wall_secs").is_none());
         // The timing-free form parses back to itself.
         assert_eq!(Json::parse(&bare.render()).unwrap(), bare);
+    }
+
+    #[test]
+    fn wall_time_ratio_reads_timing_or_abstains() {
+        let rep = report();
+        let a = experiment_json(&rep, Some(1));
+        let mut faster = rep.clone();
+        faster.results[0].wall_secs = 0.125; // half of the baseline's 0.25
+        let b = experiment_json(&faster, Some(1));
+        let ratio = wall_time_ratio(&a, &b).expect("both sides carry timing");
+        assert!((ratio - 0.5).abs() < 1e-9, "ratio {ratio}");
+        // Timing-free documents yield no ratio instead of a division blowup.
+        let bare = experiment_json(&rep, None);
+        assert_eq!(wall_time_ratio(&bare, &b), None);
+        assert_eq!(wall_time_ratio(&a, &bare), None);
     }
 
     #[test]

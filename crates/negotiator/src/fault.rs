@@ -92,6 +92,17 @@ impl FaultDetector {
         !self.egress_excluded(src, port) && !self.ingress_excluded(dst, port)
     }
 
+    /// True when the detector carries no state at all: no exclusions and
+    /// every miss counter at zero. In this state a round of all-success
+    /// observations is a no-op, which is what lets the epoch engine skip
+    /// observation bookkeeping entirely while the fabric is healthy.
+    pub fn is_quiescent(&self) -> bool {
+        self.egress_miss.iter().all(|&m| m == 0)
+            && self.ingress_miss.iter().all(|&m| m == 0)
+            && !self.egress_excluded.iter().any(|&x| x)
+            && !self.ingress_excluded.iter().any(|&x| x)
+    }
+
     /// Number of currently excluded directed links.
     pub fn excluded_count(&self) -> usize {
         self.egress_excluded.iter().filter(|&&x| x).count()

@@ -41,6 +41,8 @@ pub struct GrantArbiter {
     shared: bool,
     /// One ring when `shared`, else one per port.
     rings: Vec<Ring>,
+    /// Reused per-port candidate buffer (no per-call allocation).
+    filtered: Vec<usize>,
 }
 
 impl GrantArbiter {
@@ -50,6 +52,7 @@ impl GrantArbiter {
             GrantArbiter {
                 shared: true,
                 rings: vec![Ring::new(topo.grant_scope(dst, 0), rng)],
+                filtered: Vec::new(),
             }
         } else {
             let rings = (0..topo.net().n_ports)
@@ -58,6 +61,7 @@ impl GrantArbiter {
             GrantArbiter {
                 shared: false,
                 rings,
+                filtered: Vec::new(),
             }
         }
     }
@@ -70,13 +74,29 @@ impl GrantArbiter {
         &mut self,
         n_ports: usize,
         requests: &[usize],
-        mut usable: impl FnMut(usize, usize) -> bool,
+        usable: impl FnMut(usize, usize) -> bool,
     ) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
+        self.grant_into(n_ports, requests, usable, &mut out);
+        out
+    }
+
+    /// [`GrantArbiter::grant`] writing into a caller-owned buffer, so the
+    /// epoch hot path can reuse one allocation across every destination
+    /// (`out` is cleared first).
+    pub fn grant_into(
+        &mut self,
+        n_ports: usize,
+        requests: &[usize],
+        mut usable: impl FnMut(usize, usize) -> bool,
+        out: &mut Vec<(usize, usize)>,
+    ) {
+        out.clear();
         if requests.is_empty() {
-            return out;
+            return;
         }
-        let mut filtered: Vec<usize> = Vec::with_capacity(requests.len());
+        self.filtered.clear();
+        let mut filtered = std::mem::take(&mut self.filtered);
         for port in 0..n_ports {
             filtered.clear();
             filtered.extend(requests.iter().copied().filter(|&s| usable(s, port)));
@@ -89,7 +109,7 @@ impl GrantArbiter {
                 out.push((src, port));
             }
         }
-        out
+        self.filtered = filtered;
     }
 }
 
@@ -98,6 +118,8 @@ impl GrantArbiter {
 #[derive(Debug, Clone)]
 pub struct AcceptArbiter {
     rings: Vec<Ring>,
+    /// Reused per-port candidate buffer (no per-call allocation).
+    candidates: Vec<usize>,
 }
 
 impl AcceptArbiter {
@@ -111,7 +133,10 @@ impl AcceptArbiter {
                 Ring::new(reachable, rng)
             })
             .collect();
-        AcceptArbiter { rings }
+        AcceptArbiter {
+            rings,
+            candidates: Vec::new(),
+        }
     }
 
     /// Port-level ACCEPT: for each egress port, accept at most one of the
@@ -121,10 +146,26 @@ impl AcceptArbiter {
         &mut self,
         n_ports: usize,
         grants: &[Grant],
-        mut usable: impl FnMut(usize, usize) -> bool,
+        usable: impl FnMut(usize, usize) -> bool,
     ) -> Vec<Accept> {
         let mut out = Vec::new();
-        let mut candidates: Vec<usize> = Vec::new();
+        self.accept_into(n_ports, grants, usable, &mut out);
+        out
+    }
+
+    /// [`AcceptArbiter::accept`] writing into a caller-owned buffer, so the
+    /// epoch hot path can reuse one allocation across every source (`out`
+    /// is cleared first).
+    pub fn accept_into(
+        &mut self,
+        n_ports: usize,
+        grants: &[Grant],
+        mut usable: impl FnMut(usize, usize) -> bool,
+        out: &mut Vec<Accept>,
+    ) {
+        out.clear();
+        self.candidates.clear();
+        let mut candidates = std::mem::take(&mut self.candidates);
         for port in 0..n_ports {
             candidates.clear();
             candidates.extend(
@@ -137,7 +178,7 @@ impl AcceptArbiter {
                 out.push(Accept { dst, port });
             }
         }
-        out
+        self.candidates = candidates;
     }
 }
 

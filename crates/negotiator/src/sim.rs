@@ -21,6 +21,15 @@
 //! port, ACCEPT each egress port); integration tests assert this against
 //! `topology::validate_matching` anyway.
 //!
+//! The hot path is allocation-free in steady state and does no dead-slot
+//! scanning: ACCEPT builds a dense active-match list the scheduled phase
+//! iterates, the predefined pattern comes from a cached table
+//! ([`topology::PredefinedCache`]), scheduling messages deliver through
+//! per-pair indexed buckets, and every per-epoch buffer lives in a
+//! reused scratch struct (see README § Performance). All of it is
+//! bit-exact against the straightforward loops it replaced —
+//! `tests/golden_report.rs` holds the engine to committed golden reports.
+//!
 //! The engine also hosts the Appendix A.2 design variants via
 //! [`SchedulerMode`] and [`SimOptions::selective_relay`] — only the
 //! scheduling logic changes, never the data path, mirroring the paper's
@@ -33,7 +42,7 @@
 use crate::config::NegotiatorConfig;
 use crate::fault::FaultDetector;
 use crate::matching::{Accept, AcceptArbiter, Grant, GrantArbiter};
-use crate::queues::DestQueue;
+use crate::queues::{DestQueue, Packet};
 use crate::stats::SchedStats;
 use crate::variants::informative;
 use crate::variants::iterative::IterativeMatcher;
@@ -45,7 +54,7 @@ use sim::time::Nanos;
 use sim::{BandwidthSeries, Xoshiro256};
 use std::collections::VecDeque;
 use topology::failures::LinkDir;
-use topology::{AnyTopology, LinkFailures, Topology, TopologyKind};
+use topology::{AnyTopology, LinkFailures, PredefinedCache, Topology, TopologyKind};
 use workload::FlowTrace;
 
 /// Which scheduling logic runs on top of the common data path.
@@ -139,6 +148,59 @@ struct ReqIn {
     port: usize,
 }
 
+/// Per-pair outgoing-message presence bits (`msg_flags`): the predefined
+/// phase reads one byte per connection instead of probing the request
+/// array and three bucket vectors.
+const REQ_FLAG: u8 = 1;
+const GRANT_FLAG: u8 = 2;
+const RELAY_REQ_FLAG: u8 = 4;
+const RELAY_GRANT_FLAG: u8 = 8;
+
+/// One entry of the per-epoch active-transmission list: a `(src, port)`
+/// slot that will transmit during the scheduled phase. Direct matches
+/// carry their destination; relay slots are looked up in `active_relay`
+/// (their remaining volume mutates mid-phase).
+#[derive(Debug, Clone, Copy)]
+struct ActiveTx {
+    /// `src * n_ports + port`.
+    slot: u32,
+    /// Destination ToR for direct matches (unused for relay slots).
+    dst: u32,
+    /// True when the slot carries a relay grant instead of a match.
+    relay: bool,
+}
+
+/// Reusable per-epoch buffers: every `Vec` the scheduling steps used to
+/// allocate afresh each epoch lives here instead, cleared and reused so
+/// steady-state epochs perform no heap allocation at all.
+#[derive(Debug, Default)]
+struct SimScratch {
+    /// Swapped against `inbox_grants[src]` in ACCEPT.
+    grants_in: Vec<(Grant, u64)>,
+    /// Grant messages stripped of their stateful debit.
+    grants: Vec<Grant>,
+    /// ACCEPT output.
+    accepts: Vec<Accept>,
+    /// Swapped against `inbox_requests[dst]` in GRANT.
+    reqs: Vec<ReqIn>,
+    /// Requesting sources (base/stateful GRANT input).
+    srcs: Vec<usize>,
+    /// GRANT output pairs.
+    grant_pairs: Vec<(usize, usize)>,
+    /// Mutable request values (informative GRANT).
+    vals: Vec<(usize, f64)>,
+    /// Per-port usable subset of `vals`.
+    usable_vals: Vec<(usize, f64)>,
+    /// Projector port requests.
+    preqs: Vec<projector::PortRequest>,
+    /// Swapped against `inbox_relay_req[via]`.
+    relay_reqs: Vec<RelayRequest>,
+    /// Swapped against `inbox_relay_grant[src]`.
+    relay_grants: Vec<(usize, usize, usize, u64)>,
+    /// Batched scheduled-phase packets of one matched port.
+    packets: Vec<Packet>,
+}
+
 /// The full NegotiaToR simulator.
 pub struct NegotiatorSim {
     cfg: NegotiatorConfig,
@@ -164,13 +226,25 @@ pub struct NegotiatorSim {
 
     // Pipeline outboxes (filled at epoch start, drained by the predefined
     // phase) and inboxes (filled by the predefined phase, consumed next
-    // epoch start).
-    req_out: Vec<f64>,                         // src * n + dst; NAN = no request
-    req_port_out: Vec<usize>,                  // projector port binding
-    grants_out: Vec<Vec<(usize, usize, u64)>>, // per dst: (src, port, debit)
-    inbox_requests: Vec<Vec<ReqIn>>,           // per dst
-    inbox_grants: Vec<Vec<(Grant, u64)>>,      // per src: (grant, stateful debit)
-    active: Vec<Option<usize>>,                // src * s + port -> dst
+    // epoch start). Outgoing grants are bucketed per (granter, requester)
+    // pair so the predefined phase delivers each connection's messages in
+    // O(messages) instead of scanning the granter's whole outbox.
+    req_out: Vec<f64>,                    // src * n + dst (live iff REQ_FLAG set)
+    req_dirty: Vec<u32>,                  // indices with REQ_FLAG set this epoch
+    req_port_out: Vec<usize>,             // projector port binding
+    msg_flags: Vec<u8>,                   // src * n + dst: REQ/GRANT/RELAY_* presence
+    grant_buckets: Vec<Vec<(u32, u64)>>,  // granter * n + requester: (port, debit)
+    grant_dirty: Vec<u32>,                // non-empty bucket indices, cleared per epoch
+    port_granted: Vec<bool>,              // granter * s + port (relay leftover-port check)
+    inbox_requests: Vec<Vec<ReqIn>>,      // per dst
+    inbox_grants: Vec<Vec<(Grant, u64)>>, // per src: (grant, stateful debit)
+    active: Vec<Option<usize>>,           // src * s + port -> dst
+    /// Dense (src, port)-ordered transmissions of this epoch's scheduled
+    /// phase — what the phase iterates instead of all `n · s` slots.
+    active_list: Vec<ActiveTx>,
+
+    // Cached predefined schedule (built once per topology).
+    pre_cache: PredefinedCache,
 
     // Variant state.
     matrices: Vec<DemandMatrix>, // stateful (empty otherwise)
@@ -178,19 +252,38 @@ pub struct NegotiatorSim {
     reported_total: Vec<u64>,    // stateful: bytes already reported
     iter_pending: VecDeque<Vec<Vec<Accept>>>, // iterative activation queue
 
-    // Selective relay state.
+    // Selective relay state (outboxes bucketed like the grants above).
     relay_policy: RelayPolicy,
     relay_buffers: Vec<RelayBuffer>,
-    relay_req_out: Vec<Vec<RelayRequest>>, // per src
-    relay_grant_out: Vec<Vec<(usize, usize, usize, u64)>>, // per via: (src, port, final, vol)
+    relay_req_buckets: Vec<Vec<RelayRequest>>, // src * n + via
+    relay_req_dirty: Vec<u32>,
+    relay_grant_buckets: Vec<Vec<(u32, u32, u64)>>, // via * n + src: (port, final, vol)
+    relay_grant_dirty: Vec<u32>,
     inbox_relay_req: Vec<Vec<RelayRequest>>, // per via
     inbox_relay_grant: Vec<Vec<(usize, usize, usize, u64)>>, // per src: (via, port, final, vol)
     active_relay: Vec<Option<(usize, usize, u64)>>, // src*s+port -> (via, final, vol left)
 
-    // Failures.
+    // Dense mirror of every queue's total bytes (src * n + dst), updated
+    // on each enqueue/dequeue: the REQUEST scan and the piggyback probe
+    // read this contiguous array instead of the queue structs.
+    queue_bytes: Vec<u64>,
+
+    // Per-port direct-backlog sums (selective relay only): tor * s + port,
+    // maintained incrementally on every enqueue/dequeue so the relay
+    // steps' busy-port checks are O(1) instead of O(n).
+    backlog_by_port: Vec<u64>,
+    pair_port_tbl: Vec<u8>, // src * n + dst -> thin-clos pair port
+
+    /// False after the predefined phase took the healthy-fabric fast path
+    /// (skipping observation is a detector no-op then).
+    observe_pending: bool,
+
+    // Failures: a once-sorted schedule consumed through a cursor (inserts
+    // keep it sorted; equal timestamps preserve scheduling order).
     failures: LinkFailures,
     detector: FaultDetector,
     fail_schedule: Vec<(Nanos, FailureAction)>,
+    fail_cursor: usize,
     injected_failures: Vec<(usize, usize, LinkDir)>,
     // Per-epoch observation scratch.
     egress_attempted: Vec<bool>,
@@ -209,6 +302,9 @@ pub struct NegotiatorSim {
     rx_series: Vec<BandwidthSeries>,
     total_rx: Option<BandwidthSeries>,
     ran_duration: Nanos,
+
+    // Reusable per-epoch buffers.
+    scratch: SimScratch,
 
     ran: bool,
 }
@@ -246,6 +342,20 @@ impl NegotiatorSim {
             Some(w) => (0..n).map(|_| BandwidthSeries::new(w)).collect(),
             None => Vec::new(),
         };
+        let selective_relay = opts.selective_relay;
+        let pair_port_tbl = if selective_relay {
+            let mut tbl = vec![0u8; n * n];
+            for src in 0..n {
+                for dst in 0..n {
+                    if let Some(p) = topo.pair_port(src, dst) {
+                        tbl[src * n + dst] = p as u8;
+                    }
+                }
+            }
+            tbl
+        } else {
+            Vec::new()
+        };
         let mut sim = NegotiatorSim {
             n,
             s,
@@ -260,11 +370,17 @@ impl NegotiatorSim {
             grant_arbs,
             accept_arbs,
             req_out: vec![f64::NAN; n * n],
+            req_dirty: Vec::new(),
             req_port_out: vec![usize::MAX; n * n],
-            grants_out: vec![Vec::new(); n],
+            msg_flags: vec![0; n * n],
+            grant_buckets: vec![Vec::new(); n * n],
+            grant_dirty: Vec::new(),
+            port_granted: vec![false; n * s],
             inbox_requests: vec![Vec::new(); n],
             inbox_grants: vec![Vec::new(); n],
             active: vec![None; n * s],
+            active_list: Vec::with_capacity(n * s),
+            pre_cache: PredefinedCache::build(&topo),
             matrices: if stateful {
                 (0..n).map(|_| DemandMatrix::new(n)).collect()
             } else {
@@ -275,14 +391,25 @@ impl NegotiatorSim {
             iter_pending: VecDeque::new(),
             relay_policy: RelayPolicy::default_for(epoch_capacity),
             relay_buffers: (0..n).map(|_| RelayBuffer::default()).collect(),
-            relay_req_out: vec![Vec::new(); n],
-            relay_grant_out: vec![Vec::new(); n],
+            relay_req_buckets: vec![Vec::new(); if selective_relay { n * n } else { 0 }],
+            relay_req_dirty: Vec::new(),
+            relay_grant_buckets: vec![Vec::new(); if selective_relay { n * n } else { 0 }],
+            relay_grant_dirty: Vec::new(),
             inbox_relay_req: vec![Vec::new(); n],
             inbox_relay_grant: vec![Vec::new(); n],
             active_relay: vec![None; n * s],
+            queue_bytes: vec![0; n * n],
+            backlog_by_port: if selective_relay {
+                vec![0; n * s]
+            } else {
+                Vec::new()
+            },
+            pair_port_tbl,
+            observe_pending: true,
             failures: LinkFailures::new(n, s),
             detector: FaultDetector::new(n, s),
             fail_schedule: Vec::new(),
+            fail_cursor: 0,
             injected_failures: Vec::new(),
             egress_attempted: vec![false; n * s],
             egress_ok: vec![false; n * s],
@@ -303,6 +430,7 @@ impl NegotiatorSim {
             rx_series,
             total_rx: opts.total_rx_window.map(BandwidthSeries::new),
             ran_duration: 0,
+            scratch: SimScratch::default(),
 
             ran: false,
             cfg,
@@ -319,9 +447,15 @@ impl NegotiatorSim {
     }
 
     /// Schedule a link-state change at absolute time `at`.
+    ///
+    /// The schedule stays sorted by insertion into the not-yet-applied
+    /// suffix (equal timestamps keep their scheduling order, as the old
+    /// stable re-sort did); [`Self::apply_due_failures`] then pops through
+    /// a cursor instead of `Vec::remove(0)`.
     pub fn schedule_failure(&mut self, at: Nanos, action: FailureAction) {
-        self.fail_schedule.push((at, action));
-        self.fail_schedule.sort_by_key(|&(t, _)| t);
+        let pos = self.fail_cursor
+            + self.fail_schedule[self.fail_cursor..].partition_point(|&(t, _)| t <= at);
+        self.fail_schedule.insert(pos, (at, action));
     }
 
     /// Per-flow tracker of the completed run.
@@ -394,7 +528,7 @@ impl NegotiatorSim {
             // Early exit when nothing is left anywhere.
             if cursor >= flows.len()
                 && tracker.completed_count() == flows.len()
-                && self.fail_schedule.is_empty()
+                && self.fail_cursor >= self.fail_schedule.len()
             {
                 break;
             }
@@ -426,17 +560,73 @@ impl NegotiatorSim {
                 self.pias_th,
             );
             self.enqueued_total[f.src * self.n + f.dst] += f.bytes;
+            self.note_enqueue(f.src, f.dst, f.bytes);
             cursor += 1;
         }
         cursor
     }
 
+    /// Mirror an enqueue into the dense byte counts and (selective relay)
+    /// the per-port direct-backlog cache.
+    #[inline]
+    fn note_enqueue(&mut self, src: usize, dst: usize, bytes: u64) {
+        self.queue_bytes[src * self.n + dst] += bytes;
+        if !self.backlog_by_port.is_empty() {
+            let port = self.pair_port_tbl[src * self.n + dst] as usize;
+            self.backlog_by_port[src * self.s + port] += bytes;
+        }
+    }
+
+    /// Mirror a dequeue; see [`Self::note_enqueue`].
+    #[inline]
+    fn note_dequeue(&mut self, src: usize, dst: usize, bytes: u64) {
+        self.queue_bytes[src * self.n + dst] -= bytes;
+        if !self.backlog_by_port.is_empty() {
+            let port = self.pair_port_tbl[src * self.n + dst] as usize;
+            self.backlog_by_port[src * self.s + port] -= bytes;
+        }
+    }
+
+    /// Debug-build check that the incremental mirrors still equal fresh
+    /// sums over the queues they shadow.
+    #[cfg(debug_assertions)]
+    fn debug_verify_mirrors(&self) {
+        for src in 0..self.n {
+            for dst in 0..self.n {
+                debug_assert_eq!(
+                    self.queue_bytes[src * self.n + dst],
+                    self.queues[src * self.n + dst].total_bytes(),
+                    "queue-bytes mirror drifted at ({src}, {dst})"
+                );
+            }
+        }
+        if self.backlog_by_port.is_empty() {
+            return;
+        }
+        for tor in 0..self.n {
+            for port in 0..self.s {
+                let mut sum = 0;
+                for dst in 0..self.n {
+                    if dst != tor && self.topo.port_reaches(tor, port, dst) {
+                        sum += self.queues[tor * self.n + dst].total_bytes();
+                    }
+                }
+                debug_assert_eq!(
+                    sum,
+                    self.backlog_by_port[tor * self.s + port],
+                    "backlog cache drifted at tor {tor} port {port}"
+                );
+            }
+        }
+    }
+
     fn apply_due_failures(&mut self, now: Nanos) {
-        while let Some(&(at, _)) = self.fail_schedule.first() {
+        while let Some(&(at, ref action)) = self.fail_schedule.get(self.fail_cursor) {
             if at > now {
                 break;
             }
-            let (_, action) = self.fail_schedule.remove(0);
+            let action = action.clone();
+            self.fail_cursor += 1;
             match action {
                 FailureAction::FailRandom { ratio, seed } => {
                     let mut rng = Xoshiro256::new(seed);
@@ -467,8 +657,11 @@ impl NegotiatorSim {
                 *b = b.saturating_sub(drain);
             }
         }
+        #[cfg(debug_assertions)]
+        self.debug_verify_mirrors();
         if let SchedulerMode::Iterative { rounds } = self.opts.mode {
             self.epoch_start_iterative(rounds);
+            self.rebuild_active_list();
             return;
         }
         self.step_accept();
@@ -477,35 +670,71 @@ impl NegotiatorSim {
         if self.opts.selective_relay {
             self.relay_request_step(epoch);
         }
+        self.rebuild_active_list();
+    }
+
+    /// Collapse `active`/`active_relay` into the dense, (src, port)-ordered
+    /// transmission list the scheduled phase iterates — matched slots only,
+    /// in exactly the order the old full `n · s` sweep visited them.
+    fn rebuild_active_list(&mut self) {
+        self.active_list.clear();
+        for slot in 0..self.n * self.s {
+            if let Some(dst) = self.active[slot] {
+                self.active_list.push(ActiveTx {
+                    slot: slot as u32,
+                    dst: dst as u32,
+                    relay: false,
+                });
+            } else if self.active_relay[slot].is_some() {
+                self.active_list.push(ActiveTx {
+                    slot: slot as u32,
+                    dst: 0,
+                    relay: true,
+                });
+            }
+        }
     }
 
     /// ACCEPT: consume grants delivered last epoch, fix this epoch's
     /// matching, and (stateful) revert debits of rejected grants.
     fn step_accept(&mut self) {
         self.active.fill(None);
-        self.active_relay.fill(None);
+        if self.opts.selective_relay {
+            self.active_relay.fill(None);
+        }
         let mut total_grants = 0u64;
         let mut total_accepts = 0u64;
+        let mut grants_in = std::mem::take(&mut self.scratch.grants_in);
+        let mut grants = std::mem::take(&mut self.scratch.grants);
+        let mut accepts = std::mem::take(&mut self.scratch.accepts);
         for src in 0..self.n {
-            let grants_in = std::mem::take(&mut self.inbox_grants[src]);
+            grants_in.clear();
+            std::mem::swap(&mut grants_in, &mut self.inbox_grants[src]);
             total_grants += grants_in.len() as u64;
-            let grants: Vec<Grant> = grants_in.iter().map(|&(g, _)| g).collect();
+            grants.clear();
+            grants.extend(grants_in.iter().map(|&(g, _)| g));
             let detector = &self.detector;
-            let accepts: Vec<Accept> = if matches!(self.opts.mode, SchedulerMode::Projector) {
+            if matches!(self.opts.mode, SchedulerMode::Projector) {
                 // Port pre-binding means at most one grant per port: accept
                 // everything usable.
-                grants
-                    .iter()
-                    .filter(|g| detector.usable(src, g.dst, g.port))
-                    .map(|g| Accept {
-                        dst: g.dst,
-                        port: g.port,
-                    })
-                    .collect()
+                accepts.clear();
+                accepts.extend(
+                    grants
+                        .iter()
+                        .filter(|g| detector.usable(src, g.dst, g.port))
+                        .map(|g| Accept {
+                            dst: g.dst,
+                            port: g.port,
+                        }),
+                );
             } else {
-                self.accept_arbs[src]
-                    .accept(self.s, &grants, |dst, port| detector.usable(src, dst, port))
-            };
+                self.accept_arbs[src].accept_into(
+                    self.s,
+                    &grants,
+                    |dst, port| detector.usable(src, dst, port),
+                    &mut accepts,
+                );
+            }
             total_accepts += accepts.len() as u64;
             for a in &accepts {
                 self.active[src * self.s + a.port] = Some(a.dst);
@@ -520,15 +749,21 @@ impl NegotiatorSim {
                 }
             }
         }
+        grants_in.clear();
+        self.scratch.grants_in = grants_in;
+        self.scratch.grants = grants;
+        self.scratch.accepts = accepts;
         self.match_rec.record_epoch(total_grants, total_accepts);
         self.stats.grants_issued += total_grants;
         self.stats.accepts_made += total_accepts;
 
         // Relay accepts: leftover egress ports take relay grants.
         if self.opts.selective_relay {
+            let mut relay_grants = std::mem::take(&mut self.scratch.relay_grants);
             for src in 0..self.n {
-                let grants = std::mem::take(&mut self.inbox_relay_grant[src]);
-                for (via, port, final_dst, vol) in grants {
+                relay_grants.clear();
+                std::mem::swap(&mut relay_grants, &mut self.inbox_relay_grant[src]);
+                for &(via, port, final_dst, vol) in &relay_grants {
                     let slot = src * self.s + port;
                     if self.active[slot].is_none()
                         && self.active_relay[slot].is_none()
@@ -538,14 +773,50 @@ impl NegotiatorSim {
                     }
                 }
             }
+            relay_grants.clear();
+            self.scratch.relay_grants = relay_grants;
+        }
+    }
+
+    /// Drop every grant bucketed last epoch (touched buckets only).
+    fn clear_grant_buckets(&mut self) {
+        for &i in &self.grant_dirty {
+            self.grant_buckets[i as usize].clear();
+            self.msg_flags[i as usize] &= !GRANT_FLAG;
+        }
+        self.grant_dirty.clear();
+        if self.opts.selective_relay {
+            self.port_granted.fill(false);
+        }
+    }
+
+    /// Bucket one grant from `granter` to `requester` for delivery over
+    /// their predefined connection.
+    #[inline]
+    fn push_grant(&mut self, granter: usize, requester: usize, port: usize, debit: u64) {
+        let idx = granter * self.n + requester;
+        if self.grant_buckets[idx].is_empty() {
+            self.grant_dirty.push(idx as u32);
+            self.msg_flags[idx] |= GRANT_FLAG;
+        }
+        self.grant_buckets[idx].push((port as u32, debit));
+        if self.opts.selective_relay {
+            self.port_granted[granter * self.s + port] = true;
         }
     }
 
     /// GRANT: consume requests delivered last epoch and allocate ports.
     fn step_grant(&mut self) {
+        self.clear_grant_buckets();
+        let mut reqs = std::mem::take(&mut self.scratch.reqs);
+        let mut srcs = std::mem::take(&mut self.scratch.srcs);
+        let mut grant_pairs = std::mem::take(&mut self.scratch.grant_pairs);
+        let mut vals = std::mem::take(&mut self.scratch.vals);
+        let mut usable_vals = std::mem::take(&mut self.scratch.usable_vals);
+        let mut preqs = std::mem::take(&mut self.scratch.preqs);
         for dst in 0..self.n {
-            let reqs = std::mem::take(&mut self.inbox_requests[dst]);
-            self.grants_out[dst].clear();
+            reqs.clear();
+            std::mem::swap(&mut reqs, &mut self.inbox_requests[dst]);
             // §3.6.5 backpressure: a destination whose receive buffer is
             // more than half full grants nothing this epoch.
             if let Some(cap) = self.opts.host_buffer_bytes {
@@ -561,28 +832,41 @@ impl NegotiatorSim {
             if reqs.is_empty() && !matches!(self.opts.mode, SchedulerMode::Stateful) {
                 continue;
             }
-            let detector = &self.detector;
             match self.opts.mode {
                 SchedulerMode::Base | SchedulerMode::Iterative { .. } => {
-                    let srcs: Vec<usize> = reqs.iter().map(|r| r.src).collect();
-                    let grants = self.grant_arbs[dst]
-                        .grant(self.s, &srcs, |src, port| detector.usable(src, dst, port));
-                    self.grants_out[dst].extend(grants.into_iter().map(|(s, p)| (s, p, 0)));
+                    srcs.clear();
+                    srcs.extend(reqs.iter().map(|r| r.src));
+                    let detector = &self.detector;
+                    self.grant_arbs[dst].grant_into(
+                        self.s,
+                        &srcs,
+                        |src, port| detector.usable(src, dst, port),
+                        &mut grant_pairs,
+                    );
+                    for &(src, port) in &grant_pairs {
+                        self.push_grant(dst, src, port, 0);
+                    }
                 }
                 SchedulerMode::Stateful => {
                     // Candidates: sources whose matrix entry shows pending
                     // data (requests above already refreshed the matrix).
                     let matrix = &self.matrices[dst];
-                    let srcs: Vec<usize> = (0..self.n).filter(|&s| matrix.has_pending(s)).collect();
+                    srcs.clear();
+                    srcs.extend((0..self.n).filter(|&s| matrix.has_pending(s)));
                     if srcs.is_empty() {
                         continue;
                     }
-                    let grants = self.grant_arbs[dst]
-                        .grant(self.s, &srcs, |src, port| detector.usable(src, dst, port));
+                    let detector = &self.detector;
+                    self.grant_arbs[dst].grant_into(
+                        self.s,
+                        &srcs,
+                        |src, port| detector.usable(src, dst, port),
+                        &mut grant_pairs,
+                    );
                     let cap = self.epoch_capacity;
-                    for (src, port) in grants {
+                    for &(src, port) in &grant_pairs {
                         let debit = self.matrices[dst].debit(src, cap);
-                        self.grants_out[dst].push((src, port, debit));
+                        self.push_grant(dst, src, port, debit);
                     }
                 }
                 SchedulerMode::DataSize | SchedulerMode::HolDelay { .. } => {
@@ -594,59 +878,82 @@ impl NegotiatorSim {
                     // for leftover ports (a deep-backlog pair may use
                     // several ports, as the base algorithm allows).
                     let datasize = matches!(self.opts.mode, SchedulerMode::DataSize);
-                    let mut vals: Vec<(usize, f64)> =
-                        reqs.iter().map(|r| (r.src, r.value)).collect();
+                    vals.clear();
+                    vals.extend(reqs.iter().map(|r| (r.src, r.value)));
                     for port in 0..self.s {
-                        let usable_vals: Vec<(usize, f64)> = vals
-                            .iter()
-                            .copied()
-                            .filter(|&(s, v)| {
-                                (!datasize || v > 0.0) && detector.usable(s, dst, port)
-                            })
-                            .filter(|&(s, _)| self.topo.port_reaches(s, port, dst))
-                            .collect();
+                        usable_vals.clear();
+                        usable_vals.extend(
+                            vals.iter()
+                                .copied()
+                                .filter(|&(s, v)| {
+                                    (!datasize || v > 0.0) && self.detector.usable(s, dst, port)
+                                })
+                                .filter(|&(s, _)| self.topo.port_reaches(s, port, dst)),
+                        );
                         if let Some(src) = informative::pick_max_value(&usable_vals) {
-                            self.grants_out[dst].push((src, port, 0));
                             let v = vals.iter_mut().find(|(s, _)| *s == src).unwrap();
                             v.1 = if datasize {
                                 (v.1 - self.epoch_capacity as f64).max(0.0)
                             } else {
                                 -1.0 - v.1.abs() // strictly below fresh requests
                             };
+                            self.push_grant(dst, src, port, 0);
                         }
                     }
                 }
                 SchedulerMode::Projector => {
-                    let preqs: Vec<projector::PortRequest> = reqs
-                        .iter()
-                        .filter(|r| r.port != usize::MAX)
-                        .filter(|r| detector.usable(r.src, dst, r.port))
-                        .map(|r| projector::PortRequest {
-                            src: r.src,
-                            port: r.port,
-                            waiting: r.value,
-                        })
-                        .collect();
+                    preqs.clear();
+                    preqs.extend(
+                        reqs.iter()
+                            .filter(|r| r.port != usize::MAX)
+                            .filter(|r| self.detector.usable(r.src, dst, r.port))
+                            .map(|r| projector::PortRequest {
+                                src: r.src,
+                                port: r.port,
+                                waiting: r.value,
+                            }),
+                    );
                     let grants = projector::grant_by_waiting(self.s, &preqs);
-                    self.grants_out[dst].extend(grants.into_iter().map(|(s, p)| (s, p, 0)));
+                    for (src, port) in grants {
+                        self.push_grant(dst, src, port, 0);
+                    }
                 }
             }
         }
+        reqs.clear();
+        self.scratch.reqs = reqs;
+        self.scratch.srcs = srcs;
+        self.scratch.grant_pairs = grant_pairs;
+        self.scratch.vals = vals;
+        self.scratch.usable_vals = usable_vals;
+        self.scratch.preqs = preqs;
         if self.opts.selective_relay {
             self.relay_grant_step();
         }
     }
 
     /// REQUEST: read queues, emit this epoch's requests.
+    ///
+    /// Request presence is a bit in `msg_flags` (plus the value in
+    /// `req_out`), so only last epoch's undelivered stragglers need
+    /// clearing — no per-epoch sweep over all `n²` pairs' values. The
+    /// threshold scan reads the dense `queue_bytes` mirror, touching the
+    /// queue structs themselves only for above-threshold pairs.
     fn step_request(&mut self, now: Nanos) {
-        self.req_out.fill(f64::NAN);
+        for &i in &self.req_dirty {
+            self.msg_flags[i as usize] &= !REQ_FLAG;
+        }
+        self.req_dirty.clear();
         let threshold = self.cfg.request_threshold_bytes();
         for src in 0..self.n {
             if matches!(self.opts.mode, SchedulerMode::Projector) {
                 let qs = &self.queues[src * self.n..(src + 1) * self.n];
                 for (dst, preq) in projector::bind_requests(&self.topo, src, qs, now) {
-                    self.req_out[src * self.n + dst] = preq.waiting;
-                    self.req_port_out[src * self.n + dst] = preq.port;
+                    let idx = src * self.n + dst;
+                    self.req_out[idx] = preq.waiting;
+                    self.req_port_out[idx] = preq.port;
+                    self.msg_flags[idx] |= REQ_FLAG;
+                    self.req_dirty.push(idx as u32);
                 }
                 continue;
             }
@@ -655,14 +962,13 @@ impl NegotiatorSim {
                     continue;
                 }
                 let idx = src * self.n + dst;
-                let q = &self.queues[idx];
-                if q.total_bytes() <= threshold {
+                if self.queue_bytes[idx] <= threshold {
                     continue;
                 }
                 let value = match self.opts.mode {
-                    SchedulerMode::DataSize => q.total_bytes() as f64,
+                    SchedulerMode::DataSize => self.queue_bytes[idx] as f64,
                     SchedulerMode::HolDelay { alpha } => {
-                        informative::hol_delay_value(q, now, alpha)
+                        informative::hol_delay_value(&self.queues[idx], now, alpha)
                     }
                     SchedulerMode::Stateful => {
                         let new = self.enqueued_total[idx] - self.reported_total[idx];
@@ -672,6 +978,8 @@ impl NegotiatorSim {
                     _ => 0.0,
                 };
                 self.req_out[idx] = value;
+                self.msg_flags[idx] |= REQ_FLAG;
+                self.req_dirty.push(idx as u32);
                 self.stats.requests_sent += 1;
             }
         }
@@ -682,10 +990,9 @@ impl NegotiatorSim {
     fn epoch_start_iterative(&mut self, rounds: usize) {
         let threshold = self.cfg.request_threshold_bytes();
         let mut requests: Vec<Vec<usize>> = vec![Vec::new(); self.n];
-        #[allow(clippy::needless_range_loop)] // src indexes two flat arrays
-        for src in 0..self.n {
-            for dst in 0..self.n {
-                if dst != src && self.queues[src * self.n + dst].total_bytes() > threshold {
+        for (src, row) in self.queue_bytes.chunks(self.n).enumerate() {
+            for (dst, &bytes) in row.iter().enumerate() {
+                if dst != src && bytes > threshold {
                     requests[dst].push(src);
                 }
             }
@@ -710,30 +1017,30 @@ impl NegotiatorSim {
         }
         // Keep the predefined phase silent on requests/grants; messages are
         // modeled as equal-size bundles either way (§A.2.1's fairness note).
-        self.req_out.fill(f64::NAN);
-        for g in &mut self.grants_out {
-            g.clear();
+        for &i in &self.req_dirty {
+            self.msg_flags[i as usize] &= !REQ_FLAG;
         }
+        self.req_dirty.clear();
+        self.clear_grant_buckets();
     }
 
     // ------------------------------------------------------------------
     // Selective relay steps (Appendix A.2.2)
     // ------------------------------------------------------------------
 
-    /// Direct backlog whose only path uses `port` of `tor` (thin-clos).
+    /// Direct backlog whose only path uses `port` of `tor` (thin-clos):
+    /// an O(1) read of the incrementally maintained per-port sums.
     fn direct_backlog_via_port(&self, tor: usize, port: usize) -> u64 {
-        let mut sum = 0;
-        for dst in 0..self.n {
-            if dst != tor && self.topo.port_reaches(tor, port, dst) {
-                sum += self.queues[tor * self.n + dst].total_bytes();
-            }
-        }
-        sum
+        self.backlog_by_port[tor * self.s + port]
     }
 
     fn relay_request_step(&mut self, epoch: u64) {
+        for &i in &self.relay_req_dirty {
+            self.relay_req_buckets[i as usize].clear();
+            self.msg_flags[i as usize] &= !RELAY_REQ_FLAG;
+        }
+        self.relay_req_dirty.clear();
         for src in 0..self.n {
-            self.relay_req_out[src].clear();
             for dst in 0..self.n {
                 if dst == src {
                     continue;
@@ -756,7 +1063,12 @@ impl NegotiatorSim {
                     if relay::port_busy(self.direct_backlog_via_port(src, p1), &self.relay_policy) {
                         continue;
                     }
-                    self.relay_req_out[src].push(RelayRequest {
+                    let idx = src * self.n + via;
+                    if self.relay_req_buckets[idx].is_empty() {
+                        self.relay_req_dirty.push(idx as u32);
+                        self.msg_flags[idx] |= RELAY_REQ_FLAG;
+                    }
+                    self.relay_req_buckets[idx].push(RelayRequest {
                         src,
                         via,
                         final_dst: dst,
@@ -770,25 +1082,29 @@ impl NegotiatorSim {
         }
     }
 
-    /// Intermediates grant leftover ports to relay requests.
+    /// Intermediates grant leftover ports to relay requests. Direct grants
+    /// already marked their ports in `port_granted`; relay grants extend
+    /// the same per-epoch map.
     fn relay_grant_step(&mut self) {
+        for &i in &self.relay_grant_dirty {
+            self.relay_grant_buckets[i as usize].clear();
+            self.msg_flags[i as usize] &= !RELAY_GRANT_FLAG;
+        }
+        self.relay_grant_dirty.clear();
+        let mut reqs = std::mem::take(&mut self.scratch.relay_reqs);
         for via in 0..self.n {
-            self.relay_grant_out[via].clear();
-            let reqs = std::mem::take(&mut self.inbox_relay_req[via]);
+            reqs.clear();
+            std::mem::swap(&mut reqs, &mut self.inbox_relay_req[via]);
             if reqs.is_empty() {
                 continue;
             }
-            let mut port_taken = vec![false; self.s];
-            for &(_, p, _) in &self.grants_out[via] {
-                port_taken[p] = true;
-            }
             let mut space = self.relay_buffers[via].space(&self.relay_policy);
-            for r in reqs {
+            for &r in &reqs {
                 let p = match self.topo.pair_port(r.src, via) {
                     Some(p) => p,
                     None => continue,
                 };
-                if port_taken[p] || !self.detector.usable(r.src, via, p) {
+                if self.port_granted[via * self.s + p] || !self.detector.usable(r.src, via, p) {
                     continue;
                 }
                 // The intermediate's own egress toward the final destination
@@ -805,10 +1121,17 @@ impl NegotiatorSim {
                     break;
                 }
                 space -= vol;
-                port_taken[p] = true;
-                self.relay_grant_out[via].push((r.src, p, r.final_dst, vol));
+                self.port_granted[via * self.s + p] = true;
+                let idx = via * self.n + r.src;
+                if self.relay_grant_buckets[idx].is_empty() {
+                    self.relay_grant_dirty.push(idx as u32);
+                    self.msg_flags[idx] |= RELAY_GRANT_FLAG;
+                }
+                self.relay_grant_buckets[idx].push((p as u32, r.final_dst as u32, vol));
             }
         }
+        reqs.clear();
+        self.scratch.relay_reqs = reqs;
     }
 
     // ------------------------------------------------------------------
@@ -833,84 +1156,132 @@ impl NegotiatorSim {
         tracker: &mut FlowTracker,
     ) -> usize {
         let rot = self.rotation(epoch);
+        let prop = self.cfg.net.propagation_delay;
+        let piggyback = self.cfg.piggyback;
+        // The cached schedule lists each slot's connections in the same
+        // (src, port) order the old triple loop visited; take the cache so
+        // the loop body can borrow `self` mutably.
+        let cache = std::mem::take(&mut self.pre_cache);
+
+        // Healthy-fabric fast path: with zero ground failures and a
+        // quiescent detector, every connection is up and usable, and a
+        // round of all-success observations would change no detector
+        // state — so the per-connection bookkeeping and the end-of-epoch
+        // observation pass can be skipped wholesale. Bit-exact: the only
+        // skipped work is writes of values already in place.
+        if self.failures.failed_count() == 0 && self.detector.is_quiescent() {
+            self.observe_pending = false;
+            for slot in 0..self.pre_slots {
+                let slot_start = t0 + slot as Nanos * self.pre_slot_len;
+                cursor = self.inject(flows, cursor, slot_start);
+                let arrive = slot_start + self.pre_slot_len + prop;
+                for conn in cache.slot_conns(rot, slot) {
+                    let (src, dst) = (conn.src as usize, conn.dst as usize);
+                    let idx = src * self.n + dst;
+                    if self.msg_flags[idx] != 0 {
+                        self.deliver_messages(src, dst);
+                    }
+                    if piggyback && self.queue_bytes[idx] > 0 {
+                        let pkt = self.queues[idx]
+                            .dequeue_packet(self.pb_payload)
+                            .expect("non-zero mirror implies a packet");
+                        self.note_dequeue(src, dst, pkt.bytes);
+                        if pkt.relayed {
+                            self.relay_buffers[src].release(pkt.bytes);
+                        }
+                        self.stats.piggyback_packets += 1;
+                        self.stats.piggyback_bytes += pkt.bytes;
+                        self.deliver_data(dst, pkt.flow, pkt.bytes, arrive, tracker);
+                    }
+                }
+            }
+            self.pre_cache = cache;
+            return cursor;
+        }
+
+        self.observe_pending = true;
         self.egress_attempted.fill(false);
         self.egress_ok.fill(false);
         self.ingress_attempted.fill(false);
         self.ingress_ok.fill(false);
-        let prop = self.cfg.net.propagation_delay;
         for slot in 0..self.pre_slots {
             let slot_start = t0 + slot as Nanos * self.pre_slot_len;
             cursor = self.inject(flows, cursor, slot_start);
             let arrive = slot_start + self.pre_slot_len + prop;
-            for src in 0..self.n {
-                for port in 0..self.s {
-                    let dst = match self.topo.predefined_dst(rot, slot, src, port) {
-                        Some(d) => d,
-                        None => continue,
-                    };
-                    self.egress_attempted[src * self.s + port] = true;
-                    self.ingress_attempted[dst * self.s + port] = true;
-                    let up = self.failures.link_up(src, dst, port);
-                    if up {
-                        self.egress_ok[src * self.s + port] = true;
-                        self.ingress_ok[dst * self.s + port] = true;
+            for conn in cache.slot_conns(rot, slot) {
+                let (src, port, dst) = (conn.src as usize, conn.port as usize, conn.dst as usize);
+                self.egress_attempted[src * self.s + port] = true;
+                self.ingress_attempted[dst * self.s + port] = true;
+                let up = self.failures.link_up(src, dst, port);
+                if up {
+                    self.egress_ok[src * self.s + port] = true;
+                    self.ingress_ok[dst * self.s + port] = true;
+                    if self.msg_flags[src * self.n + dst] != 0 {
                         self.deliver_messages(src, dst);
                     }
-                    // Piggyback one data packet (§3.4.1) unless the
-                    // detector already excluded the link.
-                    if self.cfg.piggyback && self.detector.usable(src, dst, port) {
-                        if let Some(pkt) =
-                            self.queues[src * self.n + dst].dequeue_packet(self.pb_payload)
-                        {
-                            if pkt.relayed {
-                                self.relay_buffers[src].release(pkt.bytes);
-                            }
-                            if up {
-                                self.stats.piggyback_packets += 1;
-                                self.stats.piggyback_bytes += pkt.bytes;
-                                self.deliver_data(dst, pkt.flow, pkt.bytes, arrive, tracker);
-                            } else {
-                                // A ground-truth-down link loses the packet;
-                                // recovery is an upper-layer (TCP) concern.
-                                self.stats.lost_packets += 1;
-                            }
+                }
+                // Piggyback one data packet (§3.4.1) unless the
+                // detector already excluded the link.
+                if piggyback && self.detector.usable(src, dst, port) {
+                    if let Some(pkt) =
+                        self.queues[src * self.n + dst].dequeue_packet(self.pb_payload)
+                    {
+                        self.note_dequeue(src, dst, pkt.bytes);
+                        if pkt.relayed {
+                            self.relay_buffers[src].release(pkt.bytes);
+                        }
+                        if up {
+                            self.stats.piggyback_packets += 1;
+                            self.stats.piggyback_bytes += pkt.bytes;
+                            self.deliver_data(dst, pkt.flow, pkt.bytes, arrive, tracker);
+                        } else {
+                            // A ground-truth-down link loses the packet;
+                            // recovery is an upper-layer (TCP) concern.
+                            self.stats.lost_packets += 1;
                         }
                     }
                 }
             }
         }
+        self.pre_cache = cache;
         cursor
     }
 
     /// Move this epoch's outgoing scheduling messages across one predefined
-    /// connection `src → dst`.
+    /// connection `src → dst`: an O(messages) indexed delivery — the
+    /// request slot plus this pair's grant/relay buckets, no scanning.
+    /// Callers gate on `msg_flags[idx] != 0`.
     fn deliver_messages(&mut self, src: usize, dst: usize) {
         let idx = src * self.n + dst;
-        let v = self.req_out[idx];
-        if !v.is_nan() {
+        let flags = self.msg_flags[idx];
+        if flags & REQ_FLAG != 0 {
             self.inbox_requests[dst].push(ReqIn {
                 src,
-                value: v,
+                value: self.req_out[idx],
                 port: self.req_port_out[idx],
             });
-            self.req_out[idx] = f64::NAN; // delivered once
+            self.msg_flags[idx] &= !REQ_FLAG; // delivered once
         }
         // Grants computed by `src` for requester `dst` ride this connection.
-        for &(to, port, debit) in &self.grants_out[src] {
-            if to == dst {
-                self.inbox_grants[dst].push((Grant { dst: src, port }, debit));
+        if flags & GRANT_FLAG != 0 {
+            for &(port, debit) in &self.grant_buckets[idx] {
+                self.inbox_grants[dst].push((
+                    Grant {
+                        dst: src,
+                        port: port as usize,
+                    },
+                    debit,
+                ));
             }
         }
-        if self.opts.selective_relay {
-            for r in &self.relay_req_out[src] {
-                if r.via == dst {
-                    self.inbox_relay_req[dst].push(*r);
-                }
+        if flags & RELAY_REQ_FLAG != 0 {
+            for r in &self.relay_req_buckets[idx] {
+                self.inbox_relay_req[dst].push(*r);
             }
-            for &(to, port, final_dst, vol) in &self.relay_grant_out[src] {
-                if to == dst {
-                    self.inbox_relay_grant[dst].push((src, port, final_dst, vol));
-                }
+        }
+        if flags & RELAY_GRANT_FLAG != 0 {
+            for &(port, final_dst, vol) in &self.relay_grant_buckets[idx] {
+                self.inbox_relay_grant[dst].push((src, port as usize, final_dst as usize, vol));
             }
         }
     }
@@ -925,60 +1296,169 @@ impl NegotiatorSim {
     ) -> usize {
         let sched_start = t0 + self.pre_slots as Nanos * self.pre_slot_len;
         let prop = self.cfg.net.propagation_delay;
-        for k in 0..self.cfg.epoch.scheduled_slots {
-            let slot_start = sched_start + k as Nanos * self.cfg.epoch.scheduled_slot;
+        let slot_len = self.cfg.epoch.scheduled_slot;
+        let k_slots = self.cfg.epoch.scheduled_slots;
+        if k_slots == 0 {
+            return cursor;
+        }
+        let total_slots = (self.n * self.s) as u64;
+        cursor = self.inject(flows, cursor, sched_start);
+
+        // Fast path: no flow arrives during the remaining slots and no
+        // relay transmissions are live, so every matched port can drain its
+        // whole phase in one batch. This is bit-exact, not approximate:
+        // without relays a flow lives in exactly one queue, each queue's
+        // dequeue sequence is preserved (single server batches; multi-port
+        // servers of one queue replay slot order below), and the tracker /
+        // bandwidth series accumulate order-insensitively across queues.
+        let quiet = cursor >= flows.len()
+            || flows[cursor].arrival > sched_start + (k_slots as Nanos - 1) * slot_len;
+        if quiet && !self.opts.selective_relay {
+            self.stats.unmatched_slots +=
+                (total_slots - self.active_list.len() as u64) * k_slots as u64;
+            self.scheduled_phase_batched(sched_start, tracker);
+            return cursor;
+        }
+
+        // General path: slot-major over the active list only; slots outside
+        // the list are unmatched for the whole phase (arithmetic, not
+        // iteration), relay slots that drain mid-phase count from then on.
+        let list = std::mem::take(&mut self.active_list);
+        for k in 0..k_slots {
+            let slot_start = sched_start + k as Nanos * slot_len;
             cursor = self.inject(flows, cursor, slot_start);
-            let arrive = slot_start + self.cfg.epoch.scheduled_slot + prop;
-            for src in 0..self.n {
-                for port in 0..self.s {
-                    let slot = src * self.s + port;
-                    if let Some(dst) = self.active[slot] {
-                        if let Some(pkt) =
-                            self.queues[src * self.n + dst].dequeue_packet(self.sched_payload)
-                        {
-                            if pkt.relayed {
-                                self.relay_buffers[src].release(pkt.bytes);
-                            }
-                            if self.failures.link_up(src, dst, port) {
-                                self.stats.scheduled_packets += 1;
-                                self.stats.scheduled_bytes += pkt.bytes;
-                                self.deliver_data(dst, pkt.flow, pkt.bytes, arrive, tracker);
-                            } else {
-                                self.stats.lost_packets += 1;
-                            }
-                        } else {
-                            self.stats.overscheduled_slots += 1;
+            let arrive = slot_start + slot_len + prop;
+            self.stats.unmatched_slots += total_slots - list.len() as u64;
+            for e in &list {
+                let slot = e.slot as usize;
+                let (src, port) = (slot / self.s, slot % self.s);
+                if !e.relay {
+                    self.serve_direct_slot(src, port, e.dst as usize, arrive, tracker);
+                } else if let Some((via, final_dst, vol)) = self.active_relay[slot] {
+                    if vol == 0 {
+                        continue;
+                    }
+                    let cap = self.sched_payload.min(vol);
+                    if let Some(pkt) =
+                        self.queues[src * self.n + final_dst].dequeue_lowest_packet(cap)
+                    {
+                        self.note_dequeue(src, final_dst, pkt.bytes);
+                        if pkt.relayed {
+                            self.relay_buffers[src].release(pkt.bytes);
                         }
-                    } else if let Some((via, final_dst, vol)) = self.active_relay[slot] {
-                        if vol == 0 {
-                            continue;
-                        }
-                        let cap = self.sched_payload.min(vol);
-                        if let Some(pkt) =
-                            self.queues[src * self.n + final_dst].dequeue_lowest_packet(cap)
-                        {
-                            if pkt.relayed {
-                                self.relay_buffers[src].release(pkt.bytes);
-                            }
-                            self.active_relay[slot] = Some((via, final_dst, vol - pkt.bytes));
-                            if self.failures.link_up(src, via, port) {
-                                // Arrives at the intermediate: admitted to
-                                // its relay buffer and re-queued for the
-                                // final destination at lowest priority.
-                                self.relay_buffers[via].admit(pkt.bytes);
-                                self.queues[via * self.n + final_dst]
-                                    .enqueue_relay(pkt.flow, pkt.bytes, arrive);
-                            }
-                        } else {
-                            self.active_relay[slot] = None; // drained
+                        self.active_relay[slot] = Some((via, final_dst, vol - pkt.bytes));
+                        if self.failures.link_up(src, via, port) {
+                            // Arrives at the intermediate: admitted to
+                            // its relay buffer and re-queued for the
+                            // final destination at lowest priority.
+                            self.relay_buffers[via].admit(pkt.bytes);
+                            self.queues[via * self.n + final_dst]
+                                .enqueue_relay(pkt.flow, pkt.bytes, arrive);
+                            self.note_enqueue(via, final_dst, pkt.bytes);
                         }
                     } else {
-                        self.stats.unmatched_slots += 1;
+                        self.active_relay[slot] = None; // drained
                     }
+                } else {
+                    self.stats.unmatched_slots += 1;
                 }
             }
         }
+        self.active_list = list;
         cursor
+    }
+
+    /// One scheduled-slot transmission of a direct match (general path).
+    #[inline]
+    fn serve_direct_slot(
+        &mut self,
+        src: usize,
+        port: usize,
+        dst: usize,
+        arrive: Nanos,
+        tracker: &mut FlowTracker,
+    ) {
+        if let Some(pkt) = self.queues[src * self.n + dst].dequeue_packet(self.sched_payload) {
+            self.note_dequeue(src, dst, pkt.bytes);
+            if pkt.relayed {
+                self.relay_buffers[src].release(pkt.bytes);
+            }
+            if self.failures.link_up(src, dst, port) {
+                self.stats.scheduled_packets += 1;
+                self.stats.scheduled_bytes += pkt.bytes;
+                self.deliver_data(dst, pkt.flow, pkt.bytes, arrive, tracker);
+            } else {
+                self.stats.lost_packets += 1;
+            }
+        } else {
+            self.stats.overscheduled_slots += 1;
+        }
+    }
+
+    /// Entry-major scheduled phase: each matched port pulls its whole
+    /// phase's packets in one batch dequeue. Ports of one source serving
+    /// the *same* destination queue replay exact slot order instead (their
+    /// interleaving determines which packet each port carries).
+    fn scheduled_phase_batched(&mut self, sched_start: Nanos, tracker: &mut FlowTracker) {
+        let prop = self.cfg.net.propagation_delay;
+        let slot_len = self.cfg.epoch.scheduled_slot;
+        let k_slots = self.cfg.epoch.scheduled_slots;
+        let list = std::mem::take(&mut self.active_list);
+        let mut packets = std::mem::take(&mut self.scratch.packets);
+        let mut i = 0;
+        while i < list.len() {
+            // One source's run of entries (same src ⇒ contiguous, ≤ s long).
+            let src = list[i].slot as usize / self.s;
+            let mut run_end = i + 1;
+            while run_end < list.len() && list[run_end].slot as usize / self.s == src {
+                run_end += 1;
+            }
+            let run = &list[i..run_end];
+            let shared_queue = run
+                .iter()
+                .enumerate()
+                .any(|(a, e)| run[..a].iter().any(|f| f.dst == e.dst));
+            if shared_queue {
+                // Rare: one queue feeds several ports; replay slot order.
+                for k in 0..k_slots {
+                    let arrive = sched_start + (k as Nanos + 1) * slot_len + prop;
+                    for e in run {
+                        let port = e.slot as usize % self.s;
+                        self.serve_direct_slot(src, port, e.dst as usize, arrive, tracker);
+                    }
+                }
+            } else {
+                for e in run {
+                    let (port, dst) = (e.slot as usize % self.s, e.dst as usize);
+                    packets.clear();
+                    self.queues[src * self.n + dst].dequeue_packets_into(
+                        self.sched_payload,
+                        k_slots,
+                        &mut packets,
+                    );
+                    let drained: u64 = packets.iter().map(|p| p.bytes).sum();
+                    self.note_dequeue(src, dst, drained);
+                    self.stats.overscheduled_slots += (k_slots - packets.len()) as u64;
+                    let up = self.failures.link_up(src, dst, port);
+                    for (k, pkt) in packets.iter().enumerate() {
+                        if pkt.relayed {
+                            self.relay_buffers[src].release(pkt.bytes);
+                        }
+                        if up {
+                            self.stats.scheduled_packets += 1;
+                            self.stats.scheduled_bytes += pkt.bytes;
+                            let arrive = sched_start + (k as Nanos + 1) * slot_len + prop;
+                            self.deliver_data(dst, pkt.flow, pkt.bytes, arrive, tracker);
+                        } else {
+                            self.stats.lost_packets += 1;
+                        }
+                    }
+                }
+            }
+            i = run_end;
+        }
+        self.scratch.packets = packets;
+        self.active_list = list;
     }
 
     fn deliver_data(
@@ -1002,7 +1482,12 @@ impl NegotiatorSim {
     }
 
     /// Feed the epoch's predefined-phase observations to the detector.
+    /// A no-op after healthy-fast-path epochs (all-success observations on
+    /// a quiescent detector change nothing).
     fn observe_epoch(&mut self) {
+        if !self.observe_pending {
+            return;
+        }
         for tor in 0..self.n {
             for port in 0..self.s {
                 let i = tor * self.s + port;

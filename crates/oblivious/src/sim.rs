@@ -33,7 +33,7 @@ use metrics::{FlowTracker, RunReport};
 use sim::time::Nanos;
 use sim::{BandwidthSeries, Xoshiro256};
 use std::collections::VecDeque;
-use topology::{AnyTopology, Topology, TopologyKind};
+use topology::{AnyTopology, PredefinedCache, Topology, TopologyKind};
 use workload::FlowTrace;
 
 /// A data unit bound to a VLB intermediate, waiting at the source.
@@ -66,9 +66,7 @@ pub struct ObliviousRecording {
 /// The traffic-oblivious simulator.
 pub struct ObliviousSim {
     cfg: ObliviousConfig,
-    topo: AnyTopology,
     n: usize,
-    s: usize,
     round: usize,
     payload: u64,
     slot_len: Nanos,
@@ -86,6 +84,11 @@ pub struct ObliviousSim {
     alt: Vec<bool>,
     /// First-hop chunks in flight, indexed by arrival slot.
     inflight: Vec<Vec<Inflight>>,
+    /// Cached rotor schedule (one rotation; the rotor never rotates its
+    /// round-robin rule).
+    cache: PredefinedCache,
+    /// Reused landing buffer, swapped against the in-flight ring slots.
+    landing: Vec<Inflight>,
 
     rx_final: Vec<BandwidthSeries>,
     rx_transit: Vec<BandwidthSeries>,
@@ -110,14 +113,12 @@ impl ObliviousSim {
     ) -> Self {
         let topo = AnyTopology::build(kind, cfg.net.clone());
         let n = cfg.net.n_tors;
-        let s = cfg.net.n_ports;
         let round = topo.predefined_slots();
         let slot_len = cfg.slot_len();
         // Ring buffer deep enough for transmission + propagation.
         let depth = 2 + ((cfg.net.propagation_delay + slot_len) / slot_len) as usize;
         ObliviousSim {
             n,
-            s,
             round,
             payload: cfg.payload(),
             slot_len,
@@ -126,6 +127,8 @@ impl ObliviousSim {
             relay_claim: vec![0; n * n],
             alt: vec![false; n * n],
             inflight: vec![Vec::new(); depth],
+            cache: PredefinedCache::build(&topo),
+            landing: Vec::new(),
             rx_final: match rec.rx_window {
                 Some(w) => (0..n).map(|_| BandwidthSeries::new(w)).collect(),
                 None => Vec::new(),
@@ -139,7 +142,6 @@ impl ObliviousSim {
             rng: Xoshiro256::new(cfg.seed),
             ran: false,
             cfg,
-            topo,
         }
     }
 
@@ -275,29 +277,31 @@ impl ObliviousSim {
                 self.enqueue_flow(f.id, f.src, f.dst, f.bytes);
                 cursor += 1;
             }
-            // Land first-hop chunks whose flight ends at this slot.
-            let landing = std::mem::take(&mut self.inflight[(t as usize) % depth]);
-            for c in landing {
+            // Land first-hop chunks whose flight ends at this slot (the
+            // landing buffer is swapped, not reallocated, each slot).
+            let mut landing = std::mem::take(&mut self.landing);
+            landing.clear();
+            std::mem::swap(&mut landing, &mut self.inflight[(t as usize) % depth]);
+            for c in &landing {
                 let (to, d) = (c.to as usize, c.final_dst as usize);
                 self.relay[to * self.n + d].push_back((c.flow, c.bytes));
                 if let Some(series) = self.rx_transit.get_mut(to) {
                     series.record(now, c.bytes as u64);
                 }
             }
+            landing.clear();
+            self.landing = landing;
 
             let arrive = now + self.slot_len + prop;
             let arrive_slot =
                 (t as usize + (self.slot_len + prop).div_ceil(self.slot_len) as usize) % depth;
-            for src in 0..self.n {
-                for port in 0..self.s {
-                    let slot = (t % self.round as u64) as usize;
-                    let via = match self.topo.predefined_dst(0, slot, src, port) {
-                        Some(v) => v,
-                        None => continue,
-                    };
-                    self.serve_slot(src, via, arrive, arrive_slot, per_pair_cap, &mut tracker);
-                }
+            let slot = (t % self.round as u64) as usize;
+            let cache = std::mem::take(&mut self.cache);
+            for conn in cache.slot_conns(0, slot) {
+                let (src, via) = (conn.src as usize, conn.dst as usize);
+                self.serve_slot(src, via, arrive, arrive_slot, per_pair_cap, &mut tracker);
             }
+            self.cache = cache;
             t += 1;
             if cursor >= flows.len() && tracker.completed_count() == flows.len() {
                 break;

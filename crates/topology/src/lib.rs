@@ -20,6 +20,7 @@
 //! and the scope of each GRANT ring. [`failures`] models per-direction link
 //! failures for the fault-tolerance experiments (§3.6.1, Figure 10).
 
+pub mod cache;
 pub mod config;
 pub mod failures;
 pub mod parallel;
@@ -27,6 +28,7 @@ pub mod thinclos;
 pub mod traits;
 pub mod validate;
 
+pub use cache::{PredefinedCache, PredefinedConn};
 pub use config::{NetworkConfig, TopologyKind};
 pub use failures::LinkFailures;
 pub use parallel::ParallelNet;

@@ -75,6 +75,10 @@ impl Topology for ParallelNet {
         Some((tor + n - off % n) % n)
     }
 
+    fn rotation_period(&self) -> usize {
+        self.net.n_ports // offset() reduces `rot` modulo S
+    }
+
     fn port_reaches(&self, src: usize, _port: usize, dst: usize) -> bool {
         src != dst && src < self.net.n_tors && dst < self.net.n_tors
     }

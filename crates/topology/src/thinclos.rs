@@ -96,6 +96,10 @@ impl Topology for ThinClos {
         (src != tor).then_some(src)
     }
 
+    fn rotation_period(&self) -> usize {
+        1 // each pair has one physical path; `rot` is ignored
+    }
+
     fn port_reaches(&self, src: usize, port: usize, dst: usize) -> bool {
         src != dst && (self.group_of(src) + port) % self.net.n_ports == self.group_of(dst)
     }

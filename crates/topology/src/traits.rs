@@ -40,6 +40,12 @@ pub trait Topology {
     /// [`Topology::predefined_dst`].
     fn predefined_src(&self, rot: u64, slot: usize, tor: usize, port: usize) -> Option<usize>;
 
+    /// Number of distinct rotations before [`Topology::predefined_dst`]
+    /// repeats: the parallel network cycles its port↔offset mapping every
+    /// `S` epochs, thin-clos has a single static schedule. The predefined
+    /// schedule cache ([`crate::PredefinedCache`]) sizes itself by this.
+    fn rotation_period(&self) -> usize;
+
     /// Can `src` reach `dst` by tuning egress port `port` (scheduled phase)?
     fn port_reaches(&self, src: usize, port: usize, dst: usize) -> bool;
 
@@ -103,6 +109,9 @@ impl Topology for AnyTopology {
     }
     fn predefined_src(&self, rot: u64, slot: usize, tor: usize, port: usize) -> Option<usize> {
         dispatch!(self, t => t.predefined_src(rot, slot, tor, port))
+    }
+    fn rotation_period(&self) -> usize {
+        dispatch!(self, t => t.rotation_period())
     }
     fn port_reaches(&self, src: usize, port: usize, dst: usize) -> bool {
         dispatch!(self, t => t.port_reaches(src, port, dst))
