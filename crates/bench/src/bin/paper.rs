@@ -4,6 +4,7 @@
 //! paper <experiment-id>... [--duration-ms N] [--loads 10,50,100] [--seed N]
 //!       [--jobs N] [--json] [--out DIR] [--seeds A,B,C]
 //! paper all --jobs 8 --json --out results/
+//! paper scenario scenarios/rolling_failures.json [--jobs N] [--json] [--out DIR]
 //! paper list
 //! ```
 //!
@@ -11,10 +12,15 @@
 //! worker threads; output is byte-identical at any job count. `--json`
 //! writes one machine-readable `results/<id>.json` per experiment
 //! (schema: see `bench::results`), which `bench-diff` compares across
-//! revisions to gate CI on regressions.
+//! revisions to gate CI on regressions. `paper scenario` runs a
+//! declarative scenario file through both engines on the same machinery
+//! (schema: README "Scenarios"); `paper list` enumerates the shipped
+//! `scenarios/` library alongside the experiment registry.
+
+use std::path::Path;
 
 use bench::experiments::{find_experiment, Args, Experiment, EXPERIMENTS};
-use bench::{cli, results, sweep};
+use bench::{cli, results, scenario, sweep};
 
 fn main() {
     let parsed = cli::parse(std::env::args().skip(1).collect());
@@ -30,6 +36,11 @@ fn main() {
         for exp in EXPERIMENTS {
             println!("{:<8} {}", exp.id(), exp.artifact());
         }
+        list_scenarios(Path::new("scenarios"));
+        return;
+    }
+    if let Some(path) = &cli.scenario {
+        run_scenario(path, &cli);
         return;
     }
     if cli.ids.is_empty() {
@@ -85,10 +96,93 @@ fn main() {
     }
 }
 
+/// Run one scenario file: validate + compile (any problem exits before a
+/// single epoch simulates), execute on the shared pool, print the report
+/// and optionally write `results/scenario-<name>.json`.
+fn run_scenario(path: &Path, cli: &cli::Cli) {
+    let compiled = match scenario::load(path) {
+        Ok(compiled) => compiled,
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "[scenario '{}': {} runs across {} jobs]",
+        compiled.spec.name,
+        compiled.spec.engines.len(),
+        cli.jobs
+    );
+    let started = std::time::Instant::now();
+    let report = scenario::run(&compiled, cli.jobs);
+    println!("{}", report.rendered);
+    if cli.json {
+        match results::write_reports(&cli.out, std::slice::from_ref(&report), cli.jobs, false) {
+            Ok(paths) => {
+                for path in paths {
+                    eprintln!("[wrote {}]", path.display());
+                }
+            }
+            Err(error) => {
+                eprintln!("error: writing {}: {error}", cli.out.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    eprintln!("[scenario done in {:.1?}]", started.elapsed());
+}
+
+/// Enumerate the scenario library next to the experiment registry: every
+/// `*.json` in `dir` (sorted), with its description — or its validation
+/// error, so a broken library file is visible right in `paper list`.
+fn list_scenarios(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return; // no scenarios/ directory here — nothing to list
+    };
+    let mut files: Vec<_> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return;
+    }
+    println!("\nscenarios (paper scenario <file>):");
+    for file in files {
+        // Parse + validate, plus an existence check on referenced trace
+        // files — broken library files must be visible right here, but
+        // listing must stay O(file size), not O(simulated horizon), so
+        // the full compile (workload synthesis) waits for `paper
+        // scenario`.
+        let line = match std::fs::read_to_string(&file)
+            .map_err(|e| e.to_string())
+            .and_then(|text| scenario::parse_scenario(&text).map_err(|e| e.to_string()))
+        {
+            Ok(spec) => {
+                let base = file.parent().unwrap_or(Path::new("."));
+                let missing = spec.phases.iter().find_map(|p| match &p.workload {
+                    scenario::WorkloadPhase::Trace { path } if !base.join(path).is_file() => {
+                        Some(path.clone())
+                    }
+                    _ => None,
+                });
+                match missing {
+                    Some(path) => format!("INVALID — trace file '{path}' not found"),
+                    None => spec.description,
+                }
+            }
+            Err(error) => format!("INVALID — {error}"),
+        };
+        println!("{:<36} {line}", file.display().to_string());
+    }
+}
+
 fn usage() {
     eprintln!(
         "usage: paper <experiment-id>|all|list [--duration-ms N] [--loads 10,50,100]\n\
-         \u{20}      [--seed N | --seeds A,B,C] [--jobs N] [--json] [--out DIR]"
+         \u{20}      [--seed N | --seeds A,B,C] [--jobs N] [--json] [--out DIR]\n\
+         \u{20}      paper scenario <file.json> [--jobs N] [--json] [--out DIR]"
     );
     eprintln!("experiments:");
     for exp in EXPERIMENTS {

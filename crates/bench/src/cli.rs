@@ -10,6 +10,8 @@ use crate::experiments::{find_experiment, Args, EXPERIMENTS};
 pub struct Cli {
     /// `paper list` — print the registry and exit.
     pub list: bool,
+    /// `paper scenario <file.json>` — run a declarative scenario file.
+    pub scenario: Option<PathBuf>,
     /// Experiment ids to run, in request order (`all` expands here).
     pub ids: Vec<String>,
     /// Harness parameters (duration, loads; seed is taken from `seeds`).
@@ -30,6 +32,7 @@ pub struct Cli {
 pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
     let mut cli = Cli {
         list: false,
+        scenario: None,
         ids: Vec::new(),
         args: Args::default(),
         seeds: Vec::new(),
@@ -37,6 +40,9 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
         json: false,
         out: PathBuf::from("results"),
     };
+    // Flags a scenario file pins itself (scenarios carry their own seed,
+    // loads and horizon, so accepting these would silently lie).
+    let mut harness_flags: Vec<&'static str> = Vec::new();
     let mut it = argv.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -49,12 +55,14 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
                     return Err(format!("--duration-ms: {ms} must be > 0"));
                 }
                 cli.args.duration = (ms * 1e6) as u64;
+                harness_flags.push("--duration-ms");
             }
             "--seed" => {
                 let v = value(&mut it, "--seed")?;
                 cli.seeds = vec![v
                     .parse()
                     .map_err(|_| format!("--seed: '{v}' is not an integer"))?];
+                harness_flags.push("--seed");
             }
             "--seeds" => {
                 let v = value(&mut it, "--seeds")?;
@@ -68,10 +76,19 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
                 if cli.seeds.is_empty() {
                     return Err("--seeds: need at least one seed".into());
                 }
+                harness_flags.push("--seeds");
             }
             "--loads" => {
                 let v = value(&mut it, "--loads")?;
                 cli.args.loads = v.split(',').map(parse_load).collect::<Result<_, _>>()?;
+                harness_flags.push("--loads");
+            }
+            "scenario" => {
+                let v = value(&mut it, "scenario")?;
+                if cli.scenario.is_some() {
+                    return Err("scenario: only one scenario file per invocation".into());
+                }
+                cli.scenario = Some(PathBuf::from(v));
             }
             "--jobs" => {
                 let v = value(&mut it, "--jobs")?;
@@ -98,6 +115,16 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
                 }
                 cli.ids.push(id.to_string());
             }
+        }
+    }
+    if cli.scenario.is_some() {
+        if !cli.ids.is_empty() {
+            return Err("scenario runs cannot be mixed with experiment ids".into());
+        }
+        if let Some(flag) = harness_flags.first() {
+            return Err(format!(
+                "{flag}: a scenario file pins its own seed, loads and duration — edit the file instead"
+            ));
         }
     }
     if cli.seeds.is_empty() {
@@ -214,5 +241,46 @@ mod tests {
     fn seeds_sweep() {
         let cli = parse_strs(&["fig9", "--seeds", "1,2,3"]).unwrap();
         assert_eq!(cli.seeds, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn scenario_subcommand_parses_with_harness_flags() {
+        let cli = parse_strs(&[
+            "scenario",
+            "scenarios/rolling_failures.json",
+            "--jobs",
+            "4",
+            "--json",
+            "--out",
+            "results/current",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.scenario,
+            Some(PathBuf::from("scenarios/rolling_failures.json"))
+        );
+        assert_eq!(cli.jobs, 4);
+        assert!(cli.json);
+        assert!(cli.ids.is_empty());
+    }
+
+    #[test]
+    fn scenario_rejects_experiment_mixes_and_pinned_flags() {
+        let err = parse_strs(&["scenario", "x.json", "fig9"]).unwrap_err();
+        assert!(err.contains("cannot be mixed"), "{err}");
+        for flag in [
+            &["scenario", "x.json", "--seed", "3"][..],
+            &["scenario", "x.json", "--seeds", "1,2"],
+            &["scenario", "x.json", "--loads", "50"],
+            &["scenario", "x.json", "--duration-ms", "1"],
+        ] {
+            let err = parse_strs(flag).unwrap_err();
+            assert!(err.contains("pins its own"), "{flag:?}: {err}");
+        }
+        assert!(parse_strs(&["scenario"])
+            .unwrap_err()
+            .contains("needs a value"));
+        let err = parse_strs(&["scenario", "a.json", "scenario", "b.json"]).unwrap_err();
+        assert!(err.contains("only one scenario"), "{err}");
     }
 }

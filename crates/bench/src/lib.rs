@@ -24,6 +24,7 @@ pub mod cli;
 pub mod experiments;
 pub mod results;
 pub mod runs;
+pub mod scenario;
 pub mod sweep;
 
 pub use experiments::{find_experiment, run_experiment, Args, Experiment, EXPERIMENTS};

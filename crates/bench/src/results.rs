@@ -15,7 +15,8 @@
 //!       "param": {"name": "...", "value": ...} | null,
 //!       "seed": ..., "duration_ns": ...,
 //!       "metrics": { "mice": {...}, "all": {...}, "goodput": {...},
-//!                    "match_ratio": ..., <experiment extras> },
+//!                    "match_ratio": ..., <experiment extras>,
+//!                    "series": [ <per-phase rows, scenario runs only> ] },
 //!       "wall_secs": ...            // only with timing enabled
 //!     }, ...
 //!   ],
@@ -101,6 +102,9 @@ fn run_json(result: &RunResult, with_timing: bool) -> Json {
     metrics.push("match_ratio", result.metrics.match_ratio);
     for &(name, value) in &result.metrics.extra {
         metrics.push(name, value);
+    }
+    if let Some(series) = &result.metrics.series {
+        metrics.push("series", series.clone());
     }
     run.push("metrics", metrics);
     if with_timing {
@@ -244,6 +248,28 @@ fn diff_metrics(
                     }
                     _ => failures.push(format!("{id} {run}: metric '{path}' appeared/vanished")),
                 }
+            }
+        }
+        (Json::Arr(b_items), Json::Arr(c_items)) => {
+            // Time series and other metric arrays gate element by element.
+            if b_items.len() != c_items.len() {
+                failures.push(format!(
+                    "{id} {run}: '{prefix}' length changed {} -> {}",
+                    b_items.len(),
+                    c_items.len()
+                ));
+                return;
+            }
+            for (i, (b, c)) in b_items.iter().zip(c_items).enumerate() {
+                diff_metrics(
+                    id,
+                    run,
+                    &format!("{prefix}[{i}]"),
+                    Some(b),
+                    Some(c),
+                    tolerance_pct,
+                    failures,
+                );
             }
         }
         (b_val, c_val) if b_val.as_f64().is_some() && c_val.as_f64().is_some() => {

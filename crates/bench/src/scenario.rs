@@ -1,0 +1,155 @@
+//! Harness side of the scenario engine: load a scenario file, compile it
+//! (`scenario::compile`), wrap its engine runs into sweep [`RunSpec`]s,
+//! and execute them on the shared `--jobs` pool — the same machinery (and
+//! therefore the same byte-identical-at-any-jobs guarantee) every
+//! hard-coded experiment uses. The resulting [`SweepReport`] flows through
+//! `results::write_reports` unchanged, so a scenario's JSON lands as
+//! `results/scenario-<name>.json` with the per-phase time series under
+//! each run's `metrics.series`.
+
+use std::path::Path;
+
+use crate::experiments::Args;
+use crate::sweep::{self, Rendered, RunMeta, RunMetrics, RunSpec, SweepReport};
+use scenario::series::stats_to_json;
+// Re-exported so the `paper` binary reaches the scenario crate's API
+// through this module.
+pub use scenario::{build_runs, compile, parse_scenario, CompiledScenario, WorkloadPhase};
+
+/// Load, parse and validate a scenario file, compiling it to run inputs.
+/// Every error is prefixed with the file path; validation errors point at
+/// `line:column` inside it.
+pub fn load(path: &Path) -> Result<CompiledScenario, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let spec = parse_scenario(&text).map_err(|e| format!("{}:{e}", path.display()))?;
+    let base_dir = path.parent().unwrap_or_else(|| Path::new("."));
+    compile(spec, base_dir).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Execute a compiled scenario across `jobs` workers and assemble the
+/// sweep report (rendered text + per-run metrics with series).
+pub fn run(compiled: &CompiledScenario, jobs: usize) -> SweepReport {
+    let spec = &compiled.spec;
+    // Sweep metadata wants 'static strs; a handful of scenario names per
+    // process makes leaking the right trade.
+    let id: &'static str = Box::leak(format!("scenario-{}", spec.name).into_boxed_str());
+    let artifact: &'static str = Box::leak(
+        format!(
+            "Scenario '{}'{}{}",
+            spec.name,
+            if spec.description.is_empty() {
+                ""
+            } else {
+                ": "
+            },
+            spec.description
+        )
+        .into_boxed_str(),
+    );
+    let args = Args {
+        duration: compiled.duration,
+        loads: Vec::new(),
+        seed: spec.seed,
+    };
+    let specs: Vec<RunSpec> = build_runs(compiled)
+        .into_iter()
+        .enumerate()
+        .map(|(index, run)| {
+            let meta = RunMeta::new(id, index, run.system, &args).duration(compiled.duration);
+            let body = run.run;
+            RunSpec::new(meta, move || {
+                let out = body();
+                let mut metrics = RunMetrics::new(Rendered::Block(out.rendered))
+                    .with_series(stats_to_json(&out.series))
+                    .with_match_ratio(out.match_ratio);
+                metrics.report = Some(out.summary);
+                metrics
+            })
+        })
+        .collect();
+    let results = sweep::execute_specs(specs, jobs);
+    let mut rendered = format!(
+        "# Scenario '{}' — {} phases, {} events, {} flows over {} epochs ({:.3} ms)\n",
+        spec.name,
+        spec.phases.len(),
+        spec.events.len(),
+        compiled.trace.len(),
+        spec.total_epochs(),
+        compiled.duration as f64 / 1e6,
+    );
+    for result in &results {
+        rendered.push('\n');
+        rendered.push_str(result.block());
+    }
+    SweepReport {
+        id,
+        artifact,
+        args,
+        results,
+        rendered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::results;
+
+    const SMOKE: &str = r#"{
+  "name": "adapter",
+  "topology": "parallel",
+  "tors": 16, "ports": 4, "host_gbps": 200,
+  "seed": 5,
+  "phases": [
+    {"label": "warm", "workload": "poisson", "load": 50, "epochs": [0, 40]},
+    {"label": "hot", "workload": "poisson", "load": 90, "epochs": [40, 80]}
+  ],
+  "events": [
+    {"at_epoch": 40, "action": "fail_random", "ratio": 0.1, "seed": 3},
+    {"at_epoch": 60, "action": "repair_links"}
+  ]
+}"#;
+
+    fn compiled() -> CompiledScenario {
+        compile(parse_scenario(SMOKE).unwrap(), Path::new(".")).unwrap()
+    }
+
+    #[test]
+    fn scenario_report_carries_series_json() {
+        let report = run(&compiled(), 2);
+        assert_eq!(report.id, "scenario-adapter");
+        assert_eq!(report.results.len(), 2, "negotiator + oblivious");
+        let json = results::experiment_json(&report, None);
+        let runs = json.get("runs").unwrap().as_array().unwrap();
+        for r in runs {
+            let series = r
+                .get("metrics")
+                .unwrap()
+                .get("series")
+                .unwrap()
+                .as_array()
+                .unwrap();
+            assert_eq!(series.len(), 2, "one row per phase");
+            assert_eq!(series[0].get("label").unwrap().as_str(), Some("warm"));
+            assert!(series[0]
+                .get("goodput_normalized")
+                .unwrap()
+                .as_f64()
+                .is_some());
+        }
+        // Round-trips through the parser.
+        let text = json.render();
+        assert_eq!(metrics::Json::parse(&text).unwrap(), json);
+    }
+
+    #[test]
+    fn scenario_is_byte_identical_across_jobs() {
+        let c = compiled();
+        let serial = run(&c, 1);
+        let parallel = run(&c, 8);
+        assert_eq!(serial.rendered, parallel.rendered);
+        let s = results::experiment_json(&serial, None).render();
+        let p = results::experiment_json(&parallel, None).render();
+        assert_eq!(s, p);
+    }
+}

@@ -111,6 +111,10 @@ pub struct RunMetrics {
     /// Experiment-specific named scalars (finish times, failure ratios,
     /// over-scheduling counters, ...).
     pub extra: Vec<(&'static str, f64)>,
+    /// Per-phase time series (scenario runs): a JSON array emitted under
+    /// `metrics.series` in the results schema, gated element-wise by
+    /// `bench-diff` like every other metric.
+    pub series: Option<metrics::Json>,
 }
 
 impl RunMetrics {
@@ -121,6 +125,7 @@ impl RunMetrics {
             report: None,
             match_ratio: None,
             extra: Vec::new(),
+            series: None,
         }
     }
 
@@ -131,7 +136,14 @@ impl RunMetrics {
             report: Some(report.summary()),
             match_ratio: None,
             extra: Vec::new(),
+            series: None,
         }
+    }
+
+    /// Attach a per-phase time series.
+    pub fn with_series(mut self, series: metrics::Json) -> Self {
+        self.series = Some(series);
+        self
     }
 
     /// Attach a named scalar.

@@ -98,6 +98,56 @@ fn timed_json_differs_only_in_timing_fields() {
     assert_eq!(strip(&serial, 1), strip(&parallel, 8));
 }
 
+/// The committed scenario library, relative to this crate.
+fn scenarios_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+#[test]
+fn scenario_run_is_byte_identical_across_jobs() {
+    // The acceptance contract of `paper scenario`: report text and the
+    // timing-free results JSON at --jobs 8 match --jobs 1 byte for byte.
+    let compiled =
+        bench::scenario::load(&scenarios_dir().join("rolling_failures.json")).expect("ships valid");
+    let serial = bench::scenario::run(&compiled, 1);
+    let parallel = bench::scenario::run(&compiled, 8);
+    assert_eq!(serial.rendered, parallel.rendered, "report diverged");
+    let s = results::experiment_json(&serial, None).render();
+    let p = results::experiment_json(&parallel, None).render();
+    assert_eq!(s, p, "results JSON diverged");
+    // The series actually made it into the document.
+    assert!(s.contains("\"series\""), "{s}");
+    assert!(s.contains("\"random_cuts\""), "{s}");
+}
+
+#[test]
+fn shipped_scenario_library_is_valid() {
+    // Every scenarios/*.json must parse, validate and compile (trace
+    // files included) — `paper list` shows them and CI smokes one.
+    let dir = scenarios_dir();
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("scenarios/ exists") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let compiled =
+            bench::scenario::load(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(
+            !compiled.trace.is_empty(),
+            "{}: empty trace",
+            path.display()
+        );
+        assert_eq!(
+            format!("{}.json", compiled.spec.name),
+            path.file_name().unwrap().to_string_lossy(),
+            "scenario name must match its file name"
+        );
+        seen += 1;
+    }
+    assert!(seen >= 5, "the library ships at least five scenarios");
+}
+
 #[test]
 fn seed_changes_the_sweep() {
     // Guard against a sweep that ignores its seed: JSON for seed A and

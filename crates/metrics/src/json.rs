@@ -1,14 +1,37 @@
 //! Hand-rolled JSON: a tiny writer/parser pair for the harness's
-//! machine-readable results.
+//! machine-readable results and for user-authored scenario files.
 //!
 //! The workspace builds offline with no crates.io dependencies, so instead
-//! of serde this module carries the ~200 lines of JSON the sweep engine
-//! actually needs: an ordered object model ([`Json`]), a deterministic
-//! pretty renderer (stable key order, shortest-round-trip floats — the
-//! byte-identity the determinism tests assert rests on this), and a strict
-//! recursive-descent parser for `bench-diff` to read result files back.
+//! of serde this module carries the JSON the harness actually needs: an
+//! ordered object model ([`Json`]), a deterministic pretty renderer (stable
+//! key order, shortest-round-trip floats — the byte-identity the
+//! determinism tests assert rests on this), and a strict recursive-descent
+//! parser. The parser produces a [`SpannedJson`] tree carrying the byte
+//! offset of every value and object key, so consumers of *user-authored*
+//! files (scenario specs) can point semantic errors — unknown key, value
+//! out of range — at an exact `line:column`; parse errors themselves are
+//! reported the same way. [`Json::parse`] strips the spans for consumers
+//! that only care about the data (`bench-diff`).
 
 use std::fmt::Write as _;
+
+/// 1-based `(line, column)` of byte offset `byte` in `text`, counting
+/// columns in characters. Offsets past the end clamp to the last position.
+pub fn line_col(text: &str, byte: usize) -> (usize, usize) {
+    let (mut line, mut col) = (1, 1);
+    for (i, c) in text.char_indices() {
+        if i >= byte {
+            break;
+        }
+        if c == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
 
 /// A JSON value. Objects preserve insertion order so rendering is
 /// deterministic and diffs of result files stay readable.
@@ -183,19 +206,143 @@ impl Json {
         }
     }
 
-    /// Parse a JSON document. Errors carry the byte offset.
+    /// Parse a JSON document. Errors carry the `line:column` of the
+    /// offending input (scenario files are user-authored; byte offsets
+    /// are unhelpful).
     pub fn parse(text: &str) -> Result<Json, String> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
+        SpannedJson::parse(text).map(|s| s.to_json())
+    }
+}
+
+/// A parsed JSON value annotated with the byte offset it starts at, so
+/// semantic errors against user-authored files (scenario specs) can point
+/// at `line:column` via [`line_col`] long after parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedJson {
+    /// Byte offset of the value's first character in the source text.
+    pub pos: usize,
+    /// The value itself.
+    pub node: SpannedNode,
+}
+
+/// The value inside a [`SpannedJson`]. Mirrors [`Json`], except object
+/// members also carry the byte offset of their key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpannedNode {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A non-negative integer, kept exact beyond 2^53.
+    UInt(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<SpannedJson>),
+    /// An object as an ordered `(key offset, key, value)` list.
+    Obj(Vec<(usize, String, SpannedJson)>),
+}
+
+impl SpannedJson {
+    /// Parse a JSON document keeping source positions. Errors carry the
+    /// `line:column` of the offending input.
+    pub fn parse(text: &str) -> Result<SpannedJson, String> {
+        let mut p = Parser { text, pos: 0 };
         p.skip_ws();
         let value = p.value()?;
         p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing data at byte {}", p.pos));
+        if p.pos != text.len() {
+            return Err(p.err_at(p.pos, "trailing data"));
         }
         Ok(value)
+    }
+
+    /// Strip the spans, leaving the plain value tree.
+    pub fn to_json(&self) -> Json {
+        match &self.node {
+            SpannedNode::Null => Json::Null,
+            SpannedNode::Bool(b) => Json::Bool(*b),
+            SpannedNode::Num(x) => Json::Num(*x),
+            SpannedNode::UInt(x) => Json::UInt(*x),
+            SpannedNode::Str(s) => Json::Str(s.clone()),
+            SpannedNode::Arr(items) => Json::Arr(items.iter().map(SpannedJson::to_json).collect()),
+            SpannedNode::Obj(members) => Json::Obj(
+                members
+                    .iter()
+                    .map(|(_, k, v)| (k.clone(), v.to_json()))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Member of an object by key (first occurrence).
+    pub fn get(&self, key: &str) -> Option<&SpannedJson> {
+        match &self.node {
+            SpannedNode::Obj(members) => {
+                members.iter().find(|(_, k, _)| k == key).map(|(_, _, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The ordered `(key offset, key, value)` members, if this is an object.
+    pub fn members(&self) -> Option<&[(usize, String, SpannedJson)]> {
+        match &self.node {
+            SpannedNode::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[SpannedJson]> {
+        match &self.node {
+            SpannedNode::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match &self.node {
+            SpannedNode::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match &self.node {
+            SpannedNode::Num(x) => Some(*x),
+            SpannedNode::UInt(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// The exact integer value, if this is a `UInt` or a whole `Num`.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.to_json().as_u64()
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match &self.node {
+            SpannedNode::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A short label for the value's type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match &self.node {
+            SpannedNode::Null => "null",
+            SpannedNode::Bool(_) => "a boolean",
+            SpannedNode::Num(_) | SpannedNode::UInt(_) => "a number",
+            SpannedNode::Str(_) => "a string",
+            SpannedNode::Arr(_) => "an array",
+            SpannedNode::Obj(_) => "an object",
+        }
     }
 }
 
@@ -268,112 +415,130 @@ fn write_escaped(out: &mut String, s: &str) {
 }
 
 struct Parser<'a> {
-    bytes: &'a [u8],
+    text: &'a str,
     pos: usize,
 }
 
 impl Parser<'_> {
+    fn bytes(&self) -> &[u8] {
+        self.text.as_bytes()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes().get(self.pos).copied()
+    }
+
+    /// Format an error pointing at `pos` as `line:column`.
+    fn err_at(&self, pos: usize, msg: impl std::fmt::Display) -> String {
+        let (line, col) = line_col(self.text, pos);
+        format!("{msg} at line {line}, column {col}")
+    }
+
     fn skip_ws(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
             self.pos += 1;
         }
     }
 
     fn expect(&mut self, byte: u8) -> Result<(), String> {
-        if self.bytes.get(self.pos) == Some(&byte) {
+        if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!("expected '{}' at byte {}", byte as char, self.pos))
+            Err(self.err_at(self.pos, format!("expected '{}'", byte as char)))
         }
     }
 
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+    fn literal(&mut self, word: &str, value: SpannedNode) -> Result<SpannedNode, String> {
+        if self.text[self.pos..].starts_with(word) {
             self.pos += word.len();
             Ok(value)
         } else {
-            Err(format!("invalid literal at byte {}", self.pos))
+            Err(self.err_at(self.pos, "invalid literal"))
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
-        match self.bytes.get(self.pos) {
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'"') => self.string().map(Json::Str),
+    fn value(&mut self) -> Result<SpannedJson, String> {
+        let pos = self.pos;
+        let node = match self.peek() {
+            Some(b'n') => self.literal("null", SpannedNode::Null),
+            Some(b't') => self.literal("true", SpannedNode::Bool(true)),
+            Some(b'f') => self.literal("false", SpannedNode::Bool(false)),
+            Some(b'"') => self.string().map(SpannedNode::Str),
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(format!("unexpected input at byte {}", self.pos)),
-        }
+            _ => Err(self.err_at(self.pos, "unexpected input")),
+        }?;
+        Ok(SpannedJson { pos, node })
     }
 
-    fn array(&mut self) -> Result<Json, String> {
+    fn array(&mut self) -> Result<SpannedNode, String> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b']') {
+        if self.peek() == Some(b']') {
             self.pos += 1;
-            return Ok(Json::Arr(items));
+            return Ok(SpannedNode::Arr(items));
         }
         loop {
             self.skip_ws();
             items.push(self.value()?);
             self.skip_ws();
-            match self.bytes.get(self.pos) {
+            match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
-                    return Ok(Json::Arr(items));
+                    return Ok(SpannedNode::Arr(items));
                 }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                _ => return Err(self.err_at(self.pos, "expected ',' or ']'")),
             }
         }
     }
 
-    fn object(&mut self) -> Result<Json, String> {
+    fn object(&mut self) -> Result<SpannedNode, String> {
         self.expect(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b'}') {
+        if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(Json::Obj(members));
+            return Ok(SpannedNode::Obj(members));
         }
         loop {
             self.skip_ws();
+            let key_pos = self.pos;
             let key = self.string()?;
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
             let value = self.value()?;
-            members.push((key, value));
+            members.push((key_pos, key, value));
             self.skip_ws();
-            match self.bytes.get(self.pos) {
+            match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
-                    return Ok(Json::Obj(members));
+                    return Ok(SpannedNode::Obj(members));
                 }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                _ => return Err(self.err_at(self.pos, "expected ',' or '}'")),
             }
         }
     }
 
     fn string(&mut self) -> Result<String, String> {
+        let start = self.pos;
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
-            match self.bytes.get(self.pos) {
-                None => return Err("unterminated string".to_string()),
+            match self.peek() {
+                None => return Err(self.err_at(start, "unterminated string starting")),
                 Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    match self.bytes.get(self.pos) {
+                    match self.peek() {
                         Some(b'"') => out.push('"'),
                         Some(b'\\') => out.push('\\'),
                         Some(b'/') => out.push('/'),
@@ -384,29 +549,28 @@ impl Parser<'_> {
                         Some(b'f') => out.push('\u{c}'),
                         Some(b'u') => {
                             let hex = self
-                                .bytes
+                                .bytes()
                                 .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
+                                .ok_or_else(|| self.err_at(self.pos, "truncated \\u escape"))?;
                             let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.err_at(self.pos, "bad \\u escape"))?,
                                 16,
                             )
-                            .map_err(|_| "bad \\u escape")?;
+                            .map_err(|_| self.err_at(self.pos, "bad \\u escape"))?;
                             // Surrogates never appear in our own output;
                             // map them to U+FFFD rather than failing.
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                             self.pos += 4;
                         }
-                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        _ => return Err(self.err_at(self.pos, "bad escape")),
                     }
                     self.pos += 1;
                 }
                 Some(_) => {
                     // Consume one UTF-8 scalar (input is a &str, so this
                     // is always on a boundary).
-                    let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().expect("non-empty");
+                    let c = self.text[self.pos..].chars().next().expect("non-empty");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -414,28 +578,28 @@ impl Parser<'_> {
         }
     }
 
-    fn number(&mut self) -> Result<Json, String> {
+    fn number(&mut self) -> Result<SpannedNode, String> {
         let start = self.pos;
-        if self.bytes.get(self.pos) == Some(&b'-') {
+        if self.peek() == Some(b'-') {
             self.pos += 1;
         }
         while matches!(
-            self.bytes.get(self.pos),
+            self.peek(),
             Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let text = &self.text[start..self.pos];
         // Plain non-negative integer literals stay exact (seeds exceed
         // f64's 2^53 integer range); everything else goes through f64.
         if !text.contains(['.', 'e', 'E', '-']) {
             if let Ok(x) = text.parse::<u64>() {
-                return Ok(Json::UInt(x));
+                return Ok(SpannedNode::UInt(x));
             }
         }
         text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| format!("bad number '{text}' at byte {start}"))
+            .map(SpannedNode::Num)
+            .map_err(|_| self.err_at(start, format!("bad number '{text}'")))
     }
 }
 
@@ -532,5 +696,58 @@ mod tests {
     #[should_panic(expected = "non-object")]
     fn push_guards_type() {
         Json::Arr(vec![]).push("k", 1u64);
+    }
+
+    #[test]
+    fn line_col_math() {
+        let text = "ab\ncdé\nf";
+        assert_eq!(line_col(text, 0), (1, 1));
+        assert_eq!(line_col(text, 2), (1, 3)); // the newline itself
+        assert_eq!(line_col(text, 3), (2, 1));
+        // é is two bytes but one column.
+        assert_eq!(line_col(text, 7), (2, 4));
+        assert_eq!(line_col(text, 8), (3, 1));
+        assert_eq!(line_col(text, 999), (3, 2)); // clamped past the end
+    }
+
+    #[test]
+    fn errors_point_at_line_and_column() {
+        // Missing ':' on line 3, right after the key.
+        let err = Json::parse("{\n  \"a\": 1,\n  \"b\" 2\n}").unwrap_err();
+        assert!(err.contains("line 3, column 7"), "{err}");
+        // Trailing comma in an array on line 2.
+        let err = Json::parse("[\n 1,\n]").unwrap_err();
+        assert!(err.contains("line 3, column 1"), "{err}");
+        // Bad literal midway through line 1.
+        let err = Json::parse("{\"x\": nope}").unwrap_err();
+        assert!(err.contains("line 1, column 7"), "{err}");
+        // Trailing data after the document.
+        let err = Json::parse("{}\n{}").unwrap_err();
+        assert!(err.contains("trailing data at line 2, column 1"), "{err}");
+        // Unterminated string points at its opening quote.
+        let err = Json::parse("{\n  \"a\": \"open\n}").unwrap_err();
+        assert!(err.contains("unterminated string"), "{err}");
+        assert!(err.contains("line 2, column 8"), "{err}");
+        // Truncated \u escape carries a position too.
+        let err = Json::parse("[\"x\\u00").unwrap_err();
+        assert!(err.contains("truncated \\u escape at line 1"), "{err}");
+    }
+
+    #[test]
+    fn spanned_parse_records_positions() {
+        let text = "{\n  \"phases\": [\n    {\"load\": 50}\n  ]\n}";
+        let doc = SpannedJson::parse(text).unwrap();
+        assert_eq!(line_col(text, doc.pos), (1, 1));
+        let phases = doc.get("phases").unwrap();
+        assert_eq!(line_col(text, phases.pos), (2, 13));
+        let first = &phases.as_array().unwrap()[0];
+        let (key_pos, key, value) = &first.members().unwrap()[0];
+        assert_eq!(key, "load");
+        assert_eq!(line_col(text, *key_pos), (3, 6));
+        assert_eq!(value.as_f64(), Some(50.0));
+        assert_eq!(value.as_u64(), Some(50));
+        assert_eq!(value.kind(), "a number");
+        // Stripping spans reproduces the plain parse.
+        assert_eq!(doc.to_json(), Json::parse(text).unwrap());
     }
 }

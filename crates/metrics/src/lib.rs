@@ -15,14 +15,19 @@
 //! * [`matchratio::MatchRatioRecorder`] — accepts/grants per epoch.
 //! * [`report`] — plain-text table rendering for the experiment harness.
 //! * [`json`] — a dependency-free JSON writer/parser so sweep results are
-//!   machine-readable (`results/<id>.json`, consumed by `bench-diff`).
+//!   machine-readable (`results/<id>.json`, consumed by `bench-diff`) and
+//!   scenario files are loadable with `line:column` error reporting.
+//! * [`phase`] — phase-boundary counter snapshots feeding the scenario
+//!   engine's per-phase time series.
 
 pub mod fct;
 pub mod json;
 pub mod matchratio;
+pub mod phase;
 pub mod report;
 
 pub use fct::{FctReport, FctSummary, FlowTracker, GoodputReport, RunReport, RunSummary};
-pub use json::Json;
+pub use json::{Json, SpannedJson};
 pub use matchratio::MatchRatioRecorder;
+pub use phase::{PhaseCounters, PhaseProbe, PhaseSnapshot};
 pub use report::Table;

@@ -49,13 +49,16 @@ use crate::variants::iterative::IterativeMatcher;
 use crate::variants::projector;
 use crate::variants::relay::{self, RelayBuffer, RelayPolicy, RelayRequest};
 use crate::variants::stateful::DemandMatrix;
-use metrics::{FlowTracker, MatchRatioRecorder, RunReport};
+use metrics::{FlowTracker, MatchRatioRecorder, PhaseCounters, PhaseProbe, RunReport};
 use sim::time::Nanos;
 use sim::{BandwidthSeries, Xoshiro256};
 use std::collections::VecDeque;
-use topology::failures::LinkDir;
-use topology::{AnyTopology, LinkFailures, PredefinedCache, Topology, TopologyKind};
+use topology::{
+    AnyTopology, FailureSchedule, LinkFailures, PredefinedCache, Topology, TopologyKind,
+};
 use workload::FlowTrace;
+
+pub use topology::failures::FailureAction;
 
 /// Which scheduling logic runs on top of the common data path.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -113,29 +116,6 @@ impl Default for SimOptions {
             host_buffer_bytes: None,
         }
     }
-}
-
-/// A scheduled change to the ground-truth link state (§4.3 experiments).
-#[derive(Debug, Clone)]
-pub enum FailureAction {
-    /// Fail a uniform random fraction of all directed links.
-    FailRandom {
-        /// Fraction of directed links to fail.
-        ratio: f64,
-        /// Sampling seed.
-        seed: u64,
-    },
-    /// Repair everything failed by earlier `FailRandom`/`FailLink` actions.
-    RepairAll,
-    /// Fail one directed link.
-    FailLink {
-        /// ToR index.
-        tor: usize,
-        /// Port index.
-        port: usize,
-        /// Fiber direction.
-        dir: LinkDir,
-    },
 }
 
 /// A request as seen by the destination after the predefined phase.
@@ -278,13 +258,10 @@ pub struct NegotiatorSim {
     /// (skipping observation is a detector no-op then).
     observe_pending: bool,
 
-    // Failures: a once-sorted schedule consumed through a cursor (inserts
-    // keep it sorted; equal timestamps preserve scheduling order).
+    // Failures: the shared once-sorted, cursor-consumed schedule.
     failures: LinkFailures,
     detector: FaultDetector,
-    fail_schedule: Vec<(Nanos, FailureAction)>,
-    fail_cursor: usize,
-    injected_failures: Vec<(usize, usize, LinkDir)>,
+    fail_sched: FailureSchedule,
     // Per-epoch observation scratch.
     egress_attempted: Vec<bool>,
     egress_ok: Vec<bool>,
@@ -301,6 +278,7 @@ pub struct NegotiatorSim {
     stats: SchedStats,
     rx_series: Vec<BandwidthSeries>,
     total_rx: Option<BandwidthSeries>,
+    phase_probe: Option<PhaseProbe>,
     ran_duration: Nanos,
 
     // Reusable per-epoch buffers.
@@ -408,9 +386,7 @@ impl NegotiatorSim {
             observe_pending: true,
             failures: LinkFailures::new(n, s),
             detector: FaultDetector::new(n, s),
-            fail_schedule: Vec::new(),
-            fail_cursor: 0,
-            injected_failures: Vec::new(),
+            fail_sched: FailureSchedule::new(),
             egress_attempted: vec![false; n * s],
             egress_ok: vec![false; n * s],
             ingress_attempted: vec![false; n * s],
@@ -429,6 +405,7 @@ impl NegotiatorSim {
             stats: SchedStats::default(),
             rx_series,
             total_rx: opts.total_rx_window.map(BandwidthSeries::new),
+            phase_probe: None,
             ran_duration: 0,
             scratch: SimScratch::default(),
 
@@ -446,16 +423,31 @@ impl NegotiatorSim {
         self.epoch_len
     }
 
-    /// Schedule a link-state change at absolute time `at`.
-    ///
-    /// The schedule stays sorted by insertion into the not-yet-applied
-    /// suffix (equal timestamps keep their scheduling order, as the old
-    /// stable re-sort did); [`Self::apply_due_failures`] then pops through
-    /// a cursor instead of `Vec::remove(0)`.
+    /// Schedule a link-state change at absolute time `at` (see
+    /// [`topology::FailureSchedule`] for the ordering rules).
     pub fn schedule_failure(&mut self, at: Nanos, action: FailureAction) {
-        let pos = self.fail_cursor
-            + self.fail_schedule[self.fail_cursor..].partition_point(|&(t, _)| t <= at);
-        self.fail_schedule.insert(pos, (at, action));
+        self.fail_sched.schedule(at, action);
+    }
+
+    /// Attach a phase-boundary probe; its snapshots are readable via
+    /// [`Self::phase_probe`] after the run.
+    pub fn set_phase_probe(&mut self, probe: PhaseProbe) {
+        self.phase_probe = Some(probe);
+    }
+
+    /// The phase probe, once attached (complete after [`Self::run`]).
+    pub fn phase_probe(&self) -> Option<&PhaseProbe> {
+        self.phase_probe.as_ref()
+    }
+
+    /// Cumulative counters for phase-boundary snapshots.
+    fn phase_counters(&self, tracker: &FlowTracker) -> PhaseCounters {
+        PhaseCounters {
+            delivered_bytes: tracker.delivered_payload(),
+            backlog_bytes: self.queue_bytes.iter().sum(),
+            grants: self.stats.grants_issued,
+            accepts: self.stats.accepts_made,
+        }
     }
 
     /// Per-flow tracker of the completed run.
@@ -517,7 +509,14 @@ impl NegotiatorSim {
             if t0 >= duration {
                 break;
             }
-            self.apply_due_failures(t0);
+            if self.phase_probe.as_ref().is_some_and(|p| p.due(t0)) {
+                let counters = self.phase_counters(&tracker);
+                self.phase_probe
+                    .as_mut()
+                    .expect("probe checked above")
+                    .record(t0, counters);
+            }
+            self.fail_sched.apply_due(t0, &mut self.failures);
             cursor = self.inject(flows, cursor, t0);
             self.epoch_start(epoch, t0);
             cursor = self.predefined_phase(flows, cursor, epoch, t0, &mut tracker);
@@ -528,10 +527,14 @@ impl NegotiatorSim {
             // Early exit when nothing is left anywhere.
             if cursor >= flows.len()
                 && tracker.completed_count() == flows.len()
-                && self.fail_cursor >= self.fail_schedule.len()
+                && self.fail_sched.is_drained()
             {
                 break;
             }
+        }
+        if let Some(mut probe) = self.phase_probe.take() {
+            probe.finish(self.phase_counters(&tracker));
+            self.phase_probe = Some(probe);
         }
         self.tracker = Some(tracker);
         RunReport::build(
@@ -616,31 +619,6 @@ impl NegotiatorSim {
                     self.backlog_by_port[tor * self.s + port],
                     "backlog cache drifted at tor {tor} port {port}"
                 );
-            }
-        }
-    }
-
-    fn apply_due_failures(&mut self, now: Nanos) {
-        while let Some(&(at, ref action)) = self.fail_schedule.get(self.fail_cursor) {
-            if at > now {
-                break;
-            }
-            let action = action.clone();
-            self.fail_cursor += 1;
-            match action {
-                FailureAction::FailRandom { ratio, seed } => {
-                    let mut rng = Xoshiro256::new(seed);
-                    let failed = self.failures.fail_random(ratio, &mut rng);
-                    self.injected_failures.extend(failed);
-                }
-                FailureAction::RepairAll => {
-                    self.failures.repair_all(&self.injected_failures);
-                    self.injected_failures.clear();
-                }
-                FailureAction::FailLink { tor, port, dir } => {
-                    self.failures.fail(tor, port, dir);
-                    self.injected_failures.push((tor, port, dir));
-                }
             }
         }
     }

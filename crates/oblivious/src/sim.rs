@@ -29,11 +29,14 @@
 //! which is what caps heavy-load goodput near the worst case.
 
 use crate::config::ObliviousConfig;
-use metrics::{FlowTracker, RunReport};
+use metrics::{FlowTracker, PhaseCounters, PhaseProbe, RunReport};
 use sim::time::Nanos;
 use sim::{BandwidthSeries, Xoshiro256};
 use std::collections::VecDeque;
-use topology::{AnyTopology, PredefinedCache, Topology, TopologyKind};
+use topology::{
+    AnyTopology, FailureAction, FailureSchedule, LinkFailures, PredefinedCache, Topology,
+    TopologyKind,
+};
 use workload::FlowTrace;
 
 /// A data unit bound to a VLB intermediate, waiting at the source.
@@ -90,8 +93,15 @@ pub struct ObliviousSim {
     /// Reused landing buffer, swapped against the in-flight ring slots.
     landing: Vec<Inflight>,
 
+    /// Ground-truth link state. The rotor has no failure detection: a
+    /// down link simply wastes its slots (data stays queued at the
+    /// sender), which is the §2 degradation scenario timelines exercise.
+    failures: LinkFailures,
+    fail_sched: FailureSchedule,
+
     rx_final: Vec<BandwidthSeries>,
     rx_transit: Vec<BandwidthSeries>,
+    phase_probe: Option<PhaseProbe>,
     tracker: Option<FlowTracker>,
     ran_duration: Nanos,
     rng: Xoshiro256,
@@ -129,6 +139,8 @@ impl ObliviousSim {
             inflight: vec![Vec::new(); depth],
             cache: PredefinedCache::build(&topo),
             landing: Vec::new(),
+            failures: LinkFailures::new(n, cfg.net.n_ports),
+            fail_sched: FailureSchedule::new(),
             rx_final: match rec.rx_window {
                 Some(w) => (0..n).map(|_| BandwidthSeries::new(w)).collect(),
                 None => Vec::new(),
@@ -137,6 +149,7 @@ impl ObliviousSim {
                 Some(w) => (0..n).map(|_| BandwidthSeries::new(w)).collect(),
                 None => Vec::new(),
             },
+            phase_probe: None,
             tracker: None,
             ran_duration: 0,
             rng: Xoshiro256::new(cfg.seed),
@@ -158,6 +171,49 @@ impl ObliviousSim {
     /// Per-flow tracker of the completed run.
     pub fn tracker(&self) -> &FlowTracker {
         self.tracker.as_ref().expect("call run() first")
+    }
+
+    /// Schedule a link-state change at absolute time `at`. The rotor has
+    /// no detection or recovery: while a link is down its slots transmit
+    /// nothing and the affected traffic waits at the sender.
+    pub fn schedule_failure(&mut self, at: Nanos, action: FailureAction) {
+        self.fail_sched.schedule(at, action);
+    }
+
+    /// Attach a phase-boundary probe; its snapshots are readable via
+    /// [`Self::phase_probe`] after the run.
+    pub fn set_phase_probe(&mut self, probe: PhaseProbe) {
+        self.phase_probe = Some(probe);
+    }
+
+    /// The phase probe, once attached (complete after [`Self::run`]).
+    pub fn phase_probe(&self) -> Option<&PhaseProbe> {
+        self.phase_probe.as_ref()
+    }
+
+    /// Cumulative counters for phase-boundary snapshots. Backlog covers
+    /// bound segments at sources and relay FIFOs at intermediates; grants
+    /// and accepts stay zero — the rotor never negotiates.
+    fn phase_counters(&self, tracker: &FlowTracker) -> PhaseCounters {
+        let bound: u64 = self
+            .bound
+            .iter()
+            .flat_map(|levels| levels.iter())
+            .flat_map(|q| q.iter())
+            .map(|seg| seg.bytes as u64)
+            .sum();
+        let relay: u64 = self
+            .relay
+            .iter()
+            .flat_map(|q| q.iter())
+            .map(|&(_, bytes)| bytes as u64)
+            .sum();
+        PhaseCounters {
+            delivered_bytes: tracker.delivered_payload(),
+            backlog_bytes: bound + relay,
+            grants: 0,
+            accepts: 0,
+        }
     }
 
     /// Final-delivery bandwidth series of `dst` (requires recording).
@@ -271,6 +327,14 @@ impl ObliviousSim {
             if now >= duration {
                 break;
             }
+            if self.phase_probe.as_ref().is_some_and(|p| p.due(now)) {
+                let counters = self.phase_counters(&tracker);
+                self.phase_probe
+                    .as_mut()
+                    .expect("probe checked above")
+                    .record(now, counters);
+            }
+            self.fail_sched.apply_due(now, &mut self.failures);
             // Inject flows due by this slot.
             while cursor < flows.len() && flows[cursor].arrival <= now {
                 let f = flows[cursor];
@@ -297,15 +361,28 @@ impl ObliviousSim {
                 (t as usize + (self.slot_len + prop).div_ceil(self.slot_len) as usize) % depth;
             let slot = (t % self.round as u64) as usize;
             let cache = std::mem::take(&mut self.cache);
+            let any_failed = self.failures.failed_count() > 0;
             for conn in cache.slot_conns(0, slot) {
                 let (src, via) = (conn.src as usize, conn.dst as usize);
+                // A down fiber silently wastes the slot; the rotor has no
+                // feedback channel to learn about it.
+                if any_failed && !self.failures.link_up(src, via, conn.port as usize) {
+                    continue;
+                }
                 self.serve_slot(src, via, arrive, arrive_slot, per_pair_cap, &mut tracker);
             }
             self.cache = cache;
             t += 1;
-            if cursor >= flows.len() && tracker.completed_count() == flows.len() {
+            if cursor >= flows.len()
+                && tracker.completed_count() == flows.len()
+                && self.fail_sched.is_drained()
+            {
                 break;
             }
+        }
+        if let Some(mut probe) = self.phase_probe.take() {
+            probe.finish(self.phase_counters(&tracker));
+            self.phase_probe = Some(probe);
         }
         self.tracker = Some(tracker);
         RunReport::build(

@@ -1,0 +1,273 @@
+//! Scenario compilation: a validated [`ScenarioSpec`] becomes the three
+//! inputs a deterministic run needs — one merged, time-sorted
+//! [`FlowTrace`] covering every phase, a timed [`FailureAction`] list for
+//! the engines' failure schedules, and the phase-boundary times the
+//! [`metrics::PhaseProbe`] snapshots at. Compilation is pure: the same
+//! spec (and trace files) always yields the same inputs, which is what
+//! extends the sweep engine's `--jobs` byte-identity guarantee to
+//! scenarios.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::spec::{EventAction, ScenarioSpec, WorkloadPhase};
+use negotiator::NegotiatorConfig;
+use sim::time::Nanos;
+use topology::{AnyTopology, FailureAction, Topology};
+use workload::{
+    load_trace, AllToAllWorkload, Flow, FlowTrace, IncastWorkload, PoissonWorkload, WorkloadSpec,
+};
+
+/// A scenario compiled down to simulator inputs.
+#[derive(Debug, Clone)]
+pub struct CompiledScenario {
+    /// The validated spec this was compiled from.
+    pub spec: ScenarioSpec,
+    /// NegotiaToR epoch length on this fabric — the scenario's time unit.
+    /// Both engines share these absolute boundaries, so their series align.
+    pub epoch_len: Nanos,
+    /// Simulated horizon: `total_epochs · epoch_len`.
+    pub duration: Nanos,
+    /// Every phase's flows, merged and time-sorted (shared across runs).
+    pub trace: Arc<FlowTrace>,
+    /// The event timeline as engine failure-schedule entries.
+    pub failures: Vec<(Nanos, FailureAction)>,
+    /// Phase-end times, strictly increasing — the probe's boundaries.
+    pub boundaries: Vec<Nanos>,
+}
+
+/// Compile `spec`. `base_dir` anchors relative trace paths (the scenario
+/// file's directory). Trace problems — unreadable file, malformed line,
+/// out-of-range ToR — are the one error class that can outlive spec
+/// validation, and they too fail here, before any simulation starts.
+pub fn compile(spec: ScenarioSpec, base_dir: &Path) -> Result<CompiledScenario, String> {
+    let topo = AnyTopology::build(spec.topology, spec.net.clone());
+    let epoch_len = NegotiatorConfig::paper_default(spec.net.clone())
+        .epoch
+        .epoch_len(topo.predefined_slots());
+    let duration = spec.total_epochs() * epoch_len;
+
+    let mut flows: Vec<Flow> = Vec::new();
+    for (i, phase) in spec.phases.iter().enumerate() {
+        let start_ns = phase.start_epoch * epoch_len;
+        let end_ns = phase.end_epoch * epoch_len;
+        let phase_len = end_ns - start_ns;
+        // Every phase draws from its own deterministic seed lane.
+        let seed = spec.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        match &phase.workload {
+            WorkloadPhase::Poisson { dist, load } => {
+                let trace = PoissonWorkload::new(WorkloadSpec {
+                    dist: dist.clone(),
+                    load: *load,
+                    n_tors: spec.net.n_tors,
+                    host_bps: spec.net.host_bandwidth.bps(),
+                })
+                .generate(phase_len, seed);
+                flows.extend(offset(trace, start_ns));
+            }
+            WorkloadPhase::Incast {
+                degree,
+                flow_bytes,
+                every_epochs,
+            } => {
+                let step = every_epochs.map(|e| e * epoch_len);
+                let mut at = start_ns;
+                let mut burst = 0u64;
+                loop {
+                    let trace = IncastWorkload {
+                        degree: *degree,
+                        flow_bytes: *flow_bytes,
+                        n_tors: spec.net.n_tors,
+                        start: at,
+                    }
+                    .generate(seed.wrapping_add(burst));
+                    flows.extend(trace.flows().iter().copied());
+                    match step {
+                        Some(step) if at + step < end_ns => {
+                            at += step;
+                            burst += 1;
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            WorkloadPhase::AllToAll { flow_bytes } => {
+                let trace = AllToAllWorkload {
+                    flow_bytes: *flow_bytes,
+                    n_tors: spec.net.n_tors,
+                    start: start_ns,
+                }
+                .generate();
+                flows.extend(trace.flows().iter().copied());
+            }
+            WorkloadPhase::Trace { path } => {
+                let full = base_dir.join(path);
+                let trace = load_trace(&full)
+                    .map_err(|e| format!("phase '{}': {}: {e}", phase.label, full.display()))?;
+                for (k, f) in trace.flows().iter().enumerate() {
+                    if f.src >= spec.net.n_tors || f.dst >= spec.net.n_tors {
+                        return Err(format!(
+                            "phase '{}': {}: flow #{k} uses ToR {} but the fabric has {} ToRs",
+                            phase.label,
+                            full.display(),
+                            f.src.max(f.dst),
+                            spec.net.n_tors
+                        ));
+                    }
+                }
+                // Trace arrivals are relative to the phase start; flows
+                // landing past the phase end are dropped.
+                flows.extend(
+                    trace
+                        .flows()
+                        .iter()
+                        .filter(|f| f.arrival < phase_len)
+                        .map(|f| Flow {
+                            arrival: f.arrival + start_ns,
+                            ..*f
+                        }),
+                );
+            }
+        }
+    }
+
+    let mut failures = Vec::new();
+    for event in &spec.events {
+        let at = event.at_epoch * epoch_len;
+        match &event.action {
+            EventAction::FailLinks(links) => {
+                for &(tor, port, dir) in links {
+                    failures.push((at, FailureAction::FailLink { tor, port, dir }));
+                }
+            }
+            EventAction::RepairLinks => failures.push((at, FailureAction::RepairAll)),
+            EventAction::FailRandom { ratio, seed } => failures.push((
+                at,
+                FailureAction::FailRandom {
+                    ratio: *ratio,
+                    seed: *seed,
+                },
+            )),
+        }
+    }
+
+    let boundaries = spec
+        .phases
+        .iter()
+        .map(|p| p.end_epoch * epoch_len)
+        .collect();
+    Ok(CompiledScenario {
+        epoch_len,
+        duration,
+        trace: Arc::new(FlowTrace::new(flows)),
+        failures,
+        boundaries,
+        spec,
+    })
+}
+
+fn offset(trace: FlowTrace, start_ns: Nanos) -> Vec<Flow> {
+    trace
+        .flows()
+        .iter()
+        .map(|f| Flow {
+            arrival: f.arrival + start_ns,
+            ..*f
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::parse_scenario;
+
+    fn spec(phases_events: &str) -> ScenarioSpec {
+        parse_scenario(&format!(
+            r#"{{
+  "name": "c", "topology": "parallel", "tors": 16, "ports": 4,
+  {phases_events}
+}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn phases_tile_the_trace_and_boundaries() {
+        let s = spec(
+            r#""phases": [
+    {"workload": "poisson", "load": 50, "epochs": [0, 100]},
+    {"workload": "incast", "degree": 8, "flow_bytes": 1000, "epochs": [100, 120]},
+    {"workload": "poisson", "load": 25, "epochs": [120, 200]}
+  ]"#,
+        );
+        let c = compile(s, Path::new(".")).unwrap();
+        assert_eq!(c.boundaries.len(), 3);
+        assert_eq!(c.duration, 200 * c.epoch_len);
+        assert_eq!(c.boundaries[2], c.duration);
+        // The incast burst arrives exactly at its phase start.
+        let burst: Vec<_> = c
+            .trace
+            .flows()
+            .iter()
+            .filter(|f| f.arrival == 100 * c.epoch_len)
+            .collect();
+        assert_eq!(burst.len(), 8);
+        // All arrivals stay inside the horizon.
+        assert!(c.trace.flows().iter().all(|f| f.arrival < c.duration));
+    }
+
+    #[test]
+    fn repeated_incast_bursts() {
+        let s = spec(
+            r#""phases": [
+    {"workload": "incast", "degree": 4, "flow_bytes": 1000,
+     "every_epochs": 10, "epochs": [0, 35]}
+  ]"#,
+        );
+        let c = compile(s, Path::new(".")).unwrap();
+        // Bursts at epochs 0, 10, 20, 30.
+        assert_eq!(c.trace.len(), 4 * 4);
+    }
+
+    #[test]
+    fn events_become_failure_actions_in_time_order() {
+        let s = spec(
+            r#""phases": [{"workload": "poisson", "load": 50, "epochs": [0, 100]}],
+  "events": [
+    {"at_epoch": 60, "action": "repair_links"},
+    {"at_epoch": 20, "action": "fail_links",
+     "links": [{"tor": 1, "port": 0, "dir": "egress"},
+               {"tor": 2, "port": 1, "dir": "ingress"}]},
+    {"at_epoch": 40, "action": "fail_random", "ratio": 0.1}
+  ]"#,
+        );
+        let c = compile(s, Path::new(".")).unwrap();
+        assert_eq!(c.failures.len(), 4, "two links + random + repair");
+        assert!(c.failures.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(matches!(
+            c.failures[0].1,
+            FailureAction::FailLink { tor: 1, .. }
+        ));
+        assert!(matches!(c.failures[3].1, FailureAction::RepairAll));
+    }
+
+    #[test]
+    fn same_spec_compiles_identically() {
+        let build = || {
+            let s = spec(r#""phases": [{"workload": "poisson", "load": 80, "epochs": [0, 50]}]"#);
+            compile(s, Path::new(".")).unwrap()
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.trace.flows(), b.trace.flows());
+        assert_eq!(a.boundaries, b.boundaries);
+    }
+
+    #[test]
+    fn missing_trace_file_fails_at_compile_time() {
+        let s =
+            spec(r#""phases": [{"workload": "trace", "path": "no_such.tsv", "epochs": [0, 10]}]"#);
+        let err = compile(s, Path::new("/nonexistent")).unwrap_err();
+        assert!(err.contains("no_such.tsv"), "{err}");
+    }
+}

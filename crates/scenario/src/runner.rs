@@ -1,0 +1,207 @@
+//! Deferred scenario runs: one closure per engine, each owning (or
+//! `Arc`-sharing) everything it needs so the harness can wrap it into a
+//! sweep `RunSpec` and execute it on any worker thread. The closure plays
+//! the compiled trace through its engine with the failure schedule and
+//! phase probe attached, then derives the per-phase series — returning
+//! plain data, never touching shared state.
+
+use std::sync::Arc;
+
+use crate::compile::CompiledScenario;
+use crate::series::{self, PhaseStat};
+use crate::spec::EngineKind;
+use metrics::{PhaseProbe, RunSummary};
+use negotiator::{NegotiatorConfig, NegotiatorSim, SimOptions};
+use oblivious::{ObliviousConfig, ObliviousSim};
+
+/// What one scenario run measured.
+#[derive(Debug, Clone)]
+pub struct ScenarioRunOutput {
+    /// Whole-run aggregates (same digest every experiment reports).
+    pub summary: RunSummary,
+    /// Whole-run accepts/grants ratio (`None` for the oblivious engine).
+    pub match_ratio: Option<f64>,
+    /// The per-phase time series.
+    pub series: Vec<PhaseStat>,
+    /// The run's text block (the per-phase table).
+    pub rendered: String,
+}
+
+/// One schedulable scenario run.
+pub struct ScenarioRun {
+    /// System label (`nego/parallel`, `oblivious/thin-clos`, ...).
+    pub system: String,
+    /// The deferred simulation; call on any thread.
+    pub run: Box<dyn FnOnce() -> ScenarioRunOutput + Send + 'static>,
+}
+
+/// Build the scenario's runs, one per engine in spec order.
+pub fn build_runs(compiled: &CompiledScenario) -> Vec<ScenarioRun> {
+    compiled
+        .spec
+        .engines
+        .iter()
+        .map(|&engine| {
+            let system = engine.label(compiled.spec.topology);
+            let compiled = compiled.clone(); // Arc-shared trace, cloned spec
+            let sys = system.clone();
+            ScenarioRun {
+                system,
+                run: Box::new(move || run_engine(engine, &compiled, &sys)),
+            }
+        })
+        .collect()
+}
+
+fn run_engine(engine: EngineKind, compiled: &CompiledScenario, system: &str) -> ScenarioRunOutput {
+    let spec = &compiled.spec;
+    let trace = Arc::clone(&compiled.trace);
+    // Engine-internal randomness (arbiter rings, VLB spray) follows the
+    // scenario seed so two scenarios differing only in `seed` diverge
+    // everywhere, not just in the workload.
+    let engine_seed = spec.seed ^ 0xDC0C_0FFE;
+    let (summary, match_ratio, series) = match engine {
+        EngineKind::Negotiator => {
+            let mut cfg = NegotiatorConfig::paper_default(spec.net.clone());
+            cfg.seed = engine_seed;
+            let mut sim = NegotiatorSim::with_options(
+                cfg,
+                spec.topology,
+                SimOptions {
+                    mode: spec.mode,
+                    ..SimOptions::default()
+                },
+            );
+            for (at, action) in &compiled.failures {
+                sim.schedule_failure(*at, action.clone());
+            }
+            sim.set_phase_probe(PhaseProbe::new(compiled.boundaries.clone()));
+            let mut report = sim.run(&trace, compiled.duration);
+            let stats = series::phase_stats(
+                compiled,
+                &trace,
+                sim.tracker(),
+                sim.phase_probe().expect("probe attached").snapshots(),
+            );
+            (
+                report.summary(),
+                sim.match_recorder().overall_ratio(),
+                stats,
+            )
+        }
+        EngineKind::Oblivious => {
+            let mut cfg = ObliviousConfig::paper_default(spec.net.clone());
+            cfg.seed = engine_seed;
+            let mut sim = ObliviousSim::new(cfg, spec.topology);
+            for (at, action) in &compiled.failures {
+                sim.schedule_failure(*at, action.clone());
+            }
+            sim.set_phase_probe(PhaseProbe::new(compiled.boundaries.clone()));
+            let mut report = sim.run(&trace, compiled.duration);
+            let stats = series::phase_stats(
+                compiled,
+                &trace,
+                sim.tracker(),
+                sim.phase_probe().expect("probe attached").snapshots(),
+            );
+            (report.summary(), None, stats)
+        }
+    };
+    let rendered = series::render_stats(system, &series);
+    ScenarioRunOutput {
+        summary,
+        match_ratio,
+        series,
+        rendered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::spec::parse_scenario;
+    use std::path::Path;
+
+    fn compiled(extra: &str) -> CompiledScenario {
+        let text = format!(
+            r#"{{
+  "name": "r", "topology": "parallel", "tors": 16, "ports": 4,
+  "host_gbps": 200,
+  "phases": [
+    {{"label": "calm", "workload": "poisson", "load": 40, "epochs": [0, 60]}},
+    {{"label": "storm", "workload": "poisson", "load": 90, "epochs": [60, 120]}}
+  ]{extra}
+}}"#
+        );
+        compile(parse_scenario(&text).unwrap(), Path::new(".")).unwrap()
+    }
+
+    #[test]
+    fn both_engines_run_and_bucket_phases() {
+        let c = compiled("");
+        for run in build_runs(&c) {
+            let out = (run.run)();
+            assert_eq!(out.series.len(), 2, "{}", run.system);
+            assert!(out.series.iter().any(|p| p.completed > 0), "{}", run.system);
+            // The storm phase offers more than double the calm load.
+            assert!(
+                out.series[1].delivered_bytes > out.series[0].delivered_bytes,
+                "{}: {:?}",
+                run.system,
+                out.series
+            );
+            assert!(out.rendered.contains("per-phase time series"));
+            let is_nego = run.system.starts_with("nego");
+            assert_eq!(out.match_ratio.is_some(), is_nego, "{}", run.system);
+            assert_eq!(
+                out.series.iter().all(|p| p.match_ratio.is_none()),
+                !is_nego,
+                "{}",
+                run.system
+            );
+        }
+    }
+
+    #[test]
+    fn failure_event_dents_the_failed_phase() {
+        // Fail a quarter of all links for the middle third of a
+        // three-phase steady scenario: the negotiator's middle-phase
+        // goodput must dip below both neighbors.
+        let text = r#"{
+  "name": "dent", "topology": "parallel", "tors": 16, "ports": 4,
+  "host_gbps": 200,
+  "engines": ["negotiator"],
+  "phases": [
+    {"workload": "poisson", "load": 100, "epochs": [0, 80]},
+    {"workload": "poisson", "load": 100, "epochs": [80, 160]},
+    {"workload": "poisson", "load": 100, "epochs": [160, 240]}
+  ],
+  "events": [
+    {"at_epoch": 80, "action": "fail_random", "ratio": 0.25, "seed": 7},
+    {"at_epoch": 160, "action": "repair_links"}
+  ]
+}"#;
+        let c = compile(parse_scenario(text).unwrap(), Path::new(".")).unwrap();
+        let runs = build_runs(&c);
+        assert_eq!(runs.len(), 1);
+        let out = (runs.into_iter().next().unwrap().run)();
+        let g: Vec<f64> = out.series.iter().map(|p| p.goodput_normalized).collect();
+        assert!(
+            g[1] < g[0] * 0.97 && g[1] < g[2],
+            "failures must dent phase 1: {g:?}"
+        );
+    }
+
+    #[test]
+    fn run_output_is_deterministic() {
+        let c = compiled("");
+        let once = |c: &CompiledScenario| {
+            let out: Vec<_> = build_runs(c).into_iter().map(|r| (r.run)()).collect();
+            out.iter()
+                .map(|o| (o.rendered.clone(), o.series.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(once(&c), once(&c));
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-phase time-series derivation.
+//!
+//! The engines only snapshot cheap cumulative counters at phase
+//! boundaries ([`metrics::PhaseSnapshot`]); everything a phase reports —
+//! goodput over the phase, FCT percentiles of the flows that completed in
+//! it, the phase's match ratio, the backlog left at its end — is derived
+//! here after the run, from those snapshots plus the per-flow tracker.
+
+use crate::compile::CompiledScenario;
+use metrics::{FlowTracker, Json, PhaseSnapshot, Table};
+use sim::stats::Cdf;
+use sim::time::Nanos;
+use workload::FlowTrace;
+
+/// One phase's row of the time series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Phase label from the spec.
+    pub label: String,
+    /// First epoch of the phase.
+    pub start_epoch: u64,
+    /// One past the last epoch.
+    pub end_epoch: u64,
+    /// Phase start in ns.
+    pub start_ns: Nanos,
+    /// Phase end in ns.
+    pub end_ns: Nanos,
+    /// Payload bytes delivered during the phase.
+    pub delivered_bytes: u64,
+    /// Phase goodput normalized to the host aggregate (1.0 = every ToR
+    /// receives at full host rate for the whole phase).
+    pub goodput_normalized: f64,
+    /// Median FCT of flows completing in the phase (`None` if none did).
+    pub fct_p50_ns: Option<f64>,
+    /// 99th-percentile FCT of flows completing in the phase.
+    pub fct_p99_ns: Option<f64>,
+    /// Flows that completed during the phase.
+    pub completed: usize,
+    /// Accepts/grants within the phase (`None` for schedule-free engines
+    /// or idle phases).
+    pub match_ratio: Option<f64>,
+    /// Bytes still queued when the phase ended.
+    pub backlog_bytes: u64,
+}
+
+/// Derive the per-phase stats of one run from its boundary `snapshots`
+/// (one per phase, in order) and the completed `tracker`.
+pub fn phase_stats(
+    compiled: &CompiledScenario,
+    trace: &FlowTrace,
+    tracker: &FlowTracker,
+    snapshots: &[PhaseSnapshot],
+) -> Vec<PhaseStat> {
+    let phases = &compiled.spec.phases;
+    assert_eq!(
+        snapshots.len(),
+        phases.len(),
+        "one snapshot per phase boundary"
+    );
+    let host_bps = compiled.spec.net.host_bandwidth.bps();
+    let n_tors = compiled.spec.net.n_tors;
+    // One pass over the trace buckets every completion into its phase
+    // (phases tile the timeline from 0, so a completion before boundary
+    // `i` belongs to phase `i`; anything at or past the last boundary —
+    // final deliveries carry timestamps just past `duration` — belongs
+    // to the last phase, whose snapshot already counts it).
+    let mut cdfs: Vec<Cdf> = phases.iter().map(|_| Cdf::new()).collect();
+    let mut completed_per_phase = vec![0usize; phases.len()];
+    for f in trace.flows() {
+        if let Some(done) = tracker.completion(f.id) {
+            let i = compiled
+                .boundaries
+                .partition_point(|&b| b <= done)
+                .min(phases.len() - 1);
+            cdfs[i].record((done - f.arrival) as f64);
+            completed_per_phase[i] += 1;
+        }
+    }
+    let mut out = Vec::with_capacity(phases.len());
+    let mut prev = metrics::PhaseCounters::default();
+    for (i, (phase, snap)) in phases.iter().zip(snapshots).enumerate() {
+        let start_ns = phase.start_epoch * compiled.epoch_len;
+        let end_ns = phase.end_epoch * compiled.epoch_len;
+        let cdf = &mut cdfs[i];
+        let completed = completed_per_phase[i];
+        let delivered = snap.counters.delivered_bytes - prev.delivered_bytes;
+        let phase_ns = (end_ns - start_ns) as f64;
+        let per_tor_gbps = (delivered * 8) as f64 / phase_ns / n_tors as f64;
+        let grants = snap.counters.grants - prev.grants;
+        let accepts = snap.counters.accepts - prev.accepts;
+        out.push(PhaseStat {
+            label: phase.label.clone(),
+            start_epoch: phase.start_epoch,
+            end_epoch: phase.end_epoch,
+            start_ns,
+            end_ns,
+            delivered_bytes: delivered,
+            goodput_normalized: per_tor_gbps * 1e9 / host_bps as f64,
+            fct_p50_ns: cdf.percentile(50.0),
+            fct_p99_ns: cdf.percentile(99.0),
+            completed,
+            match_ratio: (grants > 0).then(|| accepts as f64 / grants as f64),
+            backlog_bytes: snap.counters.backlog_bytes,
+        });
+        prev = snap.counters;
+    }
+    out
+}
+
+/// The JSON array emitted under `metrics.series` in the results schema.
+pub fn stats_to_json(stats: &[PhaseStat]) -> Json {
+    Json::Arr(
+        stats
+            .iter()
+            .map(|s| {
+                let mut obj = Json::object();
+                obj.push("label", s.label.as_str())
+                    .push("start_epoch", s.start_epoch)
+                    .push("end_epoch", s.end_epoch)
+                    .push("start_ns", s.start_ns)
+                    .push("end_ns", s.end_ns)
+                    .push("delivered_bytes", s.delivered_bytes)
+                    .push("goodput_normalized", s.goodput_normalized)
+                    .push("fct_p50_ns", s.fct_p50_ns)
+                    .push("fct_p99_ns", s.fct_p99_ns)
+                    .push("completed", s.completed)
+                    .push("match_ratio", s.match_ratio)
+                    .push("backlog_bytes", s.backlog_bytes);
+                obj
+            })
+            .collect(),
+    )
+}
+
+/// The per-run text block: one table row per phase.
+pub fn render_stats(system: &str, stats: &[PhaseStat]) -> String {
+    let mut table = Table::new(
+        format!("{system} — per-phase time series"),
+        &[
+            "phase",
+            "epochs",
+            "goodput",
+            "fct_p50_ms",
+            "fct_p99_ms",
+            "completed",
+            "match",
+            "backlog_B",
+        ],
+    );
+    for s in stats {
+        let opt_ms = |x: Option<f64>| x.map_or_else(|| "-".into(), |v| format!("{:.4}", v / 1e6));
+        table.row(vec![
+            s.label.clone(),
+            format!("{}..{}", s.start_epoch, s.end_epoch),
+            format!("{:.3}", s.goodput_normalized),
+            opt_ms(s.fct_p50_ns),
+            opt_ms(s.fct_p99_ns),
+            format!("{}", s.completed),
+            s.match_ratio
+                .map_or_else(|| "-".into(), |r| format!("{r:.3}")),
+            format!("{}", s.backlog_bytes),
+        ]);
+    }
+    table.render()
+}

@@ -1,0 +1,983 @@
+//! The scenario schema and its strict validation.
+//!
+//! A scenario file is JSON (parsed with `metrics::json` — no external
+//! dependencies) describing the fabric, the scheduler, a contiguous
+//! sequence of workload phases measured in epochs, and a timeline of
+//! link-state events. Validation is deliberately unforgiving: unknown
+//! keys, overlapping or gapped phases, out-of-range ToR/port indices,
+//! loads outside (0, 100] — everything fails with an error pointing at
+//! the `line:column` of the offending token, before any simulation
+//! starts. The schema is documented end-to-end in the README's
+//! "Scenarios" section.
+
+use metrics::json::{line_col, SpannedJson};
+use negotiator::SchedulerMode;
+use sim::Bandwidth;
+use topology::failures::LinkDir;
+use topology::{NetworkConfig, TopologyKind};
+use workload::FlowSizeDist;
+
+/// A validation error carrying the byte offset it points at (when the
+/// offending token has one).
+#[derive(Debug)]
+struct SpecError {
+    pos: Option<usize>,
+    msg: String,
+}
+
+impl SpecError {
+    fn at(pos: usize, msg: impl Into<String>) -> SpecError {
+        SpecError {
+            pos: Some(pos),
+            msg: msg.into(),
+        }
+    }
+
+    fn render(&self, text: &str) -> String {
+        match self.pos {
+            Some(pos) => {
+                let (line, col) = line_col(text, pos);
+                format!("line {line}, column {col}: {}", self.msg)
+            }
+            None => self.msg.clone(),
+        }
+    }
+}
+
+/// Which engine(s) a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The NegotiaToR epoch engine.
+    Negotiator,
+    /// The traffic-oblivious rotor + VLB baseline.
+    Oblivious,
+}
+
+impl EngineKind {
+    /// System label for result rows, e.g. `nego/parallel`.
+    pub fn label(self, topology: TopologyKind) -> String {
+        match self {
+            EngineKind::Negotiator => format!("nego/{}", topology.label()),
+            EngineKind::Oblivious => format!("oblivious/{}", topology.label()),
+        }
+    }
+}
+
+/// The traffic of one phase.
+#[derive(Debug, Clone)]
+pub enum WorkloadPhase {
+    /// Poisson background traffic at a fractional load.
+    Poisson {
+        /// Flow-size distribution.
+        dist: FlowSizeDist,
+        /// Offered load as a fraction of the host aggregate.
+        load: f64,
+    },
+    /// Synchronized incast burst(s): `degree` senders to one destination.
+    Incast {
+        /// Number of simultaneous senders.
+        degree: usize,
+        /// Bytes per flow.
+        flow_bytes: u64,
+        /// Repeat the burst every this many epochs; `None` bursts once at
+        /// the phase start.
+        every_epochs: Option<u64>,
+    },
+    /// One synchronized all-to-all shuffle at the phase start.
+    AllToAll {
+        /// Bytes per flow.
+        flow_bytes: u64,
+    },
+    /// Replay a TSV flow trace (`workload::trace_io`), arrivals offset to
+    /// the phase start; flows arriving past the phase end are dropped.
+    Trace {
+        /// Path, relative to the scenario file.
+        path: String,
+    },
+}
+
+/// One workload phase spanning `[start_epoch, end_epoch)`.
+#[derive(Debug, Clone)]
+pub struct PhaseSpec {
+    /// Human label (defaults to `phase<i>`), shown in tables and JSON.
+    pub label: String,
+    /// First epoch of the phase.
+    pub start_epoch: u64,
+    /// One past the last epoch of the phase.
+    pub end_epoch: u64,
+    /// The traffic this phase offers.
+    pub workload: WorkloadPhase,
+}
+
+/// One timed link-state event (epochs are absolute).
+#[derive(Debug, Clone)]
+pub struct EventSpec {
+    /// Epoch the event fires at.
+    pub at_epoch: u64,
+    /// What happens.
+    pub action: EventAction,
+}
+
+/// The link-state change of an [`EventSpec`].
+#[derive(Debug, Clone)]
+pub enum EventAction {
+    /// Fail the listed directed links.
+    FailLinks(Vec<(usize, usize, LinkDir)>),
+    /// Repair every link failed by earlier events.
+    RepairLinks,
+    /// Fail a uniform random fraction of all directed links.
+    FailRandom {
+        /// Fraction of directed links to fail, in (0, 1].
+        ratio: f64,
+        /// Sampling seed.
+        seed: u64,
+    },
+}
+
+/// A fully validated scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario name (`[a-z0-9_-]+`), used in result file names.
+    pub name: String,
+    /// One-line description, shown by `paper list` and in the JSON.
+    pub description: String,
+    /// Which flat topology to build.
+    pub topology: TopologyKind,
+    /// The fabric.
+    pub net: NetworkConfig,
+    /// Scheduling logic for the NegotiaToR engine (the oblivious baseline
+    /// has no scheduler and ignores it).
+    pub mode: SchedulerMode,
+    /// Master seed: workload generation, engine-internal RNG and
+    /// `fail_random` defaults all derive from it.
+    pub seed: u64,
+    /// Engines to run, in declaration order.
+    pub engines: Vec<EngineKind>,
+    /// Contiguous workload phases starting at epoch 0.
+    pub phases: Vec<PhaseSpec>,
+    /// Link-state events, sorted by epoch.
+    pub events: Vec<EventSpec>,
+}
+
+impl ScenarioSpec {
+    /// One past the last simulated epoch.
+    pub fn total_epochs(&self) -> u64 {
+        self.phases.last().map_or(0, |p| p.end_epoch)
+    }
+}
+
+/// Parse and validate a scenario document. Every error names the
+/// `line:column` of the offending token.
+pub fn parse_scenario(text: &str) -> Result<ScenarioSpec, String> {
+    let doc = SpannedJson::parse(text)?;
+    validate(&doc).map_err(|e| e.render(text))
+}
+
+/// Fabric, bandwidth and horizon caps. The per-ToR state of both engines
+/// is O(n²), so fabrics beyond a few thousand ToRs are out of reach
+/// anyway; with these bounds every u64 product downstream — `epoch ·
+/// epoch_len` (epoch_len < 2^18 ns, epochs < 2^30), `gbps · 10^9`,
+/// `slot_len + propagation`, per-phase byte totals — stays far below
+/// u64::MAX, so a typo'd scenario fails validation with a pointed error
+/// instead of silently wrapping and simulating nonsense.
+const MAX_TORS: u64 = 4096;
+/// See [`MAX_TORS`].
+const MAX_PORTS: u64 = 512;
+/// See [`MAX_TORS`].
+const MAX_EPOCHS: u64 = 1_000_000_000;
+/// See [`MAX_TORS`]. 100 Tbps dwarfs any deployed port or host NIC.
+const MAX_GBPS: u64 = 100_000;
+/// See [`MAX_TORS`]. One full second of one-way propagation.
+const MAX_PROPAGATION_NS: u64 = 1_000_000_000;
+/// See [`MAX_TORS`]. A terabyte per flow.
+const MAX_FLOW_BYTES: u64 = 1_000_000_000_000;
+/// Iterative-matching rounds cap (delay state grows with rounds).
+const MAX_ROUNDS: u64 = 64;
+
+const TOP_KEYS: &[&str] = &[
+    "name",
+    "description",
+    "topology",
+    "tors",
+    "ports",
+    "port_gbps",
+    "host_gbps",
+    "propagation_ns",
+    "mode",
+    "seed",
+    "engines",
+    "phases",
+    "events",
+];
+
+fn validate(doc: &SpannedJson) -> Result<ScenarioSpec, SpecError> {
+    expect_obj(doc, "the scenario document")?;
+    check_keys(doc, TOP_KEYS, "the scenario")?;
+
+    let name = req_str(doc, "name")?;
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-')
+    {
+        return Err(SpecError::at(
+            doc.get("name").expect("required above").pos,
+            format!("'name' must be non-empty [a-z0-9_-], got {name:?}"),
+        ));
+    }
+    let description = opt_str(doc, "description")?.unwrap_or_default();
+    let topology = match req_str(doc, "topology")?.as_str() {
+        "parallel" => TopologyKind::Parallel,
+        "thin_clos" => TopologyKind::ThinClos,
+        other => {
+            return Err(SpecError::at(
+                doc.get("topology").expect("required above").pos,
+                format!("'topology' must be \"parallel\" or \"thin_clos\", got {other:?}"),
+            ))
+        }
+    };
+
+    let n_tors = opt_u64_range(doc, "tors", 2, MAX_TORS)?.unwrap_or(128) as usize;
+    let n_ports = opt_u64_range(doc, "ports", 1, MAX_PORTS)?.unwrap_or(8) as usize;
+    if !n_tors.is_multiple_of(n_ports) {
+        return Err(SpecError::at(
+            doc.get("tors")
+                .or_else(|| doc.get("ports"))
+                .map_or(doc.pos, |v| v.pos),
+            format!("'tors' ({n_tors}) must be divisible by 'ports' ({n_ports})"),
+        ));
+    }
+    let net = NetworkConfig {
+        n_tors,
+        n_ports,
+        port_bandwidth: Bandwidth::from_gbps(
+            opt_u64_range(doc, "port_gbps", 1, MAX_GBPS)?.unwrap_or(100),
+        ),
+        host_bandwidth: Bandwidth::from_gbps(
+            opt_u64_range(doc, "host_gbps", 1, MAX_GBPS)?.unwrap_or(400),
+        ),
+        propagation_delay: opt_u64_range(doc, "propagation_ns", 0, MAX_PROPAGATION_NS)?
+            .unwrap_or(2_000),
+    };
+
+    let mode = parse_mode(doc)?;
+    let seed = opt_u64_min(doc, "seed", 0)?.unwrap_or(1);
+    let engines = parse_engines(doc)?;
+    let phases = parse_phases(doc, &net)?;
+    let events = parse_events(doc, &net, seed, phases.last().expect("non-empty").end_epoch)?;
+
+    Ok(ScenarioSpec {
+        name,
+        description,
+        topology,
+        net,
+        mode,
+        seed,
+        engines,
+        phases,
+        events,
+    })
+}
+
+fn parse_mode(doc: &SpannedJson) -> Result<SchedulerMode, SpecError> {
+    let Some(mode) = doc.get("mode") else {
+        return Ok(SchedulerMode::Base);
+    };
+    if let Some(s) = mode.as_str() {
+        return match s {
+            "base" => Ok(SchedulerMode::Base),
+            "datasize" => Ok(SchedulerMode::DataSize),
+            "hol_delay" => Ok(SchedulerMode::HolDelay { alpha: 0.001 }),
+            "stateful" => Ok(SchedulerMode::Stateful),
+            "projector" => Ok(SchedulerMode::Projector),
+            "iterative" => Ok(SchedulerMode::Iterative { rounds: 2 }),
+            other => Err(SpecError::at(
+                mode.pos,
+                format!("unknown scheduler mode {other:?} (base, datasize, hol_delay, stateful, projector, iterative)"),
+            )),
+        };
+    }
+    // Object form for parameterized modes.
+    expect_obj(mode, "'mode'")?;
+    check_keys(mode, &["kind", "rounds", "alpha"], "'mode'")?;
+    match req_str(mode, "kind")?.as_str() {
+        "iterative" => {
+            let rounds = opt_u64_range(mode, "rounds", 1, MAX_ROUNDS)?.unwrap_or(2) as usize;
+            Ok(SchedulerMode::Iterative { rounds })
+        }
+        "hol_delay" => {
+            let alpha = match mode.get("alpha") {
+                None => 0.001,
+                Some(v) => num_in_range(v, "'alpha'", 0.0, f64::INFINITY, false)?,
+            };
+            Ok(SchedulerMode::HolDelay { alpha })
+        }
+        other => Err(SpecError::at(
+            mode.get("kind").expect("required above").pos,
+            format!(
+                "parameterized 'mode.kind' must be \"iterative\" or \"hol_delay\", got {other:?}"
+            ),
+        )),
+    }
+}
+
+fn parse_engines(doc: &SpannedJson) -> Result<Vec<EngineKind>, SpecError> {
+    let Some(engines) = doc.get("engines") else {
+        return Ok(vec![EngineKind::Negotiator, EngineKind::Oblivious]);
+    };
+    let items = engines
+        .as_array()
+        .ok_or_else(|| SpecError::at(engines.pos, "'engines' must be an array of strings"))?;
+    if items.is_empty() {
+        return Err(SpecError::at(engines.pos, "'engines' must not be empty"));
+    }
+    let mut out = Vec::new();
+    for item in items {
+        let kind = match item.as_str() {
+            Some("negotiator") => EngineKind::Negotiator,
+            Some("oblivious") => EngineKind::Oblivious,
+            _ => {
+                return Err(SpecError::at(
+                    item.pos,
+                    "engine must be \"negotiator\" or \"oblivious\"",
+                ))
+            }
+        };
+        if out.contains(&kind) {
+            return Err(SpecError::at(item.pos, "duplicate engine"));
+        }
+        out.push(kind);
+    }
+    Ok(out)
+}
+
+fn parse_phases(doc: &SpannedJson, net: &NetworkConfig) -> Result<Vec<PhaseSpec>, SpecError> {
+    let phases = doc
+        .get("phases")
+        .ok_or_else(|| SpecError::at(doc.pos, "the scenario needs a 'phases' array"))?;
+    let items = phases
+        .as_array()
+        .ok_or_else(|| SpecError::at(phases.pos, "'phases' must be an array"))?;
+    if items.is_empty() {
+        return Err(SpecError::at(phases.pos, "'phases' must not be empty"));
+    }
+    let mut out: Vec<PhaseSpec> = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        expect_obj(item, "a phase")?;
+        let label = opt_str(item, "label")?.unwrap_or_else(|| format!("phase{i}"));
+        let epochs = item.get("epochs").ok_or_else(|| {
+            SpecError::at(
+                item.pos,
+                format!("phase '{label}' needs an 'epochs' [start, end] pair"),
+            )
+        })?;
+        let pair = epochs.as_array().unwrap_or(&[]);
+        let (start_epoch, end_epoch) = match pair {
+            [s, e] => (
+                s.as_u64()
+                    .ok_or_else(|| SpecError::at(s.pos, "epoch must be a non-negative integer"))?,
+                e.as_u64()
+                    .ok_or_else(|| SpecError::at(e.pos, "epoch must be a non-negative integer"))?,
+            ),
+            _ => {
+                return Err(SpecError::at(
+                    epochs.pos,
+                    "'epochs' must be a [start, end] pair",
+                ))
+            }
+        };
+        if end_epoch <= start_epoch {
+            return Err(SpecError::at(
+                epochs.pos,
+                format!(
+                    "phase '{label}': end epoch {end_epoch} must exceed start epoch {start_epoch}"
+                ),
+            ));
+        }
+        if end_epoch > MAX_EPOCHS {
+            return Err(SpecError::at(
+                epochs.pos,
+                format!(
+                    "phase '{label}': end epoch {end_epoch} exceeds the {MAX_EPOCHS}-epoch cap"
+                ),
+            ));
+        }
+        // Phases must tile the timeline: contiguous, in order, from 0.
+        let expected_start = out.last().map_or(0, |p: &PhaseSpec| p.end_epoch);
+        match start_epoch.cmp(&expected_start) {
+            std::cmp::Ordering::Less => {
+                return Err(SpecError::at(
+                    epochs.pos,
+                    format!(
+                        "phase '{label}' starts at epoch {start_epoch}, overlapping the previous phase (ends at {expected_start})"
+                    ),
+                ))
+            }
+            std::cmp::Ordering::Greater => {
+                return Err(SpecError::at(
+                    epochs.pos,
+                    format!(
+                        "phase '{label}' starts at epoch {start_epoch}, leaving a gap after epoch {expected_start} — phases must be contiguous"
+                    ),
+                ))
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+        let workload = parse_workload(item, &label, net)?;
+        out.push(PhaseSpec {
+            label,
+            start_epoch,
+            end_epoch,
+            workload,
+        });
+    }
+    Ok(out)
+}
+
+fn parse_workload(
+    phase: &SpannedJson,
+    label: &str,
+    net: &NetworkConfig,
+) -> Result<WorkloadPhase, SpecError> {
+    let kind = req_str(phase, "workload")?;
+    let base = ["label", "epochs", "workload"];
+    match kind.as_str() {
+        "poisson" => {
+            check_keys(
+                phase,
+                &[&base[..], &["dist", "load"]].concat(),
+                "a poisson phase",
+            )?;
+            let load_val = phase.get("load").ok_or_else(|| {
+                SpecError::at(
+                    phase.pos,
+                    format!("phase '{label}' needs a 'load' percentage"),
+                )
+            })?;
+            let load = num_in_range(load_val, "'load'", 0.0, 100.0, true)? / 100.0;
+            let dist = match opt_str(phase, "dist")?.as_deref() {
+                None | Some("hadoop") => FlowSizeDist::hadoop(),
+                Some("web_search") => FlowSizeDist::web_search(),
+                Some("google") => FlowSizeDist::google(),
+                Some(other) => {
+                    return Err(SpecError::at(
+                        phase.get("dist").expect("present").pos,
+                        format!("unknown 'dist' {other:?} (hadoop, web_search, google)"),
+                    ))
+                }
+            };
+            Ok(WorkloadPhase::Poisson { dist, load })
+        }
+        "incast" => {
+            check_keys(
+                phase,
+                &[&base[..], &["degree", "flow_bytes", "every_epochs"]].concat(),
+                "an incast phase",
+            )?;
+            let degree_val = phase.get("degree").ok_or_else(|| {
+                SpecError::at(phase.pos, format!("phase '{label}' needs a 'degree'"))
+            })?;
+            let degree = degree_val.as_u64().filter(|&d| d >= 1).ok_or_else(|| {
+                SpecError::at(degree_val.pos, "'degree' must be a positive integer")
+            })? as usize;
+            if degree >= net.n_tors {
+                return Err(SpecError::at(
+                    degree_val.pos,
+                    format!(
+                        "incast degree {degree} out of range — the fabric has {} ToRs and one must receive",
+                        net.n_tors
+                    ),
+                ));
+            }
+            let flow_bytes = req_u64_range(phase, "flow_bytes", 1, MAX_FLOW_BYTES, label)?;
+            let every_epochs = opt_u64_range(phase, "every_epochs", 1, MAX_EPOCHS)?;
+            Ok(WorkloadPhase::Incast {
+                degree,
+                flow_bytes,
+                every_epochs,
+            })
+        }
+        "all_to_all" => {
+            check_keys(
+                phase,
+                &[&base[..], &["flow_bytes"]].concat(),
+                "an all_to_all phase",
+            )?;
+            let flow_bytes = req_u64_range(phase, "flow_bytes", 1, MAX_FLOW_BYTES, label)?;
+            Ok(WorkloadPhase::AllToAll { flow_bytes })
+        }
+        "trace" => {
+            check_keys(phase, &[&base[..], &["path"]].concat(), "a trace phase")?;
+            let path = req_str(phase, "path")?;
+            Ok(WorkloadPhase::Trace { path })
+        }
+        other => Err(SpecError::at(
+            phase.get("workload").expect("required above").pos,
+            format!("unknown workload {other:?} (poisson, incast, all_to_all, trace)"),
+        )),
+    }
+}
+
+fn parse_events(
+    doc: &SpannedJson,
+    net: &NetworkConfig,
+    scenario_seed: u64,
+    total_epochs: u64,
+) -> Result<Vec<EventSpec>, SpecError> {
+    let Some(events) = doc.get("events") else {
+        return Ok(Vec::new());
+    };
+    let items = events
+        .as_array()
+        .ok_or_else(|| SpecError::at(events.pos, "'events' must be an array"))?;
+    let mut out = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        expect_obj(item, "an event")?;
+        check_keys(
+            item,
+            &["at_epoch", "action", "links", "ratio", "seed"],
+            "an event",
+        )?;
+        let at = item
+            .get("at_epoch")
+            .ok_or_else(|| SpecError::at(item.pos, "an event needs an 'at_epoch'"))?;
+        let at_epoch = at
+            .as_u64()
+            .ok_or_else(|| SpecError::at(at.pos, "'at_epoch' must be a non-negative integer"))?;
+        if at_epoch >= total_epochs {
+            return Err(SpecError::at(
+                at.pos,
+                format!(
+                    "event at epoch {at_epoch} is past the scenario end (epoch {total_epochs})"
+                ),
+            ));
+        }
+        let action = req_str(item, "action")?;
+        // A key belonging to a *different* action must not be silently
+        // dropped (the misplaced-parameter variant of the unknown-key rule).
+        let reject_stray = |keys: &[&str], action: &str| -> Result<(), SpecError> {
+            for &key in keys {
+                if let Some(stray) = item.get(key) {
+                    return Err(SpecError::at(
+                        stray.pos,
+                        format!("'{key}' does not apply to the '{action}' action"),
+                    ));
+                }
+            }
+            Ok(())
+        };
+        let action = match action.as_str() {
+            "fail_links" => {
+                reject_stray(&["ratio", "seed"], "fail_links")?;
+                let links = item
+                    .get("links")
+                    .ok_or_else(|| SpecError::at(item.pos, "'fail_links' needs a 'links' array"))?;
+                let entries = links
+                    .as_array()
+                    .filter(|l| !l.is_empty())
+                    .ok_or_else(|| SpecError::at(links.pos, "'links' must be a non-empty array"))?;
+                let mut parsed = Vec::new();
+                for entry in entries {
+                    parsed.push(parse_link(entry, net)?);
+                }
+                EventAction::FailLinks(parsed)
+            }
+            "repair_links" => {
+                reject_stray(&["links", "ratio", "seed"], "repair_links")?;
+                EventAction::RepairLinks
+            }
+            "fail_random" => {
+                reject_stray(&["links"], "fail_random")?;
+                let ratio_val = item
+                    .get("ratio")
+                    .ok_or_else(|| SpecError::at(item.pos, "'fail_random' needs a 'ratio'"))?;
+                let ratio = num_in_range(ratio_val, "'ratio'", 0.0, 1.0, true)?;
+                let seed = opt_u64_min(item, "seed", 0)?
+                    .unwrap_or_else(|| scenario_seed ^ (0x5CE7A810 + i as u64));
+                EventAction::FailRandom { ratio, seed }
+            }
+            other => {
+                return Err(SpecError::at(
+                    item.get("action").expect("required above").pos,
+                    format!("unknown action {other:?} (fail_links, repair_links, fail_random)"),
+                ))
+            }
+        };
+        out.push(EventSpec { at_epoch, action });
+    }
+    out.sort_by_key(|e| e.at_epoch);
+    Ok(out)
+}
+
+fn parse_link(
+    entry: &SpannedJson,
+    net: &NetworkConfig,
+) -> Result<(usize, usize, LinkDir), SpecError> {
+    expect_obj(entry, "a link")?;
+    check_keys(entry, &["tor", "port", "dir"], "a link")?;
+    let tor_val = entry
+        .get("tor")
+        .ok_or_else(|| SpecError::at(entry.pos, "a link needs a 'tor' index"))?;
+    let tor = tor_val
+        .as_u64()
+        .ok_or_else(|| SpecError::at(tor_val.pos, "'tor' must be a non-negative integer"))?
+        as usize;
+    if tor >= net.n_tors {
+        return Err(SpecError::at(
+            tor_val.pos,
+            format!(
+                "ToR index {tor} out of range — the fabric has {} ToRs",
+                net.n_tors
+            ),
+        ));
+    }
+    let port_val = entry
+        .get("port")
+        .ok_or_else(|| SpecError::at(entry.pos, "a link needs a 'port' index"))?;
+    let port = port_val
+        .as_u64()
+        .ok_or_else(|| SpecError::at(port_val.pos, "'port' must be a non-negative integer"))?
+        as usize;
+    if port >= net.n_ports {
+        return Err(SpecError::at(
+            port_val.pos,
+            format!(
+                "port index {port} out of range — each ToR has {} uplink ports",
+                net.n_ports
+            ),
+        ));
+    }
+    let dir = match opt_str(entry, "dir")?.as_deref() {
+        None | Some("egress") => LinkDir::Egress,
+        Some("ingress") => LinkDir::Ingress,
+        Some(other) => {
+            return Err(SpecError::at(
+                entry.get("dir").expect("present").pos,
+                format!("'dir' must be \"egress\" or \"ingress\", got {other:?}"),
+            ))
+        }
+    };
+    Ok((tor, port, dir))
+}
+
+// ---------------------------------------------------------------------
+// Small typed accessors over SpannedJson, all error-reporting by position
+// ---------------------------------------------------------------------
+
+fn expect_obj(v: &SpannedJson, what: &str) -> Result<(), SpecError> {
+    if v.members().is_some() {
+        Ok(())
+    } else {
+        Err(SpecError::at(
+            v.pos,
+            format!("{what} must be an object, got {}", v.kind()),
+        ))
+    }
+}
+
+/// Reject members outside `allowed` (typo protection — a misspelled key
+/// must not silently fall back to a default) and duplicate keys (lookups
+/// return the first occurrence, so a repeated key's later value would be
+/// silently dropped).
+fn check_keys(v: &SpannedJson, allowed: &[&str], what: &str) -> Result<(), SpecError> {
+    let mut seen: Vec<&str> = Vec::new();
+    for (key_pos, key, _) in v.members().into_iter().flatten() {
+        if seen.contains(&key.as_str()) {
+            return Err(SpecError::at(
+                *key_pos,
+                format!("duplicate key {key:?} in {what} — the earlier value would win silently"),
+            ));
+        }
+        seen.push(key);
+        if !allowed.contains(&key.as_str()) {
+            return Err(SpecError::at(
+                *key_pos,
+                format!(
+                    "unknown key {key:?} in {what} (allowed: {})",
+                    allowed.join(", ")
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn req_str(v: &SpannedJson, key: &str) -> Result<String, SpecError> {
+    match v.get(key) {
+        None => Err(SpecError::at(
+            v.pos,
+            format!("missing required key '{key}'"),
+        )),
+        Some(s) => s.as_str().map(str::to_string).ok_or_else(|| {
+            SpecError::at(s.pos, format!("'{key}' must be a string, got {}", s.kind()))
+        }),
+    }
+}
+
+fn opt_str(v: &SpannedJson, key: &str) -> Result<Option<String>, SpecError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(s) => s.as_str().map(|s| Some(s.to_string())).ok_or_else(|| {
+            SpecError::at(s.pos, format!("'{key}' must be a string, got {}", s.kind()))
+        }),
+    }
+}
+
+fn opt_u64_min(v: &SpannedJson, key: &str, min: u64) -> Result<Option<u64>, SpecError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(n) => n
+            .as_u64()
+            .filter(|&x| x >= min)
+            .map(Some)
+            .ok_or_else(|| SpecError::at(n.pos, format!("'{key}' must be an integer >= {min}"))),
+    }
+}
+
+fn opt_u64_range(v: &SpannedJson, key: &str, min: u64, max: u64) -> Result<Option<u64>, SpecError> {
+    match opt_u64_min(v, key, min)? {
+        Some(x) if x > max => Err(SpecError::at(
+            v.get(key).expect("present").pos,
+            format!("'{key}' = {x} exceeds the supported maximum of {max}"),
+        )),
+        other => Ok(other),
+    }
+}
+
+fn req_u64_range(
+    v: &SpannedJson,
+    key: &str,
+    min: u64,
+    max: u64,
+    label: &str,
+) -> Result<u64, SpecError> {
+    opt_u64_range(v, key, min, max)?
+        .ok_or_else(|| SpecError::at(v.pos, format!("phase '{label}' needs a '{key}'")))
+}
+
+/// A number in `(lo, hi]` (exclusive low — loads and ratios of zero are
+/// meaningless; `closed_hi` includes the upper bound).
+fn num_in_range(
+    v: &SpannedJson,
+    what: &str,
+    lo: f64,
+    hi: f64,
+    closed_hi: bool,
+) -> Result<f64, SpecError> {
+    let x = v.as_f64().ok_or_else(|| {
+        SpecError::at(v.pos, format!("{what} must be a number, got {}", v.kind()))
+    })?;
+    let in_range = x.is_finite() && x > lo && if closed_hi { x <= hi } else { x < hi };
+    if in_range {
+        Ok(x)
+    } else {
+        Err(SpecError::at(
+            v.pos,
+            format!(
+                "{what} = {x} is out of range ({lo}, {hi}{}",
+                if closed_hi { "]" } else { ")" }
+            ),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal(extra: &str) -> String {
+        format!(
+            r#"{{
+  "name": "t",
+  "topology": "parallel",
+  "tors": 16,
+  "ports": 4,
+  "phases": [
+    {{"workload": "poisson", "load": 50, "epochs": [0, 100]}}
+  ]{extra}
+}}"#
+        )
+    }
+
+    #[test]
+    fn minimal_scenario_parses_with_defaults() {
+        let s = parse_scenario(&minimal("")).unwrap();
+        assert_eq!(s.name, "t");
+        assert_eq!(s.net.n_tors, 16);
+        assert_eq!(s.net.host_bandwidth.bps(), 400_000_000_000);
+        assert_eq!(s.seed, 1);
+        assert_eq!(s.engines.len(), 2);
+        assert_eq!(s.total_epochs(), 100);
+        assert!(matches!(s.mode, SchedulerMode::Base));
+        let WorkloadPhase::Poisson { load, .. } = &s.phases[0].workload else {
+            panic!("poisson phase")
+        };
+        assert!((load - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_key_points_at_line_and_column() {
+        let text = "{\n  \"name\": \"t\",\n  \"topolojy\": \"parallel\",\n  \"phases\": []\n}";
+        let err = parse_scenario(text).unwrap_err();
+        assert!(err.starts_with("line 3, column 3:"), "{err}");
+        assert!(err.contains("unknown key \"topolojy\""), "{err}");
+    }
+
+    #[test]
+    fn overlapping_and_gapped_phases_rejected() {
+        let text = r#"{
+  "name": "t", "topology": "parallel", "tors": 16, "ports": 4,
+  "phases": [
+    {"workload": "poisson", "load": 50, "epochs": [0, 100]},
+    {"workload": "poisson", "load": 80, "epochs": [90, 200]}
+  ]
+}"#;
+        let err = parse_scenario(text).unwrap_err();
+        assert!(err.contains("line 5"), "{err}");
+        assert!(err.contains("overlapping"), "{err}");
+        let gapped = text.replace("[90, 200]", "[110, 200]");
+        let err = parse_scenario(&gapped).unwrap_err();
+        assert!(err.contains("gap"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_indices_rejected_with_position() {
+        let text = minimal(
+            r#",
+  "events": [
+    {"at_epoch": 10, "action": "fail_links",
+     "links": [{"tor": 99, "port": 0, "dir": "egress"}]}
+  ]"#,
+        );
+        let err = parse_scenario(&text).unwrap_err();
+        assert!(err.contains("ToR index 99 out of range"), "{err}");
+        assert!(err.contains("line 11"), "{err}");
+        let bad_port = text
+            .replace("\"tor\": 99", "\"tor\": 3")
+            .replace("\"port\": 0", "\"port\": 7");
+        let err = parse_scenario(&bad_port).unwrap_err();
+        assert!(err.contains("port index 7 out of range"), "{err}");
+    }
+
+    #[test]
+    fn loads_ratios_and_epochs_validated() {
+        let err =
+            parse_scenario(&minimal("").replace("\"load\": 50", "\"load\": 150")).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err = parse_scenario(&minimal("").replace("[0, 100]", "[100, 100]")).unwrap_err();
+        assert!(err.contains("must exceed"), "{err}");
+        let text = minimal(
+            r#",
+  "events": [{"at_epoch": 10, "action": "fail_random", "ratio": 1.5}]"#,
+        );
+        let err = parse_scenario(&text).unwrap_err();
+        assert!(err.contains("'ratio' = 1.5 is out of range"), "{err}");
+        let text = minimal(
+            r#",
+  "events": [{"at_epoch": 500, "action": "repair_links"}]"#,
+        );
+        let err = parse_scenario(&text).unwrap_err();
+        assert!(err.contains("past the scenario end"), "{err}");
+    }
+
+    #[test]
+    fn stray_action_parameters_rejected() {
+        // A parameter belonging to a different action must not be
+        // silently dropped.
+        let text = minimal(
+            r#",
+  "events": [{"at_epoch": 10, "action": "fail_links", "ratio": 0.3,
+              "links": [{"tor": 1, "port": 0, "dir": "egress"}]}]"#,
+        );
+        let err = parse_scenario(&text).unwrap_err();
+        assert!(err.contains("'ratio' does not apply"), "{err}");
+        let text = minimal(
+            r#",
+  "events": [{"at_epoch": 10, "action": "fail_random", "ratio": 0.3,
+              "links": [{"tor": 1, "port": 0, "dir": "egress"}]}]"#,
+        );
+        let err = parse_scenario(&text).unwrap_err();
+        assert!(err.contains("'links' does not apply"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        // The later value of a repeated key would silently lose to the
+        // earlier one; reject it at the second occurrence.
+        let text = minimal(
+            r#",
+  "seed": 1,
+  "seed": 7"#,
+        );
+        let err = parse_scenario(&text).unwrap_err();
+        assert!(err.contains("duplicate key \"seed\""), "{err}");
+        assert!(err.contains("line 10"), "{err}");
+    }
+
+    #[test]
+    fn fabric_and_horizon_caps_prevent_overflow() {
+        let err =
+            parse_scenario(&minimal("").replace("\"tors\": 16", "\"tors\": 1048576")).unwrap_err();
+        assert!(err.contains("exceeds the supported maximum"), "{err}");
+        let err =
+            parse_scenario(&minimal("").replace("[0, 100]", "[0, 40000000000000000]")).unwrap_err();
+        assert!(err.contains("epoch cap"), "{err}");
+        // Bandwidths, propagation and flow sizes are capped too — e.g. a
+        // 2e10 Gbps host aggregate would wrap `gbps · 10^9` in release
+        // builds and silently mis-scale every Poisson load.
+        for extra in [
+            ",\n  \"host_gbps\": 20000000000",
+            ",\n  \"port_gbps\": 20000000000",
+            ",\n  \"propagation_ns\": 10000000000",
+        ] {
+            let err = parse_scenario(&minimal(extra)).unwrap_err();
+            assert!(err.contains("exceeds the supported maximum"), "{err}");
+        }
+        let text = minimal("").replace(
+            r#"{"workload": "poisson", "load": 50, "epochs": [0, 100]}"#,
+            r#"{"workload": "incast", "degree": 4, "flow_bytes": 10000000000000000, "epochs": [0, 100]}"#,
+        );
+        let err = parse_scenario(&text).unwrap_err();
+        assert!(err.contains("exceeds the supported maximum"), "{err}");
+    }
+
+    #[test]
+    fn modes_and_engines_parse() {
+        let text = minimal(
+            r#",
+  "mode": {"kind": "iterative", "rounds": 3},
+  "engines": ["negotiator"]"#,
+        );
+        let s = parse_scenario(&text).unwrap();
+        assert!(matches!(s.mode, SchedulerMode::Iterative { rounds: 3 }));
+        assert_eq!(s.engines, vec![EngineKind::Negotiator]);
+        let err = parse_scenario(&minimal(
+            r#",
+  "engines": []"#,
+        ))
+        .unwrap_err();
+        assert!(err.contains("must not be empty"), "{err}");
+        let err = parse_scenario(
+            &minimal(
+                r#",
+  "mode": "fancy"#,
+            )
+            .replace("\"fancy", "\"fancy\""),
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown scheduler mode"), "{err}");
+    }
+
+    #[test]
+    fn syntax_errors_point_at_the_spot() {
+        let err = parse_scenario("{\n  \"name\": \"t\",,\n}").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn thin_clos_divisibility_checked() {
+        let text = minimal("").replace("\"tors\": 16", "\"tors\": 18");
+        let err = parse_scenario(&text).unwrap_err();
+        assert!(err.contains("divisible"), "{err}");
+    }
+}

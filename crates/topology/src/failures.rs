@@ -6,8 +6,11 @@
 //! and simplify maintenance"), so failures are tracked per direction here.
 //! This struct is ground truth — what is actually broken; the scheduler's
 //! *detected* view lives in `negotiator::fault` and converges to this one
-//! through dummy-message feedback.
+//! through dummy-message feedback. [`FailureSchedule`] holds a timed list
+//! of [`FailureAction`]s (the §4.3 experiments and scenario timelines) and
+//! applies them to a [`LinkFailures`] as simulated time passes.
 
+use sim::time::Nanos;
 use sim::Xoshiro256;
 
 /// Direction of a fiber relative to its ToR.
@@ -25,6 +28,9 @@ pub struct LinkFailures {
     n_ports: usize,
     egress_down: Vec<bool>,
     ingress_down: Vec<bool>,
+    /// Currently failed directed links, maintained by `fail`/`repair` so
+    /// the engines' per-slot/per-epoch "anything broken?" check is O(1).
+    down_count: usize,
 }
 
 impl LinkFailures {
@@ -34,6 +40,7 @@ impl LinkFailures {
             n_ports,
             egress_down: vec![false; n_tors * n_ports],
             ingress_down: vec![false; n_tors * n_ports],
+            down_count: 0,
         }
     }
 
@@ -41,21 +48,29 @@ impl LinkFailures {
         tor * self.n_ports + port
     }
 
-    /// Mark one directed link failed.
+    /// Mark one directed link failed (idempotent).
     pub fn fail(&mut self, tor: usize, port: usize, dir: LinkDir) {
         let i = self.idx(tor, port);
-        match dir {
-            LinkDir::Egress => self.egress_down[i] = true,
-            LinkDir::Ingress => self.ingress_down[i] = true,
+        let slot = match dir {
+            LinkDir::Egress => &mut self.egress_down[i],
+            LinkDir::Ingress => &mut self.ingress_down[i],
+        };
+        if !*slot {
+            *slot = true;
+            self.down_count += 1;
         }
     }
 
-    /// Repair one directed link.
+    /// Repair one directed link (idempotent).
     pub fn repair(&mut self, tor: usize, port: usize, dir: LinkDir) {
         let i = self.idx(tor, port);
-        match dir {
-            LinkDir::Egress => self.egress_down[i] = false,
-            LinkDir::Ingress => self.ingress_down[i] = false,
+        let slot = match dir {
+            LinkDir::Egress => &mut self.egress_down[i],
+            LinkDir::Ingress => &mut self.ingress_down[i],
+        };
+        if *slot {
+            *slot = false;
+            self.down_count -= 1;
         }
     }
 
@@ -76,10 +91,16 @@ impl LinkFailures {
         !self.egress_down(src, port) && !self.ingress_down(dst, port)
     }
 
-    /// Number of currently failed directed links.
+    /// Number of currently failed directed links (O(1) — the engines ask
+    /// every epoch/timeslot to take their healthy-fabric fast paths).
     pub fn failed_count(&self) -> usize {
-        self.egress_down.iter().filter(|&&d| d).count()
-            + self.ingress_down.iter().filter(|&&d| d).count()
+        debug_assert_eq!(
+            self.down_count,
+            self.egress_down.iter().filter(|&&d| d).count()
+                + self.ingress_down.iter().filter(|&&d| d).count(),
+            "down_count drifted from the per-direction state"
+        );
+        self.down_count
     }
 
     /// Fail a uniform random sample of `ratio` of all directed links
@@ -112,6 +133,87 @@ impl LinkFailures {
         for &(tor, port, dir) in links {
             self.repair(tor, port, dir);
         }
+    }
+}
+
+/// A scheduled change to the ground-truth link state (§4.3 experiments,
+/// scenario event timelines).
+#[derive(Debug, Clone)]
+pub enum FailureAction {
+    /// Fail a uniform random fraction of all directed links.
+    FailRandom {
+        /// Fraction of directed links to fail.
+        ratio: f64,
+        /// Sampling seed.
+        seed: u64,
+    },
+    /// Repair everything failed by earlier `FailRandom`/`FailLink` actions.
+    RepairAll,
+    /// Fail one directed link.
+    FailLink {
+        /// ToR index.
+        tor: usize,
+        /// Port index.
+        port: usize,
+        /// Fiber direction.
+        dir: LinkDir,
+    },
+}
+
+/// A once-sorted schedule of [`FailureAction`]s consumed through a cursor
+/// (inserts keep it sorted; equal timestamps preserve scheduling order).
+/// Shared by both engines so scenario timelines drive either one.
+#[derive(Debug, Clone, Default)]
+pub struct FailureSchedule {
+    schedule: Vec<(Nanos, FailureAction)>,
+    cursor: usize,
+    /// Links failed by applied actions, for `RepairAll`.
+    injected: Vec<(usize, usize, LinkDir)>,
+}
+
+impl FailureSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `action` at absolute time `at`. The insertion goes into
+    /// the not-yet-applied suffix; equal timestamps keep their scheduling
+    /// order.
+    pub fn schedule(&mut self, at: Nanos, action: FailureAction) {
+        let pos = self.cursor + self.schedule[self.cursor..].partition_point(|&(t, _)| t <= at);
+        self.schedule.insert(pos, (at, action));
+    }
+
+    /// Apply every action due by `now` to `failures`.
+    pub fn apply_due(&mut self, now: Nanos, failures: &mut LinkFailures) {
+        while let Some(&(at, ref action)) = self.schedule.get(self.cursor) {
+            if at > now {
+                break;
+            }
+            let action = action.clone();
+            self.cursor += 1;
+            match action {
+                FailureAction::FailRandom { ratio, seed } => {
+                    let mut rng = Xoshiro256::new(seed);
+                    let failed = failures.fail_random(ratio, &mut rng);
+                    self.injected.extend(failed);
+                }
+                FailureAction::RepairAll => {
+                    failures.repair_all(&self.injected);
+                    self.injected.clear();
+                }
+                FailureAction::FailLink { tor, port, dir } => {
+                    failures.fail(tor, port, dir);
+                    self.injected.push((tor, port, dir));
+                }
+            }
+        }
+    }
+
+    /// True once every scheduled action has been applied.
+    pub fn is_drained(&self) -> bool {
+        self.cursor >= self.schedule.len()
     }
 }
 
@@ -158,5 +260,37 @@ mod tests {
         let fa = a.fail_random(0.25, &mut Xoshiro256::new(9));
         let fb = b.fail_random(0.25, &mut Xoshiro256::new(9));
         assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn schedule_applies_in_time_order_and_drains() {
+        let mut f = LinkFailures::new(4, 2);
+        let mut s = FailureSchedule::new();
+        // Inserted out of order; repair-all scheduled between the two fails.
+        s.schedule(300, FailureAction::RepairAll);
+        s.schedule(
+            100,
+            FailureAction::FailLink {
+                tor: 0,
+                port: 0,
+                dir: LinkDir::Egress,
+            },
+        );
+        s.schedule(
+            200,
+            FailureAction::FailLink {
+                tor: 1,
+                port: 1,
+                dir: LinkDir::Ingress,
+            },
+        );
+        s.apply_due(50, &mut f);
+        assert_eq!(f.failed_count(), 0);
+        assert!(!s.is_drained());
+        s.apply_due(250, &mut f);
+        assert_eq!(f.failed_count(), 2);
+        s.apply_due(300, &mut f);
+        assert_eq!(f.failed_count(), 0, "repair-all undoes injected failures");
+        assert!(s.is_drained());
     }
 }

@@ -30,7 +30,7 @@ pub mod validate;
 
 pub use cache::{PredefinedCache, PredefinedConn};
 pub use config::{NetworkConfig, TopologyKind};
-pub use failures::LinkFailures;
+pub use failures::{FailureAction, FailureSchedule, LinkFailures};
 pub use parallel::ParallelNet;
 pub use thinclos::ThinClos;
 pub use traits::{AnyTopology, Topology};

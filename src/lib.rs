@@ -11,6 +11,9 @@
 //! * [`negotiator`] — the NegotiaToR architecture itself plus the appendix
 //!   design-space variants.
 //! * [`oblivious`] — the traffic-oblivious (Sirius-like) baseline.
+//! * [`scenario`] — the declarative scenario engine: JSON-driven
+//!   experiments with workload phases, timed failure events and
+//!   per-phase time-series output (see README "Scenarios").
 //!
 //! ## Quickstart
 //!
@@ -35,6 +38,7 @@
 pub use metrics;
 pub use negotiator;
 pub use oblivious;
+pub use scenario;
 pub use sim;
 pub use topology;
 pub use workload;

@@ -1,11 +1,12 @@
 //! Property tests for the stateful components below the engines: the
-//! PIAS queue, the fault detector, the flow-size distributions and the
-//! bandwidth series.
+//! PIAS queue, the fault detector, the link-failure ground truth, the
+//! flow-size distributions and the bandwidth series.
 
 use negotiator::fault::{FaultDetector, DETECT_EPOCHS};
 use negotiator::queues::DestQueue;
 use proptest::prelude::*;
 use sim::{BandwidthSeries, Xoshiro256};
+use topology::failures::{LinkDir, LinkFailures};
 use workload::FlowSizeDist;
 
 proptest! {
@@ -118,6 +119,72 @@ proptest! {
         let frac = mice as f64 / n as f64;
         let expect = d.fraction_below(10_000.0);
         prop_assert!((frac - expect).abs() < 0.06, "mice {} vs {}", frac, expect);
+    }
+
+    /// Failing any random sample and repairing exactly those links
+    /// restores a fully healthy fabric, whatever the fabric shape, ratio
+    /// or seed.
+    #[test]
+    fn link_failures_roundtrip_to_healthy(
+        tors in 2usize..24,
+        ports in 1usize..6,
+        ratio in 0.01f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut f = LinkFailures::new(tors, ports);
+        let failed = f.fail_random(ratio, &mut Xoshiro256::new(seed));
+        prop_assert_eq!(f.failed_count(), failed.len());
+        f.repair_all(&failed);
+        prop_assert_eq!(f.failed_count(), 0);
+        for tor in 0..tors {
+            for port in 0..ports {
+                prop_assert!(!f.egress_down(tor, port));
+                prop_assert!(!f.ingress_down(tor, port));
+            }
+        }
+    }
+
+    /// `fail_random` never yields the same directed link twice, its count
+    /// matches the rounded target, and every index is in range.
+    #[test]
+    fn fail_random_yields_distinct_in_range_links(
+        tors in 2usize..24,
+        ports in 1usize..6,
+        ratio in 0.01f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut f = LinkFailures::new(tors, ports);
+        let failed = f.fail_random(ratio, &mut Xoshiro256::new(seed));
+        let target = ((2 * tors * ports) as f64 * ratio).round() as usize;
+        prop_assert_eq!(failed.len(), target);
+        let mut seen = std::collections::HashSet::new();
+        for &(tor, port, dir) in &failed {
+            prop_assert!(tor < tors && port < ports);
+            prop_assert!(seen.insert((tor, port, dir)), "duplicate link");
+        }
+    }
+
+    /// `link_up(src, dst, port)` is exactly "source egress up and
+    /// destination ingress up", for any failure pattern.
+    #[test]
+    fn link_up_agrees_with_per_direction_state(
+        fails in prop::collection::vec((0usize..8, 0usize..3, any::<bool>()), 0..30),
+    ) {
+        let mut f = LinkFailures::new(8, 3);
+        for &(tor, port, egress) in &fails {
+            f.fail(tor, port, if egress { LinkDir::Egress } else { LinkDir::Ingress });
+        }
+        for src in 0..8 {
+            for dst in 0..8 {
+                for port in 0..3 {
+                    prop_assert_eq!(
+                        f.link_up(src, dst, port),
+                        !f.egress_down(src, port) && !f.ingress_down(dst, port),
+                        "src {} dst {} port {}", src, dst, port
+                    );
+                }
+            }
+        }
     }
 
     /// Bandwidth series: total bytes recorded equals the sum over windows,
