@@ -2,7 +2,7 @@
 //! (16-ToR, sub-millisecond) version of each experiment's workload. Two
 //! purposes: `cargo bench` exercises every experiment end to end, and the
 //! timings track the cost of each scenario. The full-scale tables are
-//! produced by `cargo run --release -p bench --bin paper -- all`.
+//! produced by `cargo run --release -p service --bin paper -- all`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use negotiator::{FailureAction, NegotiatorConfig, NegotiatorSim, SchedulerMode, SimOptions};

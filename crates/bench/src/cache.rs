@@ -1,0 +1,195 @@
+//! The content-addressed scenario result cache.
+//!
+//! Results are keyed by [`CompiledScenario::content_hash`] — a stable
+//! digest of everything that determines the output bytes (see
+//! `scenario::hash`) — and stored one file per key as
+//! `<dir>/<hash>.json`. The CLI (`paper scenario`) and the serving daemon
+//! (`paper serve`) share the directory, so whichever computes a result
+//! first saves the other the simulation.
+//!
+//! An entry carries the scenario's *deterministic result document* (the
+//! timing-free `results/scenario-<name>.json` bytes) plus the rendered
+//! text report, wrapped in a small JSON envelope. Writes go to a
+//! temporary file in the same directory and land via `rename`, so a
+//! crash, a full disk, or two writers racing on the same hash can never
+//! leave a torn entry — a reader sees the old entry, the new entry, or
+//! nothing.
+//!
+//! [`CompiledScenario::content_hash`]: scenario::CompiledScenario::content_hash
+
+use std::path::{Path, PathBuf};
+
+use metrics::Json;
+
+/// Envelope version; bumped if the entry layout changes.
+pub const CACHE_VERSION: u64 = 1;
+
+/// One cached scenario result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// Scenario name (diagnostics only; the hash is the identity).
+    pub scenario: String,
+    /// The rendered text report (what `paper scenario` prints).
+    pub rendered: String,
+    /// The deterministic result document — the exact bytes the daemon
+    /// returns and `--json --no-timing` writes, trailing newline included.
+    pub document: String,
+}
+
+/// A content-addressed store rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ResultCache { dir: dir.into() }
+    }
+
+    /// The directory this cache lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the entry for `hash`.
+    pub fn entry_path(&self, hash: u64) -> PathBuf {
+        self.dir.join(format!("{}.json", scenario::hash::hex(hash)))
+    }
+
+    /// Look up `hash`. `None` on a miss; a present-but-corrupt entry also
+    /// reads as a miss (and is reported) rather than poisoning the run —
+    /// the simulation is always a safe fallback.
+    pub fn lookup(&self, hash: u64) -> Option<CacheEntry> {
+        let path = self.entry_path(hash);
+        let text = std::fs::read_to_string(&path).ok()?;
+        match parse_entry(&text) {
+            Ok(entry) => Some(entry),
+            Err(error) => {
+                eprintln!(
+                    "[cache: ignoring corrupt entry {}: {error}]",
+                    path.display()
+                );
+                None
+            }
+        }
+    }
+
+    /// Store `entry` under `hash` atomically (write-to-temp + rename).
+    /// Returns the entry's final path.
+    pub fn store(&self, hash: u64, entry: &CacheEntry) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.entry_path(hash);
+        // The temp name carries the pid so two processes storing the same
+        // hash never clobber each other's in-flight temp file; both
+        // renames land a complete entry with identical bytes.
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}",
+            scenario::hash::hex(hash),
+            std::process::id()
+        ));
+        let mut envelope = Json::object();
+        envelope
+            .push("cache_version", CACHE_VERSION)
+            .push("hash", scenario::hash::hex(hash))
+            .push("scenario", entry.scenario.as_str())
+            .push("rendered", entry.rendered.as_str())
+            .push("document", entry.document.as_str());
+        let mut text = envelope.render();
+        text.push('\n');
+        std::fs::write(&tmp, text)?;
+        match std::fs::rename(&tmp, &path) {
+            Ok(()) => Ok(path),
+            Err(error) => {
+                // Never leave the temp file behind on a failed landing.
+                let _ = std::fs::remove_file(&tmp);
+                Err(error)
+            }
+        }
+    }
+}
+
+fn parse_entry(text: &str) -> Result<CacheEntry, String> {
+    let doc = Json::parse(text)?;
+    let version = doc
+        .get("cache_version")
+        .and_then(Json::as_u64)
+        .ok_or("missing cache_version")?;
+    if version != CACHE_VERSION {
+        return Err(format!("cache_version {version} != {CACHE_VERSION}"));
+    }
+    let field = |key: &str| -> Result<String, String> {
+        doc.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing '{key}'"))
+    };
+    Ok(CacheEntry {
+        scenario: field("scenario")?,
+        rendered: field("rendered")?,
+        document: field("document")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("nego-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn entry() -> CacheEntry {
+        CacheEntry {
+            scenario: "smoke".into(),
+            rendered: "# Scenario 'smoke'\nline two\n".into(),
+            document: "{\n  \"schema_version\": 1\n}\n".into(),
+        }
+    }
+
+    #[test]
+    fn store_then_lookup_round_trips_exact_bytes() {
+        let cache = ResultCache::new(tmp_dir("roundtrip"));
+        let hash = 0xDEAD_BEEF_u64;
+        assert_eq!(cache.lookup(hash), None, "fresh dir misses");
+        let path = cache.store(hash, &entry()).unwrap();
+        assert_eq!(path, cache.entry_path(hash));
+        assert!(path.ends_with("00000000deadbeef.json"), "{path:?}");
+        let back = cache.lookup(hash).expect("hit");
+        assert_eq!(back, entry());
+        // Distinct hashes stay distinct.
+        assert_eq!(cache.lookup(hash + 1), None);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_entries_read_as_misses() {
+        let cache = ResultCache::new(tmp_dir("corrupt"));
+        let hash = 7u64;
+        cache.store(hash, &entry()).unwrap();
+        std::fs::write(cache.entry_path(hash), "{\"cache_version\": 1, trunc").unwrap();
+        assert_eq!(cache.lookup(hash), None);
+        // A wrong version is a miss too, not a crash.
+        std::fs::write(cache.entry_path(hash), "{\"cache_version\": 99}").unwrap();
+        assert_eq!(cache.lookup(hash), None);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn no_temp_files_survive_a_store() {
+        let cache = ResultCache::new(tmp_dir("tmpfiles"));
+        cache.store(1, &entry()).unwrap();
+        cache.store(2, &entry()).unwrap();
+        let stray: Vec<_> = std::fs::read_dir(cache.dir())
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(stray.is_empty(), "{stray:?}");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

@@ -5,13 +5,26 @@ use std::path::PathBuf;
 
 use crate::experiments::{find_experiment, Args, EXPERIMENTS};
 
+/// Default daemon address for `paper serve` / `paper submit`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7470";
+
 /// A parsed `paper` invocation.
 #[derive(Debug, Clone)]
 pub struct Cli {
-    /// `paper list` — print the registry and exit.
+    /// `paper list` — print the registry and exit (`--json` for the
+    /// machine-readable form).
     pub list: bool,
-    /// `paper scenario <file.json>` — run a declarative scenario file.
-    pub scenario: Option<PathBuf>,
+    /// `paper scenario <file.json>...` — run declarative scenario files
+    /// (a batch dedupes identical runs before dispatch).
+    pub scenario: Vec<PathBuf>,
+    /// `paper serve` — run the scenario-serving daemon.
+    pub serve: bool,
+    /// `paper submit <file.json>` — submit a scenario to a daemon.
+    pub submit: Option<PathBuf>,
+    /// Daemon address for `serve`/`submit` (`--addr HOST:PORT`).
+    pub addr: String,
+    /// Job priority for `submit` (`--priority N`, higher runs earlier).
+    pub priority: i64,
     /// Experiment ids to run, in request order (`all` expands here).
     pub ids: Vec<String>,
     /// Harness parameters (duration, loads; seed is taken from `seeds`).
@@ -24,6 +37,12 @@ pub struct Cli {
     pub jobs: usize,
     /// Write `results/<id>.json` files (`--json`).
     pub json: bool,
+    /// Attach wall-clock metadata to written JSON (`--no-timing` clears
+    /// it, yielding the fully deterministic document).
+    pub timing: bool,
+    /// Consult/populate the content-addressed result cache on scenario
+    /// runs (`--no-cache` disables both directions).
+    pub cache: bool,
     /// Output directory for `--json` (`--out DIR`, default `results`).
     pub out: PathBuf,
 }
@@ -32,14 +51,22 @@ pub struct Cli {
 pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
     let mut cli = Cli {
         list: false,
-        scenario: None,
+        scenario: Vec::new(),
+        serve: false,
+        submit: None,
+        addr: DEFAULT_ADDR.to_string(),
+        priority: 0,
         ids: Vec::new(),
         args: Args::default(),
         seeds: Vec::new(),
         jobs: sim::pool::default_jobs(),
         json: false,
+        timing: true,
+        cache: true,
         out: PathBuf::from("results"),
     };
+    let mut addr_set = false;
+    let mut priority_set = false;
     // Flags a scenario file pins itself (scenarios carry their own seed,
     // loads and horizon, so accepting these would silently lie).
     let mut harness_flags: Vec<&'static str> = Vec::new();
@@ -85,11 +112,32 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
             }
             "scenario" => {
                 let v = value(&mut it, "scenario")?;
-                if cli.scenario.is_some() {
-                    return Err("scenario: only one scenario file per invocation".into());
-                }
-                cli.scenario = Some(PathBuf::from(v));
+                cli.scenario.push(PathBuf::from(v));
             }
+            "serve" => cli.serve = true,
+            "submit" => {
+                let v = value(&mut it, "submit")?;
+                if cli.submit.is_some() {
+                    return Err("submit: one scenario file per submission".into());
+                }
+                cli.submit = Some(PathBuf::from(v));
+            }
+            "--addr" => {
+                cli.addr = value(&mut it, "--addr")?;
+                if !cli.addr.contains(':') {
+                    return Err(format!("--addr: '{}' is not HOST:PORT", cli.addr));
+                }
+                addr_set = true;
+            }
+            "--priority" => {
+                let v = value(&mut it, "--priority")?;
+                cli.priority = v
+                    .parse()
+                    .map_err(|_| format!("--priority: '{v}' is not an integer"))?;
+                priority_set = true;
+            }
+            "--no-timing" => cli.timing = false,
+            "--no-cache" => cli.cache = false,
             "--jobs" => {
                 let v = value(&mut it, "--jobs")?;
                 let jobs: usize = v
@@ -110,14 +158,19 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
                 return Err(format!("unknown flag '{flag}'"));
             }
             id => {
-                if find_experiment(id).is_none() {
+                // Once `scenario` has been seen, further positionals are
+                // scenario files (`paper scenario a.json b.json`).
+                if !cli.scenario.is_empty() {
+                    cli.scenario.push(PathBuf::from(id));
+                } else if find_experiment(id).is_none() {
                     return Err(format!("unknown experiment '{id}' — try `paper list`"));
+                } else {
+                    cli.ids.push(id.to_string());
                 }
-                cli.ids.push(id.to_string());
             }
         }
     }
-    if cli.scenario.is_some() {
+    if !cli.scenario.is_empty() {
         if !cli.ids.is_empty() {
             return Err("scenario runs cannot be mixed with experiment ids".into());
         }
@@ -126,6 +179,24 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
                 "{flag}: a scenario file pins its own seed, loads and duration — edit the file instead"
             ));
         }
+    }
+    // The serving pair is its own mode: no experiment ids, no local
+    // scenario runs alongside.
+    let modes = [
+        cli.serve,
+        cli.submit.is_some(),
+        !cli.scenario.is_empty() || !cli.ids.is_empty() || cli.list,
+    ];
+    if modes.iter().filter(|&&m| m).count() > 1 {
+        return Err(
+            "serve/submit cannot be mixed with experiment, scenario or list invocations".into(),
+        );
+    }
+    if addr_set && !cli.serve && cli.submit.is_none() {
+        return Err("--addr only applies to `paper serve` / `paper submit`".into());
+    }
+    if priority_set && cli.submit.is_none() {
+        return Err("--priority only applies to `paper submit`".into());
     }
     if cli.seeds.is_empty() {
         cli.seeds = vec![cli.args.seed];
@@ -257,16 +328,73 @@ mod tests {
         .unwrap();
         assert_eq!(
             cli.scenario,
-            Some(PathBuf::from("scenarios/rolling_failures.json"))
+            vec![PathBuf::from("scenarios/rolling_failures.json")]
         );
         assert_eq!(cli.jobs, 4);
         assert!(cli.json);
+        assert!(cli.timing && cli.cache, "timing and cache default on");
         assert!(cli.ids.is_empty());
     }
 
     #[test]
+    fn scenario_accepts_a_batch_of_files() {
+        // Both spellings: repeated keyword and bare positionals after the
+        // first `scenario`.
+        for argv in [
+            &[
+                "scenario",
+                "a.json",
+                "scenario",
+                "b.json",
+                "--no-timing",
+                "--no-cache",
+            ][..],
+            &["scenario", "a.json", "b.json", "--no-timing", "--no-cache"],
+        ] {
+            let cli = parse_strs(argv).unwrap();
+            assert_eq!(
+                cli.scenario,
+                vec![PathBuf::from("a.json"), PathBuf::from("b.json")],
+                "{argv:?}"
+            );
+            assert!(!cli.timing);
+            assert!(!cli.cache);
+        }
+    }
+
+    #[test]
+    fn serve_and_submit_parse_with_their_flags() {
+        let cli = parse_strs(&["serve", "--addr", "0.0.0.0:9000", "--jobs", "3"]).unwrap();
+        assert!(cli.serve);
+        assert_eq!(cli.addr, "0.0.0.0:9000");
+        assert_eq!(cli.jobs, 3);
+        let cli = parse_strs(&["submit", "scenarios/ci_smoke.json", "--priority", "-2"]).unwrap();
+        assert_eq!(cli.submit, Some(PathBuf::from("scenarios/ci_smoke.json")));
+        assert_eq!(cli.priority, -2);
+        assert_eq!(cli.addr, DEFAULT_ADDR);
+    }
+
+    #[test]
+    fn serve_submit_validation() {
+        let err = parse_strs(&["serve", "fig9"]).unwrap_err();
+        assert!(err.contains("cannot be mixed"), "{err}");
+        let err = parse_strs(&["submit", "a.json", "scenario", "b.json"]).unwrap_err();
+        assert!(err.contains("cannot be mixed"), "{err}");
+        let err = parse_strs(&["serve", "list"]).unwrap_err();
+        assert!(err.contains("cannot be mixed"), "{err}");
+        let err = parse_strs(&["fig9", "--addr", "1.2.3.4:5"]).unwrap_err();
+        assert!(err.contains("--addr only applies"), "{err}");
+        let err = parse_strs(&["serve", "--priority", "1"]).unwrap_err();
+        assert!(err.contains("--priority only applies"), "{err}");
+        let err = parse_strs(&["serve", "--addr", "noport"]).unwrap_err();
+        assert!(err.contains("not HOST:PORT"), "{err}");
+        let err = parse_strs(&["submit", "a.json", "submit", "b.json"]).unwrap_err();
+        assert!(err.contains("one scenario file per submission"), "{err}");
+    }
+
+    #[test]
     fn scenario_rejects_experiment_mixes_and_pinned_flags() {
-        let err = parse_strs(&["scenario", "x.json", "fig9"]).unwrap_err();
+        let err = parse_strs(&["fig9", "scenario", "x.json"]).unwrap_err();
         assert!(err.contains("cannot be mixed"), "{err}");
         for flag in [
             &["scenario", "x.json", "--seed", "3"][..],
@@ -280,7 +408,5 @@ mod tests {
         assert!(parse_strs(&["scenario"])
             .unwrap_err()
             .contains("needs a value"));
-        let err = parse_strs(&["scenario", "a.json", "scenario", "b.json"]).unwrap_err();
-        assert!(err.contains("only one scenario"), "{err}");
     }
 }

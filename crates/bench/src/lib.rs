@@ -4,8 +4,8 @@
 //! Run one experiment:
 //!
 //! ```text
-//! cargo run --release -p bench --bin paper -- fig9
-//! cargo run --release -p bench --bin paper -- all --jobs 8 --json --out results/
+//! cargo run --release -p service --bin paper -- fig9
+//! cargo run --release -p service --bin paper -- all --jobs 8 --json --out results/
 //! ```
 //!
 //! Each experiment prints the same rows/series the paper reports, as
@@ -20,6 +20,7 @@
 //! paper artifact, workload and modules; EXPERIMENTS.md records
 //! paper-vs-measured comparisons.
 
+pub mod cache;
 pub mod cli;
 pub mod experiments;
 pub mod results;

@@ -114,12 +114,14 @@ fn run_json(result: &RunResult, with_timing: bool) -> Json {
 }
 
 /// Write one `<dir>/<id>.json` per report (suffixing `-s<seed>` when the
-/// sweep covers several seeds), creating `dir` as needed. Returns the
-/// paths written.
+/// sweep covers several seeds), creating `dir` as needed. `timing_jobs`
+/// as in [`experiment_json`]: `Some(jobs)` attaches wall-clock metadata,
+/// `None` writes the fully deterministic form (`--no-timing`). Returns
+/// the paths written.
 pub fn write_reports(
     dir: &Path,
     reports: &[SweepReport],
-    jobs: usize,
+    timing_jobs: Option<usize>,
     seed_suffix: bool,
 ) -> io::Result<Vec<PathBuf>> {
     std::fs::create_dir_all(dir)?;
@@ -131,7 +133,7 @@ pub fn write_reports(
             format!("{}.json", report.id)
         };
         let path = dir.join(name);
-        let mut text = experiment_json(report, Some(jobs)).render();
+        let mut text = experiment_json(report, timing_jobs).render();
         text.push('\n');
         std::fs::write(&path, text)?;
         paths.push(path);

@@ -1,73 +1,209 @@
 //! Harness side of the scenario engine: load a scenario file, compile it
-//! (`scenario::compile`), wrap its engine runs into sweep [`RunSpec`]s,
-//! and execute them on the shared `--jobs` pool — the same machinery (and
-//! therefore the same byte-identical-at-any-jobs guarantee) every
+//! (`scenario::compile`), wrap its engine runs into sweep [`RunSpec`]-shaped
+//! work, and execute them on the shared `--jobs` pool — the same machinery
+//! (and therefore the same byte-identical-at-any-jobs guarantee) every
 //! hard-coded experiment uses. The resulting [`SweepReport`] flows through
 //! `results::write_reports` unchanged, so a scenario's JSON lands as
 //! `results/scenario-<name>.json` with the per-phase time series under
 //! each run's `metrics.series`.
+//!
+//! Batches dedupe before dispatch: every engine run carries a stable
+//! content hash ([`CompiledScenario::run_hash`]), and [`run_batch`]
+//! simulates each distinct hash once, fanning the result out to every
+//! position that asked for it. The coalesced count is reported, never
+//! silently swallowed. The serving daemon executes the exact same
+//! assembly path ([`execute_with_progress`]), which is what makes a
+//! served result byte-identical to an offline run.
 
+use std::collections::HashMap;
 use std::path::Path;
 
 use crate::experiments::Args;
-use crate::sweep::{self, Rendered, RunMeta, RunMetrics, RunSpec, SweepReport};
+use crate::sweep::{Rendered, RunMeta, RunMetrics, RunResult, SweepReport};
 use scenario::series::stats_to_json;
+use sim::pool;
 // Re-exported so the `paper` binary reaches the scenario crate's API
 // through this module.
-pub use scenario::{build_runs, compile, parse_scenario, CompiledScenario, WorkloadPhase};
+pub use scenario::{
+    build_runs, build_runs_with_progress, compile, parse_scenario, CompiledScenario, PhaseProgress,
+    ProgressSink, ScenarioRunOutput, WorkloadPhase,
+};
 
 /// Load, parse and validate a scenario file, compiling it to run inputs.
 /// Every error is prefixed with the file path; validation errors point at
 /// `line:column` inside it.
 pub fn load(path: &Path) -> Result<CompiledScenario, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    let spec = parse_scenario(&text).map_err(|e| format!("{}:{e}", path.display()))?;
-    let base_dir = path.parent().unwrap_or_else(|| Path::new("."));
-    compile(spec, base_dir).map_err(|e| format!("{}: {e}", path.display()))
+    load_str(&text, path)
+}
+
+/// [`load`] for scenario text that is already in memory (a daemon
+/// submission body). `origin` names the source in errors; its parent
+/// directory anchors relative trace paths.
+pub fn load_str(text: &str, origin: &Path) -> Result<CompiledScenario, String> {
+    let spec = parse_scenario(text).map_err(|e| format!("{}:{e}", origin.display()))?;
+    let base_dir = origin.parent().unwrap_or_else(|| Path::new("."));
+    compile(spec, base_dir).map_err(|e| format!("{}: {e}", origin.display()))
+}
+
+/// One completed scenario batch: the per-scenario reports (input order)
+/// and how many engine runs were coalesced away by content-hash dedup.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// One report per input scenario, in input order.
+    pub reports: Vec<SweepReport>,
+    /// Engine runs that were *not* simulated because an identical run
+    /// (same content hash) already was. 0 when every run was distinct.
+    pub coalesced: usize,
 }
 
 /// Execute a compiled scenario across `jobs` workers and assemble the
 /// sweep report (rendered text + per-run metrics with series).
 pub fn run(compiled: &CompiledScenario, jobs: usize) -> SweepReport {
-    let spec = &compiled.spec;
-    // Sweep metadata wants 'static strs; a handful of scenario names per
-    // process makes leaking the right trade.
-    let id: &'static str = Box::leak(format!("scenario-{}", spec.name).into_boxed_str());
-    let artifact: &'static str = Box::leak(
-        format!(
-            "Scenario '{}'{}{}",
-            spec.name,
-            if spec.description.is_empty() {
-                ""
-            } else {
-                ": "
-            },
-            spec.description
-        )
-        .into_boxed_str(),
-    );
-    let args = Args {
-        duration: compiled.duration,
-        loads: Vec::new(),
-        seed: spec.seed,
-    };
-    let specs: Vec<RunSpec> = build_runs(compiled)
+    run_batch(std::slice::from_ref(compiled), jobs)
+        .reports
+        .pop()
+        .expect("one scenario in, one report out")
+}
+
+/// Execute a batch of compiled scenarios on one shared `jobs`-wide pool,
+/// deduping identical engine runs (same [`CompiledScenario::run_hash`])
+/// before dispatch: each distinct run simulates once and its output fans
+/// out to every scenario/position that requested it. Reports come back in
+/// input order and are byte-identical at any `jobs`.
+pub fn run_batch(compiled: &[CompiledScenario], jobs: usize) -> BatchOutcome {
+    // Map every (scenario, run) slot onto a deduped task list.
+    let mut task_of_hash: HashMap<u64, usize> = HashMap::new();
+    let mut tasks: Vec<pool::Task<(ScenarioRunOutput, f64)>> = Vec::new();
+    // Per scenario: the (task index, system label, first occurrence) of
+    // each of its runs, in engine order.
+    let mut slots: Vec<Vec<(usize, String, bool)>> = Vec::new();
+    let mut coalesced = 0usize;
+    for c in compiled {
+        let runs = build_runs(c);
+        let mut scenario_slots = Vec::with_capacity(runs.len());
+        for (engine, run) in c.spec.engines.iter().zip(runs) {
+            let hash = c.run_hash(*engine);
+            let (task, first) = match task_of_hash.get(&hash) {
+                Some(&task) => {
+                    coalesced += 1;
+                    (task, false)
+                }
+                None => {
+                    let task = tasks.len();
+                    task_of_hash.insert(hash, task);
+                    let body = run.run;
+                    tasks.push(Box::new(move || {
+                        let started = std::time::Instant::now();
+                        let out = body();
+                        (out, started.elapsed().as_secs_f64())
+                    }));
+                    (task, true)
+                }
+            };
+            scenario_slots.push((task, run.system, first));
+        }
+        slots.push(scenario_slots);
+    }
+    let outputs = pool::run_ordered(jobs, tasks);
+    let reports = compiled
+        .iter()
+        .zip(slots)
+        .map(|(c, scenario_slots)| {
+            let results = scenario_slots
+                .into_iter()
+                .enumerate()
+                .map(|(index, (task, system, first))| {
+                    let (out, wall_secs) = &outputs[task];
+                    // Duplicates cost nothing on the wall; only the run
+                    // that actually simulated carries its cost.
+                    make_result(
+                        c,
+                        index,
+                        system,
+                        out.clone(),
+                        if first { *wall_secs } else { 0.0 },
+                    )
+                })
+                .collect();
+            assemble(c, results)
+        })
+        .collect();
+    BatchOutcome { reports, coalesced }
+}
+
+/// Execute one compiled scenario **serially on the calling thread**,
+/// streaming per-phase progress to `progress` as each engine crosses each
+/// boundary. This is the daemon's job executor: one pool worker owns the
+/// whole scenario; intra-scenario parallelism would fight the pool's own.
+/// Output is byte-identical to [`run`] at any `jobs` — both go through
+/// the same run closures and [`assemble`].
+pub fn execute_with_progress(
+    compiled: &CompiledScenario,
+    progress: Option<ProgressSink>,
+) -> SweepReport {
+    let results = build_runs_with_progress(compiled, progress)
         .into_iter()
         .enumerate()
         .map(|(index, run)| {
-            let meta = RunMeta::new(id, index, run.system, &args).duration(compiled.duration);
-            let body = run.run;
-            RunSpec::new(meta, move || {
-                let out = body();
-                let mut metrics = RunMetrics::new(Rendered::Block(out.rendered))
-                    .with_series(stats_to_json(&out.series))
-                    .with_match_ratio(out.match_ratio);
-                metrics.report = Some(out.summary);
-                metrics
-            })
+            let started = std::time::Instant::now();
+            let out = (run.run)();
+            make_result(
+                compiled,
+                index,
+                run.system,
+                out,
+                started.elapsed().as_secs_f64(),
+            )
         })
         .collect();
-    let results = sweep::execute_specs(specs, jobs);
+    assemble(compiled, results)
+}
+
+/// The deterministic result document for a scenario report: the
+/// timing-free JSON rendering plus a trailing newline — exactly the bytes
+/// `paper scenario --json --no-timing` writes, the daemon serves, and the
+/// cache stores.
+pub fn deterministic_document(report: &SweepReport) -> String {
+    let mut text = crate::results::experiment_json(report, None).render();
+    text.push('\n');
+    text
+}
+
+/// Wrap one engine's output into a sweep [`RunResult`] at `index`.
+fn make_result(
+    compiled: &CompiledScenario,
+    index: usize,
+    system: String,
+    out: ScenarioRunOutput,
+    wall_secs: f64,
+) -> RunResult {
+    let args = scenario_args(compiled);
+    let meta = RunMeta::new(leaked_id(compiled), index, system, &args).duration(compiled.duration);
+    let mut metrics = RunMetrics::new(Rendered::Block(out.rendered))
+        .with_series(stats_to_json(&out.series))
+        .with_match_ratio(out.match_ratio);
+    metrics.report = Some(out.summary);
+    RunResult {
+        meta,
+        metrics,
+        wall_secs,
+    }
+}
+
+/// Assemble the scenario's [`SweepReport`] from its ordered run results.
+fn assemble(compiled: &CompiledScenario, results: Vec<RunResult>) -> SweepReport {
+    let spec = &compiled.spec;
+    let artifact: &'static str = intern(format!(
+        "Scenario '{}'{}{}",
+        spec.name,
+        if spec.description.is_empty() {
+            ""
+        } else {
+            ": "
+        },
+        spec.description
+    ));
     let mut rendered = format!(
         "# Scenario '{}' — {} phases, {} events, {} flows over {} epochs ({:.3} ms)\n",
         spec.name,
@@ -82,11 +218,46 @@ pub fn run(compiled: &CompiledScenario, jobs: usize) -> SweepReport {
         rendered.push_str(result.block());
     }
     SweepReport {
-        id,
+        id: leaked_id(compiled),
         artifact,
-        args,
+        args: scenario_args(compiled),
         results,
         rendered,
+    }
+}
+
+fn scenario_args(compiled: &CompiledScenario) -> Args {
+    Args {
+        duration: compiled.duration,
+        loads: Vec::new(),
+        seed: compiled.spec.seed,
+    }
+}
+
+/// Sweep metadata wants 'static strs; scenario names are made so by
+/// interning.
+fn leaked_id(compiled: &CompiledScenario) -> &'static str {
+    intern(format!("scenario-{}", compiled.spec.name))
+}
+
+/// Leak-once string interner. The CLI sees a handful of scenario names
+/// per process; the daemon sees the same names over and over — repeat
+/// submissions must not grow the heap without bound.
+fn intern(s: String) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static POOL: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut pool = POOL
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("intern pool");
+    match pool.get(s.as_str()) {
+        Some(&interned) => interned,
+        None => {
+            let leaked: &'static str = Box::leak(s.into_boxed_str());
+            pool.insert(leaked);
+            leaked
+        }
     }
 }
 
@@ -151,5 +322,49 @@ mod tests {
         let s = results::experiment_json(&serial, None).render();
         let p = results::experiment_json(&parallel, None).render();
         assert_eq!(s, p);
+    }
+
+    #[test]
+    fn serving_path_matches_batch_path_byte_for_byte() {
+        let c = compiled();
+        let batch = run(&c, 4);
+        let served = execute_with_progress(&c, None);
+        assert_eq!(batch.rendered, served.rendered);
+        assert_eq!(
+            deterministic_document(&batch),
+            deterministic_document(&served)
+        );
+    }
+
+    #[test]
+    fn batch_coalesces_identical_runs_and_fans_out() {
+        let c = compiled();
+        // The same scenario twice: 4 requested engine runs, 2 simulated.
+        let outcome = run_batch(&[c.clone(), c.clone()], 4);
+        assert_eq!(outcome.coalesced, 2);
+        assert_eq!(outcome.reports.len(), 2);
+        assert_eq!(outcome.reports[0].rendered, outcome.reports[1].rendered);
+        assert_eq!(
+            deterministic_document(&outcome.reports[0]),
+            deterministic_document(&outcome.reports[1])
+        );
+        // Fan-out must produce the same bytes as simulating separately.
+        let solo = run(&c, 4);
+        assert_eq!(outcome.reports[0].rendered, solo.rendered);
+        // Duplicates carry no wall cost of their own.
+        assert!(outcome.reports[1].runs_wall_secs() == 0.0);
+        assert!(outcome.reports[0].runs_wall_secs() > 0.0);
+        // Distinct scenarios coalesce nothing.
+        let other = compile(
+            parse_scenario(&SMOKE.replace("\"seed\": 5", "\"seed\": 6")).unwrap(),
+            Path::new("."),
+        )
+        .unwrap();
+        let outcome = run_batch(&[c, other], 4);
+        assert_eq!(outcome.coalesced, 0);
+        assert_ne!(
+            deterministic_document(&outcome.reports[0]),
+            deterministic_document(&outcome.reports[1])
+        );
     }
 }

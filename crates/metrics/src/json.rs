@@ -156,6 +156,45 @@ impl Json {
         out
     }
 
+    /// Render on a single line with no whitespace — the NDJSON event form
+    /// the serving daemon streams. Parses back to the same value as
+    /// [`Json::render`].
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null | Json::Bool(_) | Json::Num(_) | Json::UInt(_) | Json::Str(_) => {
+                self.write(out, 0)
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -621,6 +660,19 @@ mod tests {
         let v = text.find("schema_version").unwrap();
         let n = text.find("name").unwrap();
         assert!(v < n);
+    }
+
+    #[test]
+    fn compact_rendering_is_one_line_and_round_trips() {
+        let text = r#"{"a": [1, 2.5, {"b": null}], "c": "x\ny", "d": false, "e": {}}"#;
+        let j = Json::parse(text).unwrap();
+        let compact = j.render_compact();
+        assert!(!compact.contains('\n'), "{compact}");
+        assert_eq!(
+            compact,
+            r#"{"a":[1,2.5,{"b":null}],"c":"x\ny","d":false,"e":{}}"#
+        );
+        assert_eq!(Json::parse(&compact).unwrap(), j);
     }
 
     #[test]

@@ -29,5 +29,5 @@ pub mod report;
 pub use fct::{FctReport, FctSummary, FlowTracker, GoodputReport, RunReport, RunSummary};
 pub use json::{Json, SpannedJson};
 pub use matchratio::MatchRatioRecorder;
-pub use phase::{PhaseCounters, PhaseProbe, PhaseSnapshot};
+pub use phase::{PhaseCounters, PhaseObserver, PhaseProbe, PhaseSnapshot};
 pub use report::Table;

@@ -10,6 +10,8 @@
 //! deltas (goodput, match ratio) and FCT percentiles are derived after the
 //! run by `scenario::series`.
 
+use std::sync::Arc;
+
 use sim::time::Nanos;
 
 /// Cumulative engine counters at one instant of simulated time.
@@ -36,11 +38,28 @@ pub struct PhaseSnapshot {
     pub counters: PhaseCounters,
 }
 
+/// Callback fired when a boundary snapshot is recorded: `(phase index,
+/// boundary time)`. Observers are for *reporting* (streaming progress to a
+/// live client); they receive no counters and can influence nothing, so
+/// attaching one cannot perturb the simulation.
+pub type PhaseObserver = Arc<dyn Fn(usize, Nanos) + Send + Sync>;
+
 /// Collects cumulative counters at a fixed list of phase boundaries.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct PhaseProbe {
     boundaries: Vec<Nanos>,
     snaps: Vec<PhaseSnapshot>,
+    observer: Option<PhaseObserver>,
+}
+
+impl std::fmt::Debug for PhaseProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhaseProbe")
+            .field("boundaries", &self.boundaries)
+            .field("snaps", &self.snaps)
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
 }
 
 impl PhaseProbe {
@@ -53,7 +72,14 @@ impl PhaseProbe {
         PhaseProbe {
             boundaries,
             snaps: Vec::new(),
+            observer: None,
         }
+    }
+
+    /// Attach an observer notified as each boundary snapshot lands.
+    pub fn with_observer(mut self, observer: PhaseObserver) -> Self {
+        self.observer = Some(observer);
+        self
     }
 
     /// Has the next unrecorded boundary passed by `now`? Engines gate the
@@ -73,7 +99,7 @@ impl PhaseProbe {
             if b > now {
                 break;
             }
-            self.snaps.push(PhaseSnapshot { at: b, counters });
+            self.push(PhaseSnapshot { at: b, counters });
         }
     }
 
@@ -82,7 +108,16 @@ impl PhaseProbe {
     /// complete, leaving trailing boundaries unvisited).
     pub fn finish(&mut self, counters: PhaseCounters) {
         while let Some(&b) = self.boundaries.get(self.snaps.len()) {
-            self.snaps.push(PhaseSnapshot { at: b, counters });
+            self.push(PhaseSnapshot { at: b, counters });
+        }
+    }
+
+    fn push(&mut self, snap: PhaseSnapshot) {
+        let index = self.snaps.len();
+        let at = snap.at;
+        self.snaps.push(snap);
+        if let Some(observer) = &self.observer {
+            observer(index, at);
         }
     }
 
@@ -136,5 +171,20 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn boundaries_must_increase() {
         PhaseProbe::new(vec![10, 10]);
+    }
+
+    #[test]
+    fn observer_sees_each_boundary_once_in_order() {
+        use std::sync::Mutex;
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let mut p = PhaseProbe::new(vec![100, 200, 300])
+            .with_observer(Arc::new(move |i, at| sink.lock().unwrap().push((i, at))));
+        p.record(100, counters(1));
+        p.record(250, counters(2)); // crosses 200 only
+        p.finish(counters(3)); // stamps the trailing 300
+        assert_eq!(*seen.lock().unwrap(), vec![(0, 100), (1, 200), (2, 300)]);
+        // The snapshots themselves are unchanged by observation.
+        assert_eq!(p.snapshots().len(), 3);
     }
 }

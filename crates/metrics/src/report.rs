@@ -1,7 +1,7 @@
 //! Plain-text table rendering for the experiment harness.
 //!
 //! The harness regenerates the paper's tables and figure series as aligned
-//! text so `cargo run -p bench --bin paper` output can be compared to the
+//! text so `cargo run -p service --bin paper` output can be compared to the
 //! paper side by side.
 
 /// A simple column-aligned text table.

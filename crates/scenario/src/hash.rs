@@ -1,0 +1,313 @@
+//! Stable content addressing for compiled scenarios.
+//!
+//! The serving daemon and the batch CLI cache scenario results by
+//! content: two submissions that would produce byte-identical output must
+//! map to the same key, and any input that can change a single output
+//! byte must change it. Hashing the scenario *file* is not enough —
+//! formatting, key order and comments-by-another-name (defaulted fields)
+//! all change the bytes without changing the run — so the key is computed
+//! over the **compiled** scenario: the merged flow trace, the failure
+//! timeline, the phase boundaries, and every spec field that reaches the
+//! rendered report (name, description, labels, engines, mode, fabric).
+//!
+//! The hash is a fixed FNV-1a/64 over a canonical byte encoding — not
+//! `std::hash::Hasher`, whose output is explicitly unstable across
+//! releases and platforms, which would silently invalidate (or worse,
+//! mis-share) an on-disk cache.
+
+use crate::compile::CompiledScenario;
+use crate::spec::{EngineKind, WorkloadPhase};
+use negotiator::SchedulerMode;
+use topology::failures::LinkDir;
+use topology::FailureAction;
+
+/// Incremental FNV-1a (64-bit) over a canonical encoding. Deliberately
+/// boring: stability across builds and platforms is the whole point.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        StableHasher {
+            state: 0xCBF2_9CE4_8422_2325,
+        }
+    }
+
+    /// Feed raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self
+    }
+
+    /// Feed a length-prefixed string (prefixing prevents `"ab","c"` from
+    /// colliding with `"a","bc"`).
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_u64(s.len() as u64).write(s.as_bytes())
+    }
+
+    /// Feed a u64 as fixed-width little-endian bytes.
+    pub fn write_u64(&mut self, x: u64) -> &mut Self {
+        self.write(&x.to_le_bytes())
+    }
+
+    /// Feed an f64 via its exact bit pattern.
+    pub fn write_f64(&mut self, x: f64) -> &mut Self {
+        self.write_u64(x.to_bits())
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Render a digest the way cache files and wire messages carry it:
+/// 16 lowercase hex digits.
+pub fn hex(digest: u64) -> String {
+    format!("{digest:016x}")
+}
+
+impl CompiledScenario {
+    /// Content hash of everything that determines this scenario's output
+    /// bytes. Equal hashes ⇒ byte-identical reports (modulo timing
+    /// metadata, which is never cached or compared).
+    pub fn content_hash(&self) -> u64 {
+        let spec = &self.spec;
+        let mut h = StableHasher::new();
+        // A version tag so a future encoding change invalidates old cache
+        // entries instead of colliding with them.
+        h.write_str("scenario-content-v1");
+        h.write_str(&spec.name).write_str(&spec.description);
+        h.write_str(spec.topology.label());
+        h.write_u64(spec.net.n_tors as u64)
+            .write_u64(spec.net.n_ports as u64)
+            .write_u64(spec.net.port_bandwidth.bps())
+            .write_u64(spec.net.host_bandwidth.bps())
+            .write_u64(spec.net.propagation_delay);
+        hash_mode(&mut h, spec.mode);
+        h.write_u64(spec.seed);
+        h.write_u64(spec.engines.len() as u64);
+        for &engine in &spec.engines {
+            h.write_str(engine_tag(engine));
+        }
+        // Phase labels and spans reach the rendered per-phase table; the
+        // workload parameters themselves are captured by the merged trace
+        // below, but hashing them too costs nothing and guards against a
+        // future workload whose trace under-determines it.
+        h.write_u64(spec.phases.len() as u64);
+        for phase in &spec.phases {
+            h.write_str(&phase.label)
+                .write_u64(phase.start_epoch)
+                .write_u64(phase.end_epoch);
+            hash_workload(&mut h, &phase.workload);
+        }
+        h.write_u64(self.epoch_len).write_u64(self.duration);
+        h.write_u64(self.boundaries.len() as u64);
+        for &b in &self.boundaries {
+            h.write_u64(b);
+        }
+        h.write_u64(self.trace.len() as u64);
+        for flow in self.trace.flows() {
+            h.write_u64(flow.src as u64)
+                .write_u64(flow.dst as u64)
+                .write_u64(flow.bytes)
+                .write_u64(flow.arrival);
+        }
+        h.write_u64(self.failures.len() as u64);
+        for (at, action) in &self.failures {
+            h.write_u64(*at);
+            hash_failure(&mut h, action);
+        }
+        h.finish()
+    }
+
+    /// Content hash of one engine's run within this scenario — the unit
+    /// the batch runner dedupes on before dispatch.
+    pub fn run_hash(&self, engine: EngineKind) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_str("scenario-run-v1")
+            .write_u64(self.content_hash())
+            .write_str(engine_tag(engine));
+        h.finish()
+    }
+}
+
+fn engine_tag(engine: EngineKind) -> &'static str {
+    match engine {
+        EngineKind::Negotiator => "negotiator",
+        EngineKind::Oblivious => "oblivious",
+    }
+}
+
+fn hash_mode(h: &mut StableHasher, mode: SchedulerMode) {
+    match mode {
+        SchedulerMode::Base => {
+            h.write_str("base");
+        }
+        SchedulerMode::Iterative { rounds } => {
+            h.write_str("iterative").write_u64(rounds as u64);
+        }
+        SchedulerMode::DataSize => {
+            h.write_str("datasize");
+        }
+        SchedulerMode::HolDelay { alpha } => {
+            h.write_str("hol_delay").write_f64(alpha);
+        }
+        SchedulerMode::Stateful => {
+            h.write_str("stateful");
+        }
+        SchedulerMode::Projector => {
+            h.write_str("projector");
+        }
+    }
+}
+
+fn hash_workload(h: &mut StableHasher, workload: &WorkloadPhase) {
+    match workload {
+        WorkloadPhase::Poisson { dist, load } => {
+            h.write_str("poisson")
+                .write_str(dist.name())
+                .write_f64(*load);
+        }
+        WorkloadPhase::Incast {
+            degree,
+            flow_bytes,
+            every_epochs,
+        } => {
+            h.write_str("incast")
+                .write_u64(*degree as u64)
+                .write_u64(*flow_bytes)
+                .write_u64(every_epochs.map_or(u64::MAX, |e| e));
+        }
+        WorkloadPhase::AllToAll { flow_bytes } => {
+            h.write_str("all_to_all").write_u64(*flow_bytes);
+        }
+        WorkloadPhase::Trace { path } => {
+            h.write_str("trace").write_str(path);
+        }
+    }
+}
+
+fn hash_failure(h: &mut StableHasher, action: &FailureAction) {
+    match action {
+        FailureAction::FailRandom { ratio, seed } => {
+            h.write_str("fail_random")
+                .write_f64(*ratio)
+                .write_u64(*seed);
+        }
+        FailureAction::RepairAll => {
+            h.write_str("repair_all");
+        }
+        FailureAction::FailLink { tor, port, dir } => {
+            h.write_str("fail_link")
+                .write_u64(*tor as u64)
+                .write_u64(*port as u64)
+                .write_str(match dir {
+                    LinkDir::Egress => "egress",
+                    LinkDir::Ingress => "ingress",
+                });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::spec::parse_scenario;
+    use std::path::Path;
+
+    fn compiled(text: &str) -> CompiledScenario {
+        compile(parse_scenario(text).unwrap(), Path::new(".")).unwrap()
+    }
+
+    fn base(name: &str, seed: u64, load: u64) -> String {
+        format!(
+            r#"{{
+  "name": "{name}", "topology": "parallel", "tors": 16, "ports": 4,
+  "seed": {seed},
+  "phases": [{{"workload": "poisson", "load": {load}, "epochs": [0, 20]}}]
+}}"#
+        )
+    }
+
+    #[test]
+    fn identical_specs_hash_identically() {
+        let a = compiled(&base("same", 3, 50));
+        let b = compiled(&base("same", 3, 50));
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_eq!(
+            a.run_hash(EngineKind::Negotiator),
+            b.run_hash(EngineKind::Negotiator)
+        );
+    }
+
+    #[test]
+    fn formatting_does_not_change_the_hash() {
+        // Same scenario, reordered keys and different whitespace.
+        let a = compiled(&base("fmt", 3, 50));
+        let b = compiled(
+            r#"{ "phases": [{"epochs": [0, 20], "load": 50, "workload": "poisson"}],
+                 "seed": 3, "ports": 4, "tors": 16, "topology": "parallel", "name": "fmt" }"#,
+        );
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn every_output_relevant_field_moves_the_hash() {
+        let anchor = compiled(&base("anchor", 3, 50)).content_hash();
+        for other in [
+            base("renamed", 3, 50), // name reaches the report header
+            base("anchor", 4, 50),  // seed changes the workload + engine RNG
+            base("anchor", 3, 60),  // load changes the trace
+        ] {
+            assert_ne!(compiled(&other).content_hash(), anchor, "{other}");
+        }
+        // A description only changes the artifact line, but that line is
+        // output surface too.
+        let described =
+            base("anchor", 3, 50).replace("\"seed\": 3,", "\"seed\": 3, \"description\": \"d\",");
+        assert_ne!(compiled(&described).content_hash(), anchor);
+        // Engines differ per run.
+        let c = compiled(&base("anchor", 3, 50));
+        assert_ne!(
+            c.run_hash(EngineKind::Negotiator),
+            c.run_hash(EngineKind::Oblivious)
+        );
+    }
+
+    #[test]
+    fn hex_digest_is_16_lowercase_digits() {
+        let c = compiled(&base("hexy", 1, 50));
+        let digest = hex(c.content_hash());
+        assert_eq!(digest.len(), 16);
+        assert!(digest.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(digest, digest.to_lowercase());
+    }
+
+    #[test]
+    fn hasher_is_order_and_boundary_sensitive() {
+        let mut a = StableHasher::new();
+        a.write_str("ab").write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a").write_str("bc");
+        assert_ne!(a.finish(), b.finish(), "length prefixes keep fields apart");
+        let mut c = StableHasher::new();
+        c.write_u64(1).write_u64(2);
+        let mut d = StableHasher::new();
+        d.write_u64(2).write_u64(1);
+        assert_ne!(c.finish(), d.finish());
+    }
+}

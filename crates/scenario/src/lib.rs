@@ -39,11 +39,16 @@
 //! determinism suite.
 
 pub mod compile;
+pub mod hash;
 pub mod runner;
 pub mod series;
 pub mod spec;
 
 pub use compile::{compile, CompiledScenario};
-pub use runner::{build_runs, ScenarioRun, ScenarioRunOutput};
+pub use hash::StableHasher;
+pub use runner::{
+    build_runs, build_runs_with_progress, PhaseProgress, ProgressSink, ScenarioRun,
+    ScenarioRunOutput,
+};
 pub use series::PhaseStat;
 pub use spec::{parse_scenario, EngineKind, PhaseSpec, ScenarioSpec, WorkloadPhase};

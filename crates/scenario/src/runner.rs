@@ -14,6 +14,25 @@ use metrics::{PhaseProbe, RunSummary};
 use negotiator::{NegotiatorConfig, NegotiatorSim, SimOptions};
 use oblivious::{ObliviousConfig, ObliviousSim};
 
+/// One live progress notification: a phase boundary just passed inside a
+/// running engine. Purely observational — sinks receive no counters and
+/// cannot influence the run, so attaching one preserves byte-identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseProgress {
+    /// System label of the run reporting progress (`nego/parallel`, ...).
+    pub system: String,
+    /// Index of the phase that just completed (0-based).
+    pub phase: usize,
+    /// Total number of phases in the scenario.
+    pub phases: usize,
+    /// Label of the completed phase.
+    pub label: String,
+}
+
+/// Shared callback the daemon hands to a run to stream per-phase progress
+/// while the simulation executes on a worker thread.
+pub type ProgressSink = Arc<dyn Fn(PhaseProgress) + Send + Sync>;
+
 /// What one scenario run measured.
 #[derive(Debug, Clone)]
 pub struct ScenarioRunOutput {
@@ -37,6 +56,15 @@ pub struct ScenarioRun {
 
 /// Build the scenario's runs, one per engine in spec order.
 pub fn build_runs(compiled: &CompiledScenario) -> Vec<ScenarioRun> {
+    build_runs_with_progress(compiled, None)
+}
+
+/// [`build_runs`] with an optional live progress sink, invoked from the
+/// worker thread as each engine crosses each phase boundary.
+pub fn build_runs_with_progress(
+    compiled: &CompiledScenario,
+    progress: Option<ProgressSink>,
+) -> Vec<ScenarioRun> {
     compiled
         .spec
         .engines
@@ -45,15 +73,48 @@ pub fn build_runs(compiled: &CompiledScenario) -> Vec<ScenarioRun> {
             let system = engine.label(compiled.spec.topology);
             let compiled = compiled.clone(); // Arc-shared trace, cloned spec
             let sys = system.clone();
+            let progress = progress.clone();
             ScenarioRun {
                 system,
-                run: Box::new(move || run_engine(engine, &compiled, &sys)),
+                run: Box::new(move || run_engine(engine, &compiled, &sys, progress)),
             }
         })
         .collect()
 }
 
-fn run_engine(engine: EngineKind, compiled: &CompiledScenario, system: &str) -> ScenarioRunOutput {
+/// Probe for this run's boundaries, wired to `progress` when present.
+fn make_probe(
+    compiled: &CompiledScenario,
+    system: &str,
+    progress: Option<ProgressSink>,
+) -> PhaseProbe {
+    let probe = PhaseProbe::new(compiled.boundaries.clone());
+    let Some(sink) = progress else {
+        return probe;
+    };
+    let labels: Vec<String> = compiled
+        .spec
+        .phases
+        .iter()
+        .map(|p| p.label.clone())
+        .collect();
+    let system = system.to_string();
+    probe.with_observer(Arc::new(move |index, _at| {
+        sink(PhaseProgress {
+            system: system.clone(),
+            phase: index,
+            phases: labels.len(),
+            label: labels.get(index).cloned().unwrap_or_default(),
+        });
+    }))
+}
+
+fn run_engine(
+    engine: EngineKind,
+    compiled: &CompiledScenario,
+    system: &str,
+    progress: Option<ProgressSink>,
+) -> ScenarioRunOutput {
     let spec = &compiled.spec;
     let trace = Arc::clone(&compiled.trace);
     // Engine-internal randomness (arbiter rings, VLB spray) follows the
@@ -75,7 +136,7 @@ fn run_engine(engine: EngineKind, compiled: &CompiledScenario, system: &str) -> 
             for (at, action) in &compiled.failures {
                 sim.schedule_failure(*at, action.clone());
             }
-            sim.set_phase_probe(PhaseProbe::new(compiled.boundaries.clone()));
+            sim.set_phase_probe(make_probe(compiled, system, progress));
             let mut report = sim.run(&trace, compiled.duration);
             let stats = series::phase_stats(
                 compiled,
@@ -96,7 +157,7 @@ fn run_engine(engine: EngineKind, compiled: &CompiledScenario, system: &str) -> 
             for (at, action) in &compiled.failures {
                 sim.schedule_failure(*at, action.clone());
             }
-            sim.set_phase_probe(PhaseProbe::new(compiled.boundaries.clone()));
+            sim.set_phase_probe(make_probe(compiled, system, progress));
             let mut report = sim.run(&trace, compiled.duration);
             let stats = series::phase_stats(
                 compiled,
@@ -191,6 +252,36 @@ mod tests {
             g[1] < g[0] * 0.97 && g[1] < g[2],
             "failures must dent phase 1: {g:?}"
         );
+    }
+
+    #[test]
+    fn progress_sink_sees_every_phase_and_changes_nothing() {
+        use std::sync::Mutex;
+        let c = compiled("");
+        let plain: Vec<_> = build_runs(&c)
+            .into_iter()
+            .map(|r| (r.run)().rendered)
+            .collect();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink: ProgressSink = {
+            let seen = Arc::clone(&seen);
+            Arc::new(move |p: PhaseProgress| seen.lock().unwrap().push(p))
+        };
+        let observed: Vec<_> = build_runs_with_progress(&c, Some(sink))
+            .into_iter()
+            .map(|r| (r.run)().rendered)
+            .collect();
+        assert_eq!(plain, observed, "observation must not perturb the run");
+        let events = seen.lock().unwrap();
+        // Two engines × two phases, in order per engine.
+        assert_eq!(events.len(), 4, "{events:?}");
+        for run in events.chunks(2) {
+            assert_eq!(run[0].phase, 0);
+            assert_eq!(run[0].label, "calm");
+            assert_eq!(run[1].phase, 1);
+            assert_eq!(run[1].label, "storm");
+            assert!(run.iter().all(|p| p.phases == 2));
+        }
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! The `paper submit` client: submit a scenario over the daemon's wire
+//! protocol and stream progress until the result document arrives.
+//!
+//! The streaming response is NDJSON progress lines followed by a
+//! `{"event":"result","bytes":N,...}` marker and exactly `N` raw bytes of
+//! result document, so the document's bytes pass through untouched —
+//! which is what lets the CI smoke job `cmp` them against an offline run.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use metrics::Json;
+
+use crate::http::{header_value, read_response_head};
+
+/// Where a submission's result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Served from the content-addressed cache without simulating.
+    CacheHit,
+    /// Simulated by this submission.
+    Simulated,
+    /// Attached to an identical job another submission already had in
+    /// flight.
+    Coalesced,
+}
+
+impl Disposition {
+    fn from_wire(label: &str) -> Disposition {
+        match label {
+            "hit" => Disposition::CacheHit,
+            "coalesced" => Disposition::Coalesced,
+            _ => Disposition::Simulated,
+        }
+    }
+}
+
+/// A completed submission.
+#[derive(Debug, Clone)]
+pub struct SubmitOutcome {
+    /// The deterministic result document (trailing newline included) —
+    /// byte-identical to `paper scenario <file> --json --no-timing`.
+    pub document: String,
+    /// Where the result came from.
+    pub disposition: Disposition,
+}
+
+/// Submit `scenario_text` to the daemon at `addr`, invoking `on_event`
+/// for every progress event, and return the result document.
+pub fn submit(
+    addr: &str,
+    scenario_text: &str,
+    priority: i64,
+    mut on_event: impl FnMut(&Json),
+) -> Result<SubmitOutcome, String> {
+    let path = format!("/jobs?stream=1&priority={priority}");
+    let stream = request(addr, "POST", &path, scenario_text.as_bytes())?;
+    let mut reader = BufReader::new(stream);
+    let (status, _headers) = read_response_head(&mut reader)?;
+    if status != 200 {
+        return Err(read_error(&mut reader, status));
+    }
+    // Progress lines until the result marker, then exactly `bytes` bytes.
+    loop {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("reading event stream: {e}"))?;
+        if n == 0 {
+            return Err("daemon closed the stream before a result".to_string());
+        }
+        let event =
+            Json::parse(line.trim_end()).map_err(|e| format!("malformed event {line:?}: {e}"))?;
+        match event.get("event").and_then(Json::as_str) {
+            Some("result") => {
+                let bytes = event
+                    .get("bytes")
+                    .and_then(Json::as_u64)
+                    .ok_or("result marker without a byte count")?
+                    as usize;
+                let disposition = event
+                    .get("cache")
+                    .and_then(Json::as_str)
+                    .map(Disposition::from_wire)
+                    .unwrap_or(Disposition::Simulated);
+                let mut body = vec![0u8; bytes];
+                reader
+                    .read_exact(&mut body)
+                    .map_err(|e| format!("reading {bytes}-byte result: {e}"))?;
+                let document = String::from_utf8(body)
+                    .map_err(|_| "result document is not UTF-8".to_string())?;
+                return Ok(SubmitOutcome {
+                    document,
+                    disposition,
+                });
+            }
+            Some("error") => {
+                let message = event
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unspecified daemon error");
+                return Err(format!("job failed: {message}"));
+            }
+            _ => on_event(&event),
+        }
+    }
+}
+
+/// One non-streaming request; returns `(status, body)`.
+pub fn request_json(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> Result<(u16, String), String> {
+    let stream = request(addr, method, path, body)?;
+    let mut reader = BufReader::new(stream);
+    let (status, headers) = read_response_head(&mut reader)?;
+    let text = match header_value(&headers, "content-length") {
+        Some(v) => {
+            let len: usize = v
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad content-length {v:?}"))?;
+            let mut buf = vec![0u8; len];
+            reader
+                .read_exact(&mut buf)
+                .map_err(|e| format!("reading body: {e}"))?;
+            String::from_utf8(buf).map_err(|_| "body is not UTF-8".to_string())?
+        }
+        None => {
+            let mut buf = String::new();
+            reader
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("reading body: {e}"))?;
+            buf
+        }
+    };
+    Ok((status, text))
+}
+
+fn request(addr: &str, method: &str, path: &str, body: &[u8]) -> Result<TcpStream, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    )
+    .and_then(|()| stream.write_all(body))
+    .and_then(|()| stream.flush())
+    .map_err(|e| format!("sending request to {addr}: {e}"))?;
+    Ok(stream)
+}
+
+fn read_error(reader: &mut impl BufRead, status: u16) -> String {
+    let mut body = String::new();
+    let _ = reader.read_to_string(&mut body);
+    let message = Json::parse(body.trim())
+        .ok()
+        .and_then(|doc| doc.get("error").and_then(Json::as_str).map(str::to_string))
+        .unwrap_or(body);
+    format!("daemon returned {status}: {}", message.trim())
+}

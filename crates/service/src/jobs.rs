@@ -1,0 +1,386 @@
+//! The daemon's job table: every submission becomes a [`Job`] that moves
+//! `Queued → Running → Done/Failed` (or `Cancelled` while still queued),
+//! accumulating progress events along the way. Any number of followers —
+//! the submitting connection in stream mode, later `GET /jobs/<id>`
+//! polls — observe the same record; a condvar wakes streamers as events
+//! land. The table also carries the in-flight index keyed by content
+//! hash, which is what lets a duplicate submission coalesce onto a job
+//! that is already queued or running instead of simulating again.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use metrics::Json;
+
+/// Where a job stands. Terminal states carry what the follower needs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is simulating it.
+    Running,
+    /// Finished; the deterministic result document.
+    Done(Arc<String>),
+    /// The run failed (scenario panicked or the cache write trapped a
+    /// fatal I/O error).
+    Failed(String),
+    /// Cancelled while still queued; it never simulated.
+    Cancelled,
+}
+
+impl JobState {
+    /// Short wire label for status JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done(_) => "done",
+            JobState::Failed(_) => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Has the job reached a state it can never leave?
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+struct JobInner {
+    state: JobState,
+    events: Vec<Json>,
+}
+
+/// One submission's shared record.
+pub struct Job {
+    /// Job id, unique per daemon process.
+    pub id: u64,
+    /// Content hash of the compiled scenario.
+    pub hash: u64,
+    /// Scenario name (diagnostics; the hash is the identity).
+    pub name: String,
+    inner: Mutex<JobInner>,
+    changed: Condvar,
+}
+
+/// What a blocking follower gets next.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Follow {
+    /// New progress events since the follower's cursor.
+    Events(Vec<Json>),
+    /// Terminal: the job's final state (never `Queued`/`Running`).
+    Finished(JobState),
+}
+
+impl Job {
+    fn new(id: u64, hash: u64, name: String) -> Arc<Job> {
+        Arc::new(Job {
+            id,
+            hash,
+            name,
+            inner: Mutex::new(JobInner {
+                state: JobState::Queued,
+                events: Vec::new(),
+            }),
+            changed: Condvar::new(),
+        })
+    }
+
+    /// Current state (cloned).
+    pub fn state(&self) -> JobState {
+        self.inner.lock().expect("job").state.clone()
+    }
+
+    /// All events recorded so far (cloned).
+    pub fn events(&self) -> Vec<Json> {
+        self.inner.lock().expect("job").events.clone()
+    }
+
+    /// Append a progress event and wake followers.
+    pub fn push_event(&self, event: Json) {
+        let mut inner = self.inner.lock().expect("job");
+        inner.events.push(event);
+        self.changed.notify_all();
+    }
+
+    /// Move `Queued → Running`. Returns `false` (a no-op) if the job was
+    /// cancelled first — the executor must then skip the simulation.
+    pub fn start(&self) -> bool {
+        let mut inner = self.inner.lock().expect("job");
+        if inner.state != JobState::Queued {
+            return false;
+        }
+        inner.state = JobState::Running;
+        self.changed.notify_all();
+        true
+    }
+
+    /// Enter a terminal state and wake every follower. No-op if already
+    /// terminal (a cancel that raced a completion loses).
+    pub fn finish(&self, state: JobState) {
+        assert!(state.is_terminal(), "finish takes a terminal state");
+        let mut inner = self.inner.lock().expect("job");
+        if inner.state.is_terminal() {
+            return;
+        }
+        inner.state = state;
+        self.changed.notify_all();
+    }
+
+    /// Cancel if still queued. `true` when the cancellation won.
+    pub fn cancel(&self) -> bool {
+        let mut inner = self.inner.lock().expect("job");
+        if inner.state != JobState::Queued {
+            return false;
+        }
+        inner.state = JobState::Cancelled;
+        self.changed.notify_all();
+        true
+    }
+
+    /// Block until there is something past `cursor`: either new events
+    /// (cursor advances) or the terminal state once all events are drained.
+    pub fn follow(&self, cursor: &mut usize) -> Follow {
+        let mut inner = self.inner.lock().expect("job");
+        loop {
+            if inner.events.len() > *cursor {
+                let fresh = inner.events[*cursor..].to_vec();
+                *cursor = inner.events.len();
+                return Follow::Events(fresh);
+            }
+            if inner.state.is_terminal() {
+                return Follow::Finished(inner.state.clone());
+            }
+            inner = self.changed.wait(inner).expect("job");
+        }
+    }
+}
+
+/// Terminal jobs retained for `GET /jobs/<id>` history before the oldest
+/// are evicted. Results survive eviction anyway — they live in the
+/// content-addressed cache — so this only bounds status history, keeping
+/// a long-lived daemon's memory flat under a stream of submissions.
+pub const MAX_RETAINED_JOBS: usize = 256;
+
+/// The daemon's registry of jobs, plus the in-flight (hash → job) index
+/// used to coalesce duplicate submissions.
+#[derive(Default)]
+pub struct JobTable {
+    next_id: AtomicU64,
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+    in_flight: Mutex<HashMap<u64, Arc<Job>>>,
+    coalesced: AtomicUsize,
+    served: AtomicUsize,
+}
+
+/// How a submission was admitted.
+pub enum Admission {
+    /// A new job was created; the caller must dispatch it.
+    New(Arc<Job>),
+    /// An identical job (same content hash) is already in flight; the
+    /// caller follows it instead of dispatching anything.
+    Coalesced(Arc<Job>),
+}
+
+impl JobTable {
+    /// Fresh, empty table.
+    pub fn new() -> JobTable {
+        JobTable::default()
+    }
+
+    /// Admit a submission for `hash`: attach to an in-flight twin when
+    /// one exists, otherwise register a new queued job.
+    pub fn admit(&self, hash: u64, name: &str) -> Admission {
+        let mut in_flight = self.in_flight.lock().expect("in-flight index");
+        if let Some(job) = in_flight.get(&hash) {
+            if !job.state().is_terminal() {
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                return Admission::Coalesced(Arc::clone(job));
+            }
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let job = Job::new(id, hash, name.to_string());
+        in_flight.insert(hash, Arc::clone(&job));
+        self.served.fetch_add(1, Ordering::Relaxed);
+        let mut jobs = self.jobs.lock().expect("job registry");
+        jobs.insert(id, Arc::clone(&job));
+        // Keep the registry bounded: evict the oldest *terminal* jobs
+        // beyond the cap (live jobs are never evicted; followers hold
+        // their own Arc, so an evicted record only leaves the id lookup).
+        if jobs.len() > MAX_RETAINED_JOBS {
+            let mut terminal: Vec<u64> = jobs
+                .iter()
+                .filter(|(_, j)| j.state().is_terminal())
+                .map(|(&id, _)| id)
+                .collect();
+            terminal.sort_unstable();
+            let excess = jobs.len().saturating_sub(MAX_RETAINED_JOBS);
+            for id in terminal.into_iter().take(excess) {
+                jobs.remove(&id);
+            }
+        }
+        Admission::New(job)
+    }
+
+    /// Drop `job` from the in-flight index (call on any terminal
+    /// transition, so a resubmission starts fresh instead of attaching to
+    /// a finished record).
+    pub fn retire(&self, job: &Job) {
+        let mut in_flight = self.in_flight.lock().expect("in-flight index");
+        if let Some(current) = in_flight.get(&job.hash) {
+            if current.id == job.id {
+                in_flight.remove(&job.hash);
+            }
+        }
+    }
+
+    /// Look up a job by id.
+    pub fn get(&self, id: u64) -> Option<Arc<Job>> {
+        self.jobs.lock().expect("job registry").get(&id).cloned()
+    }
+
+    /// `(total jobs ever admitted, currently non-terminal, coalesced
+    /// submissions)`. The total counts admissions, not retained records —
+    /// old terminal jobs are evicted past [`MAX_RETAINED_JOBS`].
+    pub fn stats(&self) -> (usize, usize, usize) {
+        let jobs = self.jobs.lock().expect("job registry");
+        let active = jobs.values().filter(|j| !j.state().is_terminal()).count();
+        (
+            self.served.load(Ordering::Relaxed),
+            active,
+            self.coalesced.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_and_follow() {
+        let table = JobTable::new();
+        let Admission::New(job) = table.admit(42, "s") else {
+            panic!("fresh hash must admit a new job")
+        };
+        assert_eq!(job.state(), JobState::Queued);
+        assert!(job.start());
+        job.push_event(Json::Str("e0".into()));
+        job.push_event(Json::Str("e1".into()));
+        let mut cursor = 0;
+        assert_eq!(
+            job.follow(&mut cursor),
+            Follow::Events(vec![Json::Str("e0".into()), Json::Str("e1".into())])
+        );
+        let doc = Arc::new("{}\n".to_string());
+        job.finish(JobState::Done(Arc::clone(&doc)));
+        table.retire(&job);
+        assert_eq!(
+            job.follow(&mut cursor),
+            Follow::Finished(JobState::Done(doc))
+        );
+        assert_eq!(table.get(job.id).unwrap().id, job.id);
+        assert!(table.get(999).is_none());
+    }
+
+    #[test]
+    fn duplicate_hash_coalesces_until_retired() {
+        let table = JobTable::new();
+        let Admission::New(first) = table.admit(7, "a") else {
+            panic!("new")
+        };
+        let Admission::Coalesced(twin) = table.admit(7, "a") else {
+            panic!("in-flight twin must coalesce")
+        };
+        assert_eq!(twin.id, first.id);
+        assert_eq!(table.stats().2, 1, "one coalesced submission counted");
+        // A different hash is its own job.
+        let Admission::New(other) = table.admit(8, "b") else {
+            panic!("new")
+        };
+        assert_ne!(other.id, first.id);
+        // After the job retires, the same hash admits fresh again.
+        first.start();
+        first.finish(JobState::Done(Arc::new(String::new())));
+        table.retire(&first);
+        let Admission::New(fresh) = table.admit(7, "a") else {
+            panic!("retired hash must admit a new job")
+        };
+        assert_ne!(fresh.id, first.id);
+    }
+
+    #[test]
+    fn cancel_only_wins_while_queued() {
+        let table = JobTable::new();
+        let Admission::New(job) = table.admit(1, "c") else {
+            panic!("new")
+        };
+        assert!(job.cancel());
+        assert_eq!(job.state(), JobState::Cancelled);
+        // The executor then refuses to start it.
+        assert!(!job.start());
+        // Cancelling again (or after finish) is a no-op.
+        assert!(!job.cancel());
+        let Admission::New(running) = table.admit(2, "r") else {
+            panic!("new")
+        };
+        running.start();
+        assert!(!running.cancel(), "running jobs complete");
+    }
+
+    #[test]
+    fn terminal_jobs_are_evicted_past_the_cap_live_ones_never() {
+        let table = JobTable::new();
+        let Admission::New(live) = table.admit(0, "live") else {
+            panic!("new")
+        };
+        live.start(); // stays Running for the whole test
+        for i in 1..=(MAX_RETAINED_JOBS as u64 + 50) {
+            let Admission::New(job) = table.admit(i, "churn") else {
+                panic!("distinct hashes always admit")
+            };
+            job.start();
+            job.finish(JobState::Done(Arc::new(String::new())));
+            table.retire(&job);
+        }
+        // The registry is bounded; the oldest terminal records are gone,
+        // the newest and the live one remain; totals still count it all.
+        let (served, active, _) = table.stats();
+        assert_eq!(served, MAX_RETAINED_JOBS + 51);
+        assert_eq!(active, 1);
+        assert!(table.get(live.id).is_some(), "live jobs are never evicted");
+        assert!(table.get(2).is_none(), "oldest terminal job evicted");
+        let newest = MAX_RETAINED_JOBS as u64 + 50;
+        assert!(table.get(newest + 1).is_some(), "newest job retained");
+    }
+
+    #[test]
+    fn followers_wake_across_threads() {
+        let table = JobTable::new();
+        let Admission::New(job) = table.admit(3, "w") else {
+            panic!("new")
+        };
+        let follower = {
+            let job = Arc::clone(&job);
+            std::thread::spawn(move || {
+                let mut cursor = 0;
+                let mut seen = Vec::new();
+                loop {
+                    match job.follow(&mut cursor) {
+                        Follow::Events(events) => seen.extend(events),
+                        Follow::Finished(state) => return (seen, state),
+                    }
+                }
+            })
+        };
+        job.start();
+        for i in 0..3u64 {
+            job.push_event(Json::UInt(i));
+        }
+        job.finish(JobState::Failed("boom".into()));
+        let (seen, state) = follower.join().expect("follower");
+        assert_eq!(seen, vec![Json::UInt(0), Json::UInt(1), Json::UInt(2)]);
+        assert_eq!(state, JobState::Failed("boom".into()));
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! The scenario-serving subsystem: a long-running daemon in front of the
+//! deterministic scenario/sweep core.
+//!
+//! After the batch harness (`bench`) every run was a one-shot CLI
+//! invocation paying full simulation cost even for inputs already
+//! computed. This crate adds the serving layer:
+//!
+//! * [`server`] — `paper serve`: a hand-rolled HTTP/1.1 daemon
+//!   (`std::net::TcpListener`, no external dependencies) that validates
+//!   scenario submissions with the strict `scenario` validator, queues
+//!   them on a prioritized [`sim::pool::WorkerPool`], streams per-phase
+//!   progress (via `metrics::PhaseProbe` boundary observers) and returns
+//!   result documents **byte-identical** to an offline
+//!   `paper scenario <file> --json --no-timing` run.
+//! * [`client`] — `paper submit`: the matching wire client.
+//! * [`jobs`] — the job table: states, progress events, followers, and
+//!   the in-flight index that coalesces duplicate submissions.
+//! * [`http`] — the shared minimal HTTP/1.1 reader/writer pair.
+//! * [`library`] — the machine-readable scenario-library listing behind
+//!   `paper list --json` and `GET /scenarios`.
+//!
+//! Identity of work is content, not text: submissions are keyed by
+//! `scenario::hash` — a stable digest over the *compiled* scenario — and
+//! results live in the content-addressed cache (`bench::cache`) that the
+//! batch CLI shares, so the daemon and `paper scenario` populate each
+//! other.
+
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod library;
+pub mod server;
+
+pub use client::{submit, Disposition, SubmitOutcome};
+pub use server::{serve_forever, ServeConfig, Server};

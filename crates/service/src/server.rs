@@ -1,0 +1,680 @@
+//! The scenario-serving daemon.
+//!
+//! A long-running process built on the blocking `std::net` stack: an
+//! accept loop hands each connection to a short-lived handler thread
+//! (one request per connection), submissions are validated and compiled
+//! with the scenario crate's strict validator **before** anything is
+//! queued, and accepted jobs drain through a [`sim::pool::WorkerPool`] —
+//! the same worker discipline the batch sweep engine uses. Results are
+//! byte-identical to an offline `paper scenario <file> --json
+//! --no-timing` run because both paths execute the same compiled runs
+//! and assemble through `bench::scenario`.
+//!
+//! In front of the queue sits the content-addressed result cache
+//! (`bench::cache`, shared on disk with the CLI): a submission whose
+//! compiled content hash is already stored returns immediately without
+//! simulating, and an identical submission already *in flight* coalesces
+//! onto the running job instead of spawning a twin.
+//!
+//! Shutdown is graceful by construction: SIGTERM/ctrl-c (or `POST
+//! /shutdown`) flips the draining flag — new submissions get a clear
+//! `503`, everything already accepted runs to completion, streaming
+//! clients receive their results, and cache entries only ever land via
+//! write-to-temp + rename, so no signal timing can leave a torn file.
+//!
+//! Wire protocol (documented with examples in the README "Service"
+//! section):
+//!
+//! | Endpoint                  | Meaning                                       |
+//! |---------------------------|-----------------------------------------------|
+//! | `GET /healthz`            | liveness + queue statistics                   |
+//! | `GET /scenarios`          | machine-readable library listing              |
+//! | `POST /jobs`              | submit scenario JSON (`?stream=1`, `?wait=1`, |
+//! |                           | `?priority=N`)                                |
+//! | `GET /jobs/<id>`          | status + progress events                      |
+//! | `GET /jobs/<id>/result`   | the result document once done                 |
+//! | `DELETE /jobs/<id>`       | cancel a still-queued job                     |
+//! | `POST /shutdown`          | begin graceful shutdown                       |
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use bench::cache::{CacheEntry, ResultCache};
+use bench::scenario::{deterministic_document, execute_with_progress, load_str};
+use metrics::Json;
+use scenario::hash::hex;
+use scenario::{CompiledScenario, PhaseProgress, ProgressSink};
+use sim::pool::WorkerPool;
+
+use crate::http::{read_request, respond, start_stream, Request};
+use crate::jobs::{Admission, Follow, Job, JobState, JobTable};
+use crate::library::library_json;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, `HOST:PORT` (port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads draining the job queue.
+    pub jobs: usize,
+    /// Results directory; the shared cache lives at `<out>/cache`.
+    pub out: PathBuf,
+    /// Scenario library directory (`GET /scenarios`); also anchors
+    /// relative trace paths inside submitted scenarios.
+    pub scenarios_dir: PathBuf,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: bench::cli::DEFAULT_ADDR.to_string(),
+            jobs: sim::pool::default_jobs(),
+            out: PathBuf::from("results"),
+            scenarios_dir: PathBuf::from("scenarios"),
+        }
+    }
+}
+
+struct ServerState {
+    config: ServeConfig,
+    cache: ResultCache,
+    table: JobTable,
+    pool: Mutex<Option<WorkerPool>>,
+    /// Submissions are rejected (503) the moment this flips; status and
+    /// result queries keep working while accepted jobs drain.
+    draining: AtomicBool,
+    /// The accept loop exits only here, after the drain completes.
+    closed: AtomicBool,
+}
+
+/// A running daemon: bind address, background accept loop, worker pool.
+/// [`Server::shutdown`] (or dropping the handle) drains gracefully.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `config.addr` and start serving in background threads.
+    pub fn start(config: ServeConfig) -> Result<Server, String> {
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("nonblocking listener: {e}"))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("local addr: {e}"))?;
+        let state = Arc::new(ServerState {
+            cache: ResultCache::new(config.out.join("cache")),
+            pool: Mutex::new(Some(WorkerPool::new(config.jobs))),
+            table: JobTable::new(),
+            draining: AtomicBool::new(false),
+            closed: AtomicBool::new(false),
+            config,
+        });
+        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let state = Arc::clone(&state);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || accept_loop(&listener, &state, &conns))
+        };
+        Ok(Server {
+            addr,
+            state,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Has graceful shutdown begun (signal, `POST /shutdown`, or
+    /// [`Server::shutdown`])?
+    pub fn draining(&self) -> bool {
+        self.state.draining.load(Ordering::SeqCst)
+    }
+
+    /// Drain gracefully: reject new submissions with a clear 503 (status
+    /// and result queries keep answering), run every accepted job to
+    /// completion, flush streaming clients, then stop accepting and join
+    /// all threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+        if let Some(mut pool) = self.state.pool.lock().expect("pool").take() {
+            pool.shutdown();
+        }
+        self.state.closed.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let handles: Vec<_> = self.conns.lock().expect("connections").drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Run the daemon in the foreground until SIGTERM/ctrl-c (unix) or
+/// `POST /shutdown`, then drain and return.
+pub fn serve_forever(config: ServeConfig) -> Result<(), String> {
+    install_signal_handlers();
+    let mut server = Server::start(config)?;
+    eprintln!(
+        "[serving on http://{} — cache {}, {} workers; ctrl-c or POST /shutdown to drain]",
+        server.addr(),
+        server.state.cache.dir().display(),
+        server.state.config.jobs,
+    );
+    while !signal_received() && !server.draining() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("[shutdown requested — draining in-flight jobs]");
+    server.shutdown();
+    let (total, _, coalesced) = server.state.table.stats();
+    eprintln!("[drained; {total} jobs served, {coalesced} coalesced]");
+    Ok(())
+}
+
+// -------------------------------------------------------------------
+// Signal plumbing: a flag flip is all a handler may safely do.
+// -------------------------------------------------------------------
+
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+fn signal_received() -> bool {
+    SIGNALLED.load(Ordering::SeqCst)
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32);
+    unsafe {
+        signal(SIGINT, handler as usize);
+        signal(SIGTERM, handler as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {
+    // No portable std signal API; `POST /shutdown` remains available.
+}
+
+// -------------------------------------------------------------------
+// Accept + dispatch
+// -------------------------------------------------------------------
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &Arc<ServerState>,
+    conns: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    loop {
+        if state.closed.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                let state = Arc::clone(state);
+                let handle = std::thread::spawn(move || handle_connection(stream, &state));
+                let mut conns = conns.lock().expect("connections");
+                conns.retain(|h| !h.is_finished());
+                conns.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    let request = match read_request(&mut reader) {
+        Ok(Some(request)) => request,
+        Ok(None) => return, // connection opened and closed, nothing sent
+        Err(error) => {
+            let _ = error_response(&mut stream, 400, &error);
+            return;
+        }
+    };
+    let result = route(&mut stream, &request, state);
+    if let Err(_io) = result {
+        // The peer went away mid-response; nothing sensible to do.
+    }
+}
+
+fn route(
+    stream: &mut TcpStream,
+    request: &Request,
+    state: &Arc<ServerState>,
+) -> std::io::Result<()> {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => handle_healthz(stream, state),
+        ("GET", ["scenarios"]) => {
+            let mut doc = library_json(&state.config.scenarios_dir).render();
+            doc.push('\n');
+            respond(stream, 200, "application/json", &[], doc.as_bytes())
+        }
+        ("POST", ["jobs"]) => handle_submit(stream, request, state),
+        ("GET", ["jobs", id]) => handle_status(stream, id, state),
+        ("GET", ["jobs", id, "result"]) => handle_result(stream, id, state),
+        ("DELETE", ["jobs", id]) => handle_cancel(stream, id, state),
+        ("POST", ["shutdown"]) => {
+            state.draining.store(true, Ordering::SeqCst);
+            let mut body = Json::object();
+            body.push("status", "draining");
+            json_response(stream, 200, &body)
+        }
+        (_, ["jobs", ..]) | (_, ["scenarios"]) | (_, ["healthz"]) | (_, ["shutdown"]) => {
+            error_response(stream, 405, "method not allowed")
+        }
+        _ => error_response(stream, 404, &format!("no route for {}", request.path)),
+    }
+}
+
+fn handle_healthz(stream: &mut TcpStream, state: &Arc<ServerState>) -> std::io::Result<()> {
+    let (total, active, coalesced) = state.table.stats();
+    let mut body = Json::object();
+    body.push(
+        "status",
+        if state.draining.load(Ordering::SeqCst) {
+            "draining"
+        } else {
+            "ok"
+        },
+    )
+    .push("jobs", total)
+    .push("active", active)
+    .push("coalesced", coalesced)
+    .push("workers", state.config.jobs)
+    .push("cache_dir", state.cache.dir().display().to_string());
+    json_response(stream, 200, &body)
+}
+
+fn handle_submit(
+    stream: &mut TcpStream,
+    request: &Request,
+    state: &Arc<ServerState>,
+) -> std::io::Result<()> {
+    if state.draining.load(Ordering::SeqCst) {
+        return error_response(stream, 503, "shutting down — not accepting new submissions");
+    }
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return error_response(stream, 400, "scenario body is not UTF-8");
+    };
+    let priority: i64 = match request.query_value("priority") {
+        None => 0,
+        Some(v) => match v.parse() {
+            Ok(p) => p,
+            Err(_) => return error_response(stream, 400, &format!("bad priority '{v}'")),
+        },
+    };
+    let stream_mode = request.query_value("stream") == Some("1");
+    let wait_mode = request.query_value("wait") == Some("1");
+    // Validate + compile before anything queues: a bad scenario costs the
+    // submitter one round trip and the daemon nothing.
+    let origin = state.config.scenarios_dir.join("<submission>");
+    let compiled = match load_str(text, &origin) {
+        Ok(compiled) => compiled,
+        Err(error) => return error_response(stream, 400, &error),
+    };
+    let hash = compiled.content_hash();
+    if let Some(entry) = state.cache.lookup(hash) {
+        return serve_cached(stream, stream_mode, hash, &entry);
+    }
+    let (job, disposition) = match state.table.admit(hash, &compiled.spec.name) {
+        Admission::Coalesced(job) => (job, "coalesced"),
+        Admission::New(job) => {
+            if !dispatch(state, Arc::clone(&job), compiled, priority) {
+                state.table.retire(&job);
+                job.finish(JobState::Failed("daemon is shutting down".into()));
+                return error_response(
+                    stream,
+                    503,
+                    "shutting down — not accepting new submissions",
+                );
+            }
+            (job, "miss")
+        }
+    };
+    if stream_mode {
+        stream_job(stream, &job, hash, disposition)
+    } else if wait_mode {
+        let mut cursor = usize::MAX; // skip events, wait for the end
+        match job.follow(&mut cursor) {
+            Follow::Events(_) => unreachable!("cursor pinned past all events"),
+            Follow::Finished(terminal) => finished_response(stream, &terminal, disposition),
+        }
+    } else {
+        let mut body = Json::object();
+        body.push("job", job.id)
+            .push("hash", hex(hash))
+            .push("status", job.state().label())
+            .push("cache", disposition)
+            .push("location", format!("/jobs/{}", job.id));
+        json_response(stream, 202, &body)
+    }
+}
+
+/// Hand a new job to the worker pool. `false` when the pool is already
+/// draining (the caller reports 503).
+fn dispatch(
+    state: &Arc<ServerState>,
+    job: Arc<Job>,
+    compiled: CompiledScenario,
+    priority: i64,
+) -> bool {
+    let pool = state.pool.lock().expect("pool");
+    let Some(pool) = pool.as_ref() else {
+        return false;
+    };
+    let state = Arc::clone(state);
+    pool.submit(priority, move || execute_job(&state, &job, &compiled))
+        .is_some()
+}
+
+/// The worker-side job body: run the scenario with a progress sink wired
+/// to the job record, store the cache entry atomically, finish the job.
+fn execute_job(state: &Arc<ServerState>, job: &Arc<Job>, compiled: &CompiledScenario) {
+    if !job.start() {
+        // Cancelled while queued: never simulate, never cache.
+        state.table.retire(job);
+        return;
+    }
+    let sink: ProgressSink = {
+        let job = Arc::clone(job);
+        Arc::new(move |p: PhaseProgress| job.push_event(phase_event(&p)))
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let report = execute_with_progress(compiled, Some(sink));
+        let document = deterministic_document(&report);
+        let entry = CacheEntry {
+            scenario: compiled.spec.name.clone(),
+            rendered: report.rendered,
+            document: document.clone(),
+        };
+        if let Err(error) = state.cache.store(job.hash, &entry) {
+            // A dead cache disk degrades to recomputation, never to a
+            // failed job or a torn entry.
+            eprintln!("[cache: could not store {}: {error}]", hex(job.hash));
+        }
+        document
+    }));
+    match outcome {
+        Ok(document) => job.finish(JobState::Done(Arc::new(document))),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "scenario run panicked".to_string());
+            job.finish(JobState::Failed(msg));
+        }
+    }
+    state.table.retire(job);
+}
+
+fn serve_cached(
+    stream: &mut TcpStream,
+    stream_mode: bool,
+    hash: u64,
+    entry: &CacheEntry,
+) -> std::io::Result<()> {
+    if stream_mode {
+        let hash_hex = hex(hash);
+        start_stream(
+            stream,
+            200,
+            "application/x-ndjson",
+            &[("X-Content-Hash", hash_hex.as_str()), ("X-Cache", "hit")],
+        )?;
+        let mut cached = Json::object();
+        cached
+            .push("event", "cached")
+            .push("hash", hash_hex.as_str())
+            .push("scenario", entry.scenario.as_str());
+        write_event(stream, &cached)?;
+        write_result_marker(stream, entry.document.len(), "hit")?;
+        stream.write_all(entry.document.as_bytes())?;
+        stream.flush()
+    } else {
+        respond(
+            stream,
+            200,
+            "application/json",
+            &[("X-Content-Hash", hex(hash).as_str()), ("X-Cache", "hit")],
+            entry.document.as_bytes(),
+        )
+    }
+}
+
+/// Follow `job` on a streaming connection: progress events as NDJSON
+/// lines, then the result marker and the raw document.
+fn stream_job(
+    stream: &mut TcpStream,
+    job: &Arc<Job>,
+    hash: u64,
+    disposition: &str,
+) -> std::io::Result<()> {
+    let hash_hex = hex(hash);
+    start_stream(
+        stream,
+        200,
+        "application/x-ndjson",
+        &[
+            ("X-Content-Hash", hash_hex.as_str()),
+            ("X-Cache", disposition),
+        ],
+    )?;
+    let mut opening = Json::object();
+    opening
+        .push(
+            "event",
+            if disposition == "coalesced" {
+                "coalesced"
+            } else {
+                "queued"
+            },
+        )
+        .push("job", job.id)
+        .push("hash", hash_hex.as_str())
+        .push("scenario", job.name.as_str());
+    write_event(stream, &opening)?;
+    let mut cursor = 0;
+    loop {
+        match job.follow(&mut cursor) {
+            Follow::Events(events) => {
+                for event in events {
+                    write_event(stream, &event)?;
+                }
+            }
+            Follow::Finished(JobState::Done(document)) => {
+                write_result_marker(stream, document.len(), disposition)?;
+                stream.write_all(document.as_bytes())?;
+                return stream.flush();
+            }
+            Follow::Finished(JobState::Failed(message)) => {
+                let mut event = Json::object();
+                event
+                    .push("event", "error")
+                    .push("message", message.as_str());
+                return write_event(stream, &event);
+            }
+            Follow::Finished(other) => {
+                let mut event = Json::object();
+                event
+                    .push("event", "error")
+                    .push("message", format!("job {}", other.label()));
+                return write_event(stream, &event);
+            }
+        }
+    }
+}
+
+fn finished_response(
+    stream: &mut TcpStream,
+    terminal: &JobState,
+    disposition: &str,
+) -> std::io::Result<()> {
+    match terminal {
+        JobState::Done(document) => respond(
+            stream,
+            200,
+            "application/json",
+            &[("X-Cache", disposition)],
+            document.as_bytes(),
+        ),
+        JobState::Failed(message) => error_response(stream, 500, message),
+        other => error_response(stream, 409, &format!("job {}", other.label())),
+    }
+}
+
+fn handle_status(
+    stream: &mut TcpStream,
+    id: &str,
+    state: &Arc<ServerState>,
+) -> std::io::Result<()> {
+    let Some(job) = lookup(id, state) else {
+        return error_response(stream, 404, &format!("no job '{id}'"));
+    };
+    let job_state = job.state();
+    let mut body = Json::object();
+    body.push("job", job.id)
+        .push("hash", hex(job.hash))
+        .push("scenario", job.name.as_str())
+        .push("status", job_state.label())
+        .push("events", Json::Arr(job.events()));
+    if let JobState::Failed(message) = &job_state {
+        body.push("error", message.as_str());
+    }
+    json_response(stream, 200, &body)
+}
+
+fn handle_result(
+    stream: &mut TcpStream,
+    id: &str,
+    state: &Arc<ServerState>,
+) -> std::io::Result<()> {
+    let Some(job) = lookup(id, state) else {
+        return error_response(stream, 404, &format!("no job '{id}'"));
+    };
+    match job.state() {
+        JobState::Done(document) => respond(
+            stream,
+            200,
+            "application/json",
+            &[("X-Content-Hash", hex(job.hash).as_str())],
+            document.as_bytes(),
+        ),
+        JobState::Failed(message) => error_response(stream, 500, &message),
+        pending => error_response(stream, 409, &format!("job is {}", pending.label())),
+    }
+}
+
+fn handle_cancel(
+    stream: &mut TcpStream,
+    id: &str,
+    state: &Arc<ServerState>,
+) -> std::io::Result<()> {
+    let Some(job) = lookup(id, state) else {
+        return error_response(stream, 404, &format!("no job '{id}'"));
+    };
+    if job.cancel() {
+        state.table.retire(&job);
+        let mut body = Json::object();
+        body.push("job", job.id).push("status", "cancelled");
+        json_response(stream, 200, &body)
+    } else {
+        error_response(
+            stream,
+            409,
+            &format!(
+                "job is {} — only queued jobs can be cancelled",
+                job.state().label()
+            ),
+        )
+    }
+}
+
+fn lookup(id: &str, state: &Arc<ServerState>) -> Option<Arc<Job>> {
+    id.parse::<u64>().ok().and_then(|id| state.table.get(id))
+}
+
+// -------------------------------------------------------------------
+// Small wire helpers
+// -------------------------------------------------------------------
+
+fn phase_event(p: &PhaseProgress) -> Json {
+    let mut event = Json::object();
+    event
+        .push("event", "phase")
+        .push("system", p.system.as_str())
+        .push("phase", p.phase)
+        .push("phases", p.phases)
+        .push("label", p.label.as_str());
+    event
+}
+
+fn write_event(stream: &mut TcpStream, event: &Json) -> std::io::Result<()> {
+    let mut line = event.render_compact();
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()
+}
+
+fn write_result_marker(
+    stream: &mut TcpStream,
+    bytes: usize,
+    disposition: &str,
+) -> std::io::Result<()> {
+    let mut marker = Json::object();
+    marker
+        .push("event", "result")
+        .push("bytes", bytes)
+        .push("cache", disposition);
+    write_event(stream, &marker)
+}
+
+fn json_response(stream: &mut TcpStream, status: u16, body: &Json) -> std::io::Result<()> {
+    let mut text = body.render();
+    text.push('\n');
+    respond(stream, status, "application/json", &[], text.as_bytes())
+}
+
+fn error_response(stream: &mut TcpStream, status: u16, message: &str) -> std::io::Result<()> {
+    let mut body = Json::object();
+    body.push("error", message);
+    json_response(stream, status, &body)
+}

@@ -8,11 +8,21 @@
 //! task from a shared channel, compute, and send `(index, output)` back to
 //! the caller, which reassembles the slots.
 //!
+//! Two execution styles share the worker discipline:
+//!
+//! * [`run_ordered`] — the batch path: a fixed task list in, outputs in
+//!   submission order out (the sweep engine's byte-identity rests on it).
+//! * [`WorkerPool`] — the serving path: a long-lived pool that accepts
+//!   prioritized jobs over time, hands back a typed [`JobHandle`] per
+//!   submission (wait/poll/cancel), and drains everything already accepted
+//!   on shutdown. The scenario-serving daemon enqueues submissions here.
+//!
 //! The simulators themselves stay single-threaded — reproducibility of a
-//! single run is untouched; only the sweep layer above them fans out.
+//! single run is untouched; only the layer above them fans out.
 
+use std::collections::BinaryHeap;
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// A boxed task the pool can run.
 pub type Task<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
@@ -83,6 +93,262 @@ pub fn run_ordered<'a, T: Send + 'a>(jobs: usize, tasks: Vec<Task<'a, T>>) -> Ve
             Err(payload) => std::panic::resume_unwind(payload),
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// The long-lived, prioritized pool behind the serving daemon
+// ---------------------------------------------------------------------
+
+/// Where a submitted job currently stands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the priority queue.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; the output is (or was) available on the handle.
+    Done,
+    /// Cancelled while still queued — it never ran.
+    Cancelled,
+    /// The job panicked; the payload's message.
+    Failed(String),
+}
+
+struct HandleShared<T> {
+    state: Mutex<(JobStatus, Option<T>)>,
+    done: Condvar,
+}
+
+/// Typed handle to one submitted job: poll its status, block for its
+/// output, or cancel it while it is still queued.
+pub struct JobHandle<T> {
+    shared: Arc<HandleShared<T>>,
+}
+
+impl<T> JobHandle<T> {
+    /// Current status, without blocking.
+    pub fn status(&self) -> JobStatus {
+        self.shared.state.lock().expect("job state").0.clone()
+    }
+
+    /// Cancel the job if it has not started. Returns `true` when the
+    /// cancellation won (the job will never run); `false` when the job is
+    /// already running or finished — running jobs always complete, so a
+    /// partially-computed result can never be observed.
+    ///
+    /// Atomic with the worker's own `Queued → Running` transition: both
+    /// happen under the handle's state lock, so `true` really does mean
+    /// the job cannot run anymore.
+    pub fn cancel(&self) -> bool {
+        let mut state = self.shared.state.lock().expect("job state");
+        match state.0 {
+            JobStatus::Queued => {
+                state.0 = JobStatus::Cancelled;
+                self.shared.done.notify_all();
+                true
+            }
+            JobStatus::Cancelled => true,
+            _ => false,
+        }
+    }
+
+    /// Block until the job leaves the queue-or-running states, then take
+    /// its output: `Some(value)` for a completed job, `None` when it was
+    /// cancelled, failed, or the output was already taken.
+    pub fn wait(&self) -> Option<T> {
+        let mut state = self.shared.state.lock().expect("job state");
+        while matches!(state.0, JobStatus::Queued | JobStatus::Running) {
+            state = self.shared.done.wait(state).expect("job state");
+        }
+        state.1.take()
+    }
+}
+
+/// One queued unit of work, ordered by `(priority desc, sequence asc)` —
+/// higher priority first, FIFO within a priority level.
+struct Pending {
+    priority: i64,
+    seq: u64,
+    work: Box<dyn FnOnce() + Send>,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: greatest = highest priority, and among
+        // equals the *lowest* sequence number (earliest submission).
+        self.priority
+            .cmp(&other.priority)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct PoolState {
+    heap: BinaryHeap<Pending>,
+    next_seq: u64,
+    shutting_down: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    available: Condvar,
+}
+
+/// A long-lived pool of `jobs` workers draining a prioritized queue.
+///
+/// Unlike [`run_ordered`] the pool outlives any one batch: jobs arrive
+/// over time (from concurrent submitters), each returns a [`JobHandle`],
+/// and [`WorkerPool::shutdown`] stops intake while **draining** everything
+/// already accepted — no accepted job is ever dropped half-done.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `jobs` workers (at least one).
+    pub fn new(jobs: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                shutting_down: false,
+            }),
+            available: Condvar::new(),
+        });
+        let workers = (0..jobs.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Submit a job at `priority` (higher runs earlier; FIFO within a
+    /// level). Returns `None` once [`WorkerPool::shutdown`] has begun —
+    /// the caller must surface the rejection, never queue silently.
+    pub fn submit<T, F>(&self, priority: i64, job: F) -> Option<JobHandle<T>>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let handle_shared = Arc::new(HandleShared {
+            state: Mutex::new((JobStatus::Queued, None)),
+            done: Condvar::new(),
+        });
+        let work = {
+            let shared = Arc::clone(&handle_shared);
+            Box::new(move || {
+                {
+                    // The cancel check and the Queued → Running move are
+                    // one critical section — a cancel that returned true
+                    // can never race this into running anyway.
+                    let mut state = shared.state.lock().expect("job state");
+                    if state.0 != JobStatus::Queued {
+                        return; // cancelled while waiting in the heap
+                    }
+                    state.0 = JobStatus::Running;
+                }
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)) {
+                    Ok(value) => finish(&shared, JobStatus::Done, Some(value)),
+                    Err(payload) => finish(
+                        &shared,
+                        JobStatus::Failed(panic_msg(payload.as_ref())),
+                        None,
+                    ),
+                }
+            })
+        };
+        {
+            let mut state = self.shared.state.lock().expect("pool state");
+            if state.shutting_down {
+                return None;
+            }
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            state.heap.push(Pending {
+                priority,
+                seq,
+                work,
+            });
+        }
+        self.shared.available.notify_one();
+        Some(JobHandle {
+            shared: handle_shared,
+        })
+    }
+
+    /// Number of jobs still waiting in the queue (not running).
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().expect("pool state").heap.len()
+    }
+
+    /// Stop accepting submissions, drain every job already accepted, and
+    /// join the workers. Idempotent.
+    pub fn shutdown(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool state");
+            state.shutting_down = true;
+        }
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let pending = {
+            let mut state = shared.state.lock().expect("pool state");
+            loop {
+                if let Some(pending) = state.heap.pop() {
+                    break pending;
+                }
+                if state.shutting_down {
+                    return;
+                }
+                state = shared.available.wait(state).expect("pool state");
+            }
+        };
+        // Cancelled-in-queue jobs mark their handle and return without
+        // running; everything else runs to completion even during
+        // shutdown (the drain guarantee).
+        (pending.work)();
+    }
+}
+
+fn finish<T>(shared: &HandleShared<T>, status: JobStatus, value: Option<T>) {
+    let mut state = shared.state.lock().expect("job state");
+    *state = (status, value);
+    shared.done.notify_all();
+}
+
+fn panic_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -163,5 +429,115 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn worker_pool_runs_jobs_and_reports_done() {
+        let pool = WorkerPool::new(2);
+        let handles: Vec<_> = (0..8u64)
+            .map(|i| pool.submit(0, move || i * 3).expect("accepting"))
+            .collect();
+        for (i, h) in handles.iter().enumerate() {
+            assert_eq!(h.wait(), Some(i as u64 * 3));
+            assert_eq!(h.status(), JobStatus::Done);
+        }
+    }
+
+    #[test]
+    fn worker_pool_priorities_order_the_queue() {
+        use std::sync::mpsc;
+        // One worker, blocked on a gate so the queue builds up; then the
+        // queued jobs must drain highest-priority-first, FIFO within ties.
+        let pool = WorkerPool::new(1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let blocker = pool
+            .submit(100, move || {
+                gate_rx.recv().expect("gate");
+            })
+            .expect("accepting");
+        let (order_tx, order_rx) = mpsc::channel::<&'static str>();
+        let mut handles = Vec::new();
+        for (priority, tag) in [(0, "low-a"), (5, "high"), (0, "low-b"), (2, "mid")] {
+            let tx = order_tx.clone();
+            handles.push(
+                pool.submit(priority, move || tx.send(tag).expect("collector"))
+                    .expect("accepting"),
+            );
+        }
+        gate_tx.send(()).expect("worker waiting");
+        for h in &handles {
+            h.wait();
+        }
+        blocker.wait();
+        let order: Vec<_> = order_rx.try_iter().collect();
+        assert_eq!(order, vec!["high", "mid", "low-a", "low-b"]);
+    }
+
+    #[test]
+    fn worker_pool_cancel_skips_queued_jobs() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::mpsc;
+        let pool = WorkerPool::new(1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let blocker = pool
+            .submit(0, move || {
+                gate_rx.recv().expect("gate");
+            })
+            .expect("accepting");
+        let ran = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&ran);
+        let victim = pool
+            .submit(0, move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+            .expect("accepting");
+        assert!(victim.cancel(), "still queued, so cancellation wins");
+        gate_tx.send(()).expect("worker waiting");
+        assert_eq!(victim.wait(), None);
+        assert_eq!(victim.status(), JobStatus::Cancelled);
+        blocker.wait();
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "cancelled job never ran");
+        // A finished job can no longer be cancelled.
+        let done = pool.submit(0, || 1u8).expect("accepting");
+        assert_eq!(done.wait(), Some(1));
+        assert!(!done.cancel());
+    }
+
+    #[test]
+    fn worker_pool_shutdown_drains_and_rejects() {
+        let mut pool = WorkerPool::new(2);
+        let handles: Vec<_> = (0..6u64)
+            .map(|i| {
+                pool.submit(0, move || {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    i
+                })
+                .expect("accepting")
+            })
+            .collect();
+        pool.shutdown();
+        // Every job accepted before shutdown completed (the drain).
+        for (i, h) in handles.iter().enumerate() {
+            assert_eq!(h.status(), JobStatus::Done);
+            assert_eq!(h.wait(), Some(i as u64));
+        }
+        // New submissions are refused, not silently dropped.
+        assert!(pool.submit(0, || 7u64).is_none());
+    }
+
+    #[test]
+    fn worker_pool_job_panic_is_contained() {
+        let pool = WorkerPool::new(1);
+        let bad = pool
+            .submit(0, || -> u64 { panic!("scenario exploded") })
+            .expect("accepting");
+        assert_eq!(bad.wait(), None);
+        assert_eq!(
+            bad.status(),
+            JobStatus::Failed("scenario exploded".to_string())
+        );
+        // The worker survives the panic and keeps serving.
+        let ok = pool.submit(0, || 9u64).expect("accepting");
+        assert_eq!(ok.wait(), Some(9));
     }
 }

@@ -74,5 +74,5 @@ fn main() {
         );
     }
     println!("\nThe selective-relay variant (A.2.2) targets thin-clos; see");
-    println!("`cargo run --release -p bench --bin paper -- table3`.");
+    println!("`cargo run --release -p service --bin paper -- table3`.");
 }
