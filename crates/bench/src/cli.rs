@@ -14,6 +14,9 @@ pub struct Cli {
     /// `paper list` — print the registry and exit (`--json` for the
     /// machine-readable form).
     pub list: bool,
+    /// `paper lint` — run the determinism linter over the workspace
+    /// (`--json` for the machine-readable findings document).
+    pub lint: bool,
     /// `paper scenario <file.json>...` — run declarative scenario files
     /// (a batch dedupes identical runs before dispatch).
     pub scenario: Vec<PathBuf>,
@@ -51,6 +54,7 @@ pub struct Cli {
 pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
     let mut cli = Cli {
         list: false,
+        lint: false,
         scenario: Vec::new(),
         serve: false,
         submit: None,
@@ -151,6 +155,7 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
             "--json" => cli.json = true,
             "--out" => cli.out = PathBuf::from(value(&mut it, "--out")?),
             "list" => cli.list = true,
+            "lint" => cli.lint = true,
             "all" => cli
                 .ids
                 .extend(EXPERIMENTS.iter().map(|e| e.id().to_string())),
@@ -180,16 +185,18 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
             ));
         }
     }
-    // The serving pair is its own mode: no experiment ids, no local
-    // scenario runs alongside.
+    // The serving pair and the linter are their own modes: no experiment
+    // ids, no local scenario runs alongside.
     let modes = [
         cli.serve,
         cli.submit.is_some(),
+        cli.lint,
         !cli.scenario.is_empty() || !cli.ids.is_empty() || cli.list,
     ];
     if modes.iter().filter(|&&m| m).count() > 1 {
         return Err(
-            "serve/submit cannot be mixed with experiment, scenario or list invocations".into(),
+            "serve/submit/lint cannot be mixed with experiment, scenario or list invocations"
+                .into(),
         );
     }
     if addr_set && !cli.serve && cli.submit.is_none() {
@@ -372,6 +379,20 @@ mod tests {
         assert_eq!(cli.submit, Some(PathBuf::from("scenarios/ci_smoke.json")));
         assert_eq!(cli.priority, -2);
         assert_eq!(cli.addr, DEFAULT_ADDR);
+    }
+
+    #[test]
+    fn lint_is_its_own_mode() {
+        let cli = parse_strs(&["lint"]).unwrap();
+        assert!(cli.lint && !cli.json);
+        let cli = parse_strs(&["lint", "--json"]).unwrap();
+        assert!(cli.lint && cli.json);
+        let err = parse_strs(&["lint", "fig9"]).unwrap_err();
+        assert!(err.contains("cannot be mixed"), "{err}");
+        let err = parse_strs(&["lint", "serve"]).unwrap_err();
+        assert!(err.contains("cannot be mixed"), "{err}");
+        let err = parse_strs(&["lint", "list"]).unwrap_err();
+        assert!(err.contains("cannot be mixed"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! A minimal Rust lexer for the determinism linter.
+//!
+//! The rules in this crate are lexical: they match identifier patterns
+//! (`HashMap`, `Instant :: now`, `. push`) against a token stream, so the
+//! lexer's one job is to report identifiers, punctuation and line comments
+//! at exact byte offsets while *never* mistaking the inside of a string,
+//! char literal, block comment or lifetime for code. It does not parse —
+//! no AST, no types — which keeps it dependency-free and fast, at the
+//! cost of being unable to see through type aliases (the rule docs say
+//! so).
+//!
+//! Line comments are real tokens because lint directives live in them
+//! (`// lint: allow(D001) <justification>`, `// lint: hot-path`). Block
+//! and doc comments are skipped: a directive must be a plain `//` comment,
+//! which conveniently lets this crate's own documentation show directive
+//! examples without triggering them.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `for`, `spawn`).
+    Ident,
+    /// A single punctuation byte (`.`, `:`, `!`, `{`, ...).
+    Punct(u8),
+    /// A `//` line comment (not `///` or `//!` doc comments), including
+    /// the slashes, excluding the newline.
+    Comment,
+}
+
+/// One token with its byte span in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// Byte offset of the first character.
+    pub pos: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Tok {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.pos..self.end]
+    }
+}
+
+/// Tokenize `src`. Unterminated strings/comments end at end-of-input
+/// rather than erroring: the linter scans code that already compiles, so
+/// recovery beats rejection.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                // Doc comments (`///`, `//!`) are documentation, not
+                // directives; skip them so docs can quote directive syntax.
+                let doc = matches!(bytes.get(start + 2), Some(b'/') | Some(b'!'));
+                if !doc {
+                    toks.push(Tok {
+                        kind: TokKind::Comment,
+                        pos: start,
+                        end: i,
+                    });
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => i = skip_block_comment(bytes, i),
+            b'"' => i = skip_string(bytes, i),
+            b'\'' => i = skip_char_or_lifetime(bytes, i),
+            b'0'..=b'9' => i = skip_number(bytes, i),
+            b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] == b'_' || bytes[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                // Raw/byte string prefixes glue onto the quote that
+                // follows: r"..", r#".."#, b"..", br#".."#.
+                match (word, bytes.get(i)) {
+                    ("r" | "br" | "rb", Some(b'"' | b'#')) => i = skip_raw_string(bytes, i),
+                    ("b", Some(b'"')) => i = skip_string(bytes, i),
+                    _ => toks.push(Tok {
+                        kind: TokKind::Ident,
+                        pos: start,
+                        end: i,
+                    }),
+                }
+            }
+            _ if b < 0x80 => {
+                toks.push(Tok {
+                    kind: TokKind::Punct(b),
+                    pos: i,
+                    end: i + 1,
+                });
+                i += 1;
+            }
+            // Multi-byte UTF-8 (only ever inside literals we already
+            // skipped, or stray in comments): consume the full scalar.
+            _ => {
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] & 0xC0 == 0x80 {
+                    j += 1;
+                }
+                i = j;
+            }
+        }
+    }
+    toks
+}
+
+/// Skip a (possibly nested) `/* ... */` comment starting at `i`.
+fn skip_block_comment(bytes: &[u8], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            depth += 1;
+            i += 2;
+        } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                return i;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skip a `"..."` string with escapes, starting at the opening quote.
+fn skip_string(bytes: &[u8], mut i: usize) -> usize {
+    i += 1; // opening quote
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip a raw string: `i` sits on the first `#` or `"` after the prefix.
+fn skip_raw_string(bytes: &[u8], mut i: usize) -> usize {
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return i; // not actually a raw string; resync on the next byte
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"'
+            && bytes[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&b| b == b'#')
+                .count()
+                == hashes
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skip a char literal or step over a lifetime, starting at the `'`.
+fn skip_char_or_lifetime(bytes: &[u8], i: usize) -> usize {
+    match bytes.get(i + 1) {
+        // Escaped char literal: '\n', '\\', '\u{1F600}'.
+        Some(b'\\') => {
+            let mut j = i + 2;
+            while j < bytes.len() && bytes[j] != b'\'' {
+                j += 1;
+            }
+            (j + 1).min(bytes.len())
+        }
+        // Alphanumeric start: 'a' is a char literal, 'a without a closing
+        // quote (and anything longer, 'static) is a lifetime.
+        Some(&c) if c == b'_' || c.is_ascii_alphanumeric() => {
+            let mut j = i + 2;
+            while j < bytes.len() && (bytes[j] == b'_' || bytes[j].is_ascii_alphanumeric()) {
+                j += 1;
+            }
+            if j == i + 2 && bytes.get(j) == Some(&b'\'') {
+                j + 1
+            } else {
+                j
+            }
+        }
+        // Any other single (possibly multi-byte) char literal: '(' , 'é'.
+        Some(_) => {
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j] != b'\'' {
+                j += 1;
+            }
+            (j + 1).min(bytes.len())
+        }
+        None => i + 1,
+    }
+}
+
+/// Skip a numeric literal (ints, floats, hex, suffixes). A `.` continues
+/// the number only when a digit follows, so `0..n` lexes as `0`, `..`, `n`.
+fn skip_number(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() {
+        let b = bytes[i];
+        let continues = b == b'_'
+            || b.is_ascii_alphanumeric()
+            || (b == b'.' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit()));
+        if !continues {
+            break;
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(src))
+            .collect()
+    }
+
+    #[test]
+    fn identifiers_and_punctuation_carry_offsets() {
+        let src = "let x = a.b(1);";
+        let toks = lex(src);
+        assert_eq!(idents(src), vec!["let", "x", "a", "b"]);
+        let dot = toks
+            .iter()
+            .find(|t| t.kind == TokKind::Punct(b'.'))
+            .unwrap();
+        assert_eq!(dot.pos, 9);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"let s = "HashMap::new() // lint: hot-path"; t"#;
+        assert_eq!(idents(src), vec!["let", "s", "t"]);
+        assert!(lex(src).iter().all(|t| t.kind != TokKind::Comment));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_hide_their_contents() {
+        let src = r##"let a = r#"HashMap "quoted" inside"#; let b2 = b"SystemTime"; let c = r"thread"; d"##;
+        assert_eq!(idents(src), vec!["let", "a", "let", "b2", "let", "c", "d"]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'y'; let q = '\\''; let n = '\\n'; }";
+        let ids = idents(src);
+        assert!(ids.contains(&"f") && ids.contains(&"str") && ids.contains(&"c"));
+        // The lifetime 'a and the char 'y' must not swallow trailing code.
+        assert!(ids.contains(&"q") && ids.contains(&"n"));
+        assert!(!ids.contains(&"y"), "char literal contents are not idents");
+    }
+
+    #[test]
+    fn line_comments_are_tokens_doc_comments_are_not() {
+        let src = "// lint: hot-path\n/// doc with lint: allow(D001)\n//! inner doc\ncode";
+        let toks = lex(src);
+        let comments: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Comment).collect();
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].text(src), "// lint: hot-path");
+        assert_eq!(idents(src), vec!["code"]);
+    }
+
+    #[test]
+    fn block_comments_nest_and_hide() {
+        let src = "a /* outer /* inner HashMap */ still */ b";
+        assert_eq!(idents(src), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let src = "for i in 0..8 { x[1.5e3]; y[0xFFu64]; }";
+        assert_eq!(idents(src), vec!["for", "i", "in", "x", "y"]);
+        // `..` survives as two dots.
+        let dots = lex(src)
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct(b'.'))
+            .count();
+        assert_eq!(dots, 2);
+    }
+}

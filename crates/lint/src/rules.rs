@@ -1,0 +1,539 @@
+//! The determinism rules and the suppression/annotation machinery.
+//!
+//! Every rule is a lexical pattern over the token stream produced by
+//! [`crate::lexer`]. That makes the analysis conservative-by-construction:
+//! it cannot see through aliases or macros, so it errs toward flagging —
+//! and a justified suppression is the sanctioned escape hatch. The
+//! directives, written as plain `//` comments:
+//!
+//! * `lint: hot-path` — the next brace-balanced block is a hot region;
+//!   H001 flags allocation-capable calls inside it.
+//! * `lint: allow(D001) <justification>` — suppress rule `D001` on this
+//!   line and the next. A bare `allow` with no justification, an unknown
+//!   rule id, or an `allow` that matches nothing is itself a finding
+//!   (S001), so the suppression inventory can never rot silently.
+
+use crate::lexer::{lex, Tok, TokKind};
+use metrics::json::line_col;
+
+/// The rule set. Ordering is the report order within a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Unordered iteration: `HashMap`/`HashSet` in an engine-zone crate.
+    D001,
+    /// Wall clock: `Instant::now` / `SystemTime` outside bench/service.
+    D002,
+    /// Stray threading: `thread::spawn` / `mpsc` outside `sim::pool`.
+    D003,
+    /// Ambient randomness: RNG state not derived from the experiment seed.
+    D004,
+    /// Allocation-capable call inside a `lint: hot-path` region.
+    H001,
+    /// Malformed, unjustified or unused suppression/directive.
+    S001,
+}
+
+impl Rule {
+    /// Stable rule id (`D001`, ...).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D001 => "D001",
+            Rule::D002 => "D002",
+            Rule::D003 => "D003",
+            Rule::D004 => "D004",
+            Rule::H001 => "H001",
+            Rule::S001 => "S001",
+        }
+    }
+
+    fn from_id(id: &str) -> Option<Rule> {
+        Some(match id {
+            "D001" => Rule::D001,
+            "D002" => Rule::D002,
+            "D003" => Rule::D003,
+            "D004" => Rule::D004,
+            "H001" => Rule::H001,
+            "S001" => Rule::S001,
+            _ => return None,
+        })
+    }
+
+    /// One-line fix hint attached to every finding of this rule.
+    pub fn hint(self) -> &'static str {
+        match self {
+            Rule::D001 => "use BTreeMap/BTreeSet, or sort before iterating; iteration order must not reach a report",
+            Rule::D002 => "simulated time comes from sim::time; wall-clock timing belongs in bench/service",
+            Rule::D003 => "route parallelism through sim::pool so the worker count can never change output bytes",
+            Rule::D004 => "derive a sim::Xoshiro256 from the experiment seed instead of ambient entropy",
+            Rule::H001 => "hot-path regions must reuse scratch buffers (README § Performance); move the allocation out or justify it",
+            Rule::S001 => "write `// lint: allow(RULE) <justification>` directly above the line it excuses",
+        }
+    }
+}
+
+/// Which rules apply to a file. Derived from the policy zones in
+/// [`crate::zone_of`]; H001 and S001 always apply (they are driven by
+/// annotations in the file itself).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleSet {
+    /// Check D001 (engine zones only).
+    pub d001: bool,
+    /// Check D002 (everywhere but bench/service).
+    pub d002: bool,
+    /// Check D003 (everywhere but `sim::pool` itself).
+    pub d003: bool,
+}
+
+/// One confirmed violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (in characters, matching the scenario validator).
+    pub column: usize,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// What was seen, naming the offending token.
+    pub message: String,
+}
+
+/// A parsed `lint:` directive.
+enum Directive {
+    /// `lint: hot-path` at this byte offset.
+    HotPath { pos: usize },
+    /// `lint: allow(RULE) <justification>`.
+    Allow {
+        pos: usize,
+        rule: Rule,
+        justified: bool,
+    },
+}
+
+/// Scan one file's source. `file` is the label findings carry.
+pub fn scan_source(file: &str, src: &str, rules: RuleSet) -> Vec<Finding> {
+    let toks = lex(src);
+    let code: Vec<Tok> = toks
+        .iter()
+        .filter(|t| t.kind != TokKind::Comment)
+        .copied()
+        .collect();
+    let mut findings = Vec::new();
+    let mut directives = Vec::new();
+    for tok in toks.iter().filter(|t| t.kind == TokKind::Comment) {
+        parse_directive(file, src, tok, &mut directives, &mut findings);
+    }
+    let hot_regions: Vec<(usize, usize)> = directives
+        .iter()
+        .filter_map(|d| match d {
+            Directive::HotPath { pos } => Some(hot_region(&code, *pos)),
+            Directive::Allow { .. } => None,
+        })
+        .flatten()
+        .collect();
+    let mut raw = Vec::new();
+    scan_code(file, src, &code, rules, &hot_regions, &mut raw);
+    apply_suppressions(file, src, &directives, raw, &mut findings);
+    findings.sort_by_key(|f| (f.line, f.column, f.rule));
+    findings
+}
+
+/// Parse one comment token into a directive, or a finding when it is a
+/// malformed one. Comments that do not start with `lint:` are prose.
+fn parse_directive(
+    file: &str,
+    src: &str,
+    tok: &Tok,
+    directives: &mut Vec<Directive>,
+    findings: &mut Vec<Finding>,
+) {
+    let body = tok.text(src).trim_start_matches('/').trim();
+    let Some(rest) = body.strip_prefix("lint:") else {
+        return;
+    };
+    let rest = rest.trim();
+    if rest == "hot-path" {
+        directives.push(Directive::HotPath { pos: tok.pos });
+        return;
+    }
+    if let Some(args) = rest.strip_prefix("allow") {
+        let args = args.trim_start();
+        if let Some(inner) = args.strip_prefix('(') {
+            if let Some((id, justification)) = inner.split_once(')') {
+                let id = id.trim();
+                let justification = justification.trim();
+                match Rule::from_id(id) {
+                    Some(Rule::S001) | None => findings.push(finding_at(
+                        file,
+                        src,
+                        tok.pos,
+                        Rule::S001,
+                        format!("`allow({id})` names no suppressible rule"),
+                    )),
+                    Some(rule) => {
+                        let justified = !justification.is_empty();
+                        if !justified {
+                            findings.push(finding_at(
+                                file,
+                                src,
+                                tok.pos,
+                                Rule::S001,
+                                format!("suppression of {} carries no justification", rule.id()),
+                            ));
+                        }
+                        directives.push(Directive::Allow {
+                            pos: tok.pos,
+                            rule,
+                            justified,
+                        });
+                    }
+                }
+                return;
+            }
+        }
+        findings.push(finding_at(
+            file,
+            src,
+            tok.pos,
+            Rule::S001,
+            "malformed `allow` — expected `allow(RULE) <justification>`".to_string(),
+        ));
+        return;
+    }
+    findings.push(finding_at(
+        file,
+        src,
+        tok.pos,
+        Rule::S001,
+        format!("unknown lint directive `{rest}`"),
+    ));
+}
+
+/// The brace-balanced region opened by the first `{` after `pos`.
+fn hot_region(code: &[Tok], pos: usize) -> Option<(usize, usize)> {
+    let start = code
+        .iter()
+        .position(|t| t.pos > pos && t.kind == TokKind::Punct(b'{'))?;
+    let mut depth = 0usize;
+    for tok in &code[start..] {
+        match tok.kind {
+            TokKind::Punct(b'{') => depth += 1,
+            TokKind::Punct(b'}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((code[start].pos, tok.end));
+                }
+            }
+            _ => {}
+        }
+    }
+    // Unclosed at EOF (mid-edit file): the region runs to the end.
+    Some((code[start].pos, usize::MAX))
+}
+
+/// Method names whose call can allocate — the H001 set. Lexical, so the
+/// rule fires on the *name*, not the receiver type; justify legitimate
+/// uses (e.g. pushes into a capacity-reusing scratch vector).
+const HOT_ALLOC_METHODS: &[&str] = &["push", "clone", "to_string", "collect"];
+
+/// Walk the code tokens and emit raw findings (before suppression).
+fn scan_code(
+    file: &str,
+    src: &str,
+    code: &[Tok],
+    rules: RuleSet,
+    hot: &[(usize, usize)],
+    out: &mut Vec<Finding>,
+) {
+    let ident = |i: usize| -> Option<&str> {
+        code.get(i)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(src))
+    };
+    let punct = |i: usize, b: u8| code.get(i).is_some_and(|t| t.kind == TokKind::Punct(b));
+    let path_sep = |i: usize| punct(i, b':') && punct(i + 1, b':');
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        let word = tok.text(src);
+        match word {
+            "HashMap" | "HashSet" if rules.d001 => out.push(finding_at(
+                file,
+                src,
+                tok.pos,
+                Rule::D001,
+                format!("`{word}` in an engine-zone crate — iteration order is unordered and can leak into reports"),
+            )),
+            "Instant" if rules.d002 && path_sep(i + 1) && ident(i + 3) == Some("now") => {
+                out.push(finding_at(
+                    file,
+                    src,
+                    tok.pos,
+                    Rule::D002,
+                    "`Instant::now` — wall-clock read in deterministic code".to_string(),
+                ))
+            }
+            "SystemTime" if rules.d002 => out.push(finding_at(
+                file,
+                src,
+                tok.pos,
+                Rule::D002,
+                "`SystemTime` — wall-clock read in deterministic code".to_string(),
+            )),
+            "spawn"
+                if rules.d003
+                    && i >= 3
+                    && ident(i - 3) == Some("thread")
+                    && path_sep(i - 2) =>
+            {
+                out.push(finding_at(
+                    file,
+                    src,
+                    tok.pos,
+                    Rule::D003,
+                    "`thread::spawn` outside sim::pool".to_string(),
+                ))
+            }
+            "mpsc" if rules.d003 => out.push(finding_at(
+                file,
+                src,
+                tok.pos,
+                Rule::D003,
+                "`mpsc` channel outside sim::pool".to_string(),
+            )),
+            "RandomState" | "DefaultHasher" | "thread_rng" | "from_entropy" | "getrandom" => {
+                out.push(finding_at(
+                    file,
+                    src,
+                    tok.pos,
+                    Rule::D004,
+                    format!("`{word}` — randomness not derived from the experiment seed"),
+                ))
+            }
+            _ => {}
+        }
+        // H001 fires only inside annotated hot regions.
+        if !hot.iter().any(|&(a, b)| tok.pos >= a && tok.pos < b) {
+            continue;
+        }
+        let method_call = i >= 1 && punct(i - 1, b'.') && HOT_ALLOC_METHODS.contains(&word);
+        let macro_call = word == "format" && punct(i + 1, b'!');
+        let ctor = matches!(word, "Vec" | "Box") && path_sep(i + 1) && ident(i + 3) == Some("new");
+        if method_call || macro_call || ctor {
+            let shown = if macro_call {
+                "format!".to_string()
+            } else if ctor {
+                format!("{word}::new")
+            } else {
+                format!(".{word}(..)")
+            };
+            out.push(finding_at(
+                file,
+                src,
+                tok.pos,
+                Rule::H001,
+                format!("`{shown}` — allocation-capable call inside a `lint: hot-path` region"),
+            ));
+        }
+    }
+}
+
+/// Apply `allow` directives: a suppression at line L covers findings of
+/// its rule on lines L and L+1. Unused suppressions become S001 findings.
+fn apply_suppressions(
+    file: &str,
+    src: &str,
+    directives: &[Directive],
+    raw: Vec<Finding>,
+    out: &mut Vec<Finding>,
+) {
+    struct Span {
+        rule: Rule,
+        lines: [usize; 2],
+        pos: usize,
+        justified: bool,
+        used: bool,
+    }
+    let mut spans: Vec<Span> = directives
+        .iter()
+        .filter_map(|d| match d {
+            Directive::Allow {
+                pos,
+                rule,
+                justified,
+            } => {
+                let (line, _) = line_col(src, *pos);
+                Some(Span {
+                    rule: *rule,
+                    lines: [line, line + 1],
+                    pos: *pos,
+                    justified: *justified,
+                    used: false,
+                })
+            }
+            Directive::HotPath { .. } => None,
+        })
+        .collect();
+    for finding in raw {
+        let suppressed = spans
+            .iter_mut()
+            .find(|s| s.rule == finding.rule && s.lines.contains(&finding.line));
+        match suppressed {
+            Some(span) => span.used = true,
+            None => out.push(finding),
+        }
+    }
+    for span in spans {
+        if !span.used && span.justified {
+            out.push(finding_at(
+                file,
+                src,
+                span.pos,
+                Rule::S001,
+                format!(
+                    "`allow({})` suppresses nothing on the next line — stale suppression",
+                    span.rule.id()
+                ),
+            ));
+        }
+    }
+}
+
+fn finding_at(file: &str, src: &str, pos: usize, rule: Rule, message: String) -> Finding {
+    let (line, column) = line_col(src, pos);
+    Finding {
+        file: file.to_string(),
+        line,
+        column,
+        rule,
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: RuleSet = RuleSet {
+        d001: true,
+        d002: true,
+        d003: true,
+    };
+
+    fn ids(findings: &[Finding]) -> Vec<(&'static str, usize, usize)> {
+        findings
+            .iter()
+            .map(|f| (f.rule.id(), f.line, f.column))
+            .collect()
+    }
+
+    #[test]
+    fn d001_fires_on_the_token_not_on_strings_or_comments() {
+        let src = "use std::collections::HashMap;\n// HashMap in prose\nlet s = \"HashMap\";\n";
+        let f = scan_source("t.rs", src, ALL);
+        assert_eq!(ids(&f), vec![("D001", 1, 23)]);
+    }
+
+    #[test]
+    fn d002_needs_the_now_call_for_instant() {
+        let src =
+            "let t: Instant = saved;\nlet s = Instant::now();\nlet w = SystemTime::UNIX_EPOCH;\n";
+        let f = scan_source("t.rs", src, ALL);
+        assert_eq!(ids(&f), vec![("D002", 2, 9), ("D002", 3, 9)]);
+    }
+
+    #[test]
+    fn d003_matches_spawn_and_mpsc_but_not_sleep() {
+        let src = "std::thread::sleep(d);\nstd::thread::spawn(f);\nuse std::sync::mpsc;\n";
+        let f = scan_source("t.rs", src, ALL);
+        assert_eq!(ids(&f), vec![("D003", 2, 14), ("D003", 3, 16)]);
+    }
+
+    #[test]
+    fn h001_only_inside_hot_regions() {
+        let src = "\
+fn cold() { v.push(1); }
+// lint: hot-path
+fn hot(v: &mut Vec<u32>) {
+    v.push(1);
+    let s = x.clone();
+    let t = format!(\"{x}\");
+    let b = Box::new(1);
+}
+fn cold2() { let v = Vec::new(); }
+";
+        let f = scan_source("t.rs", src, ALL);
+        assert_eq!(
+            ids(&f),
+            vec![
+                ("H001", 4, 7),
+                ("H001", 5, 15),
+                ("H001", 6, 13),
+                ("H001", 7, 13),
+            ]
+        );
+    }
+
+    #[test]
+    fn suppression_covers_its_line_and_the_next() {
+        let src = "\
+// lint: allow(D001) tiny fixed set, order never observed
+let a = HashMap::new();
+let b = HashSet::new();
+";
+        let f = scan_source("t.rs", src, ALL);
+        // Line 2's D001 is excused; line 3's is a different line pair? No —
+        // the span covers lines 1 and 2, so line 3 still fires.
+        assert_eq!(ids(&f), vec![("D001", 3, 9)]);
+    }
+
+    #[test]
+    fn bare_allow_still_suppresses_but_is_itself_a_finding() {
+        let src = "// lint: allow(D001)\nlet a = HashMap::new();\n";
+        let f = scan_source("t.rs", src, ALL);
+        assert_eq!(ids(&f), vec![("S001", 1, 1)]);
+        assert!(
+            f[0].message.contains("no justification"),
+            "{}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn unknown_rule_and_unknown_directive_are_findings() {
+        let src = "// lint: allow(D999) because\n// lint: frobnicate\nlet x = 1;\n";
+        let f = scan_source("t.rs", src, ALL);
+        assert_eq!(ids(&f), vec![("S001", 1, 1), ("S001", 2, 1)]);
+    }
+
+    #[test]
+    fn stale_suppression_is_a_finding() {
+        let src = "// lint: allow(D001) nothing here anymore\nlet x = 1;\n";
+        let f = scan_source("t.rs", src, ALL);
+        assert_eq!(ids(&f), vec![("S001", 1, 1)]);
+        assert!(f[0].message.contains("stale"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn trailing_allow_excuses_its_own_line() {
+        let src = "let a = HashMap::new(); // lint: allow(D001) fixed two-key map, lookups only\n";
+        let f = scan_source("t.rs", src, ALL);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn rule_set_gates_apply() {
+        let src = "let a: HashMap<u8, u8>; let t = Instant::now(); std::thread::spawn(f);\n";
+        let none = RuleSet {
+            d001: false,
+            d002: false,
+            d003: false,
+        };
+        assert!(scan_source("t.rs", src, none).is_empty());
+        // D004 has no gate: ambient entropy is wrong in every zone.
+        let f = scan_source("t.rs", "let h = RandomState::new();\n", none);
+        assert_eq!(ids(&f), vec![("D004", 1, 9)]);
+    }
+}

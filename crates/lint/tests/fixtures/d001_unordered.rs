@@ -1,0 +1,13 @@
+// Fixture: D001 unordered iteration. Never compiled — scanned by
+// tests/lint_rules.rs, which asserts exact rule ids and positions.
+use std::collections::HashMap;
+
+fn order_leak(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let s = "HashMap in a string is fine";
+    m.keys().copied().collect()
+}
+
+fn excused() {
+    // lint: allow(D001) bounded to 2 keys, order never observed
+    let _m: std::collections::HashSet<u8> = Default::default();
+}

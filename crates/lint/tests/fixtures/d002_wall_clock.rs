@@ -1,0 +1,8 @@
+// Fixture: D002 wall clock in deterministic code.
+use std::time::Instant;
+
+fn timing() {
+    let stored: Option<Instant> = None; // bare type: not a read, no finding
+    let t0 = Instant::now();
+    let epoch = std::time::SystemTime::UNIX_EPOCH;
+}

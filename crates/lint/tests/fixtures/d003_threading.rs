@@ -1,0 +1,6 @@
+// Fixture: D003 threading outside sim::pool.
+fn stray() {
+    std::thread::sleep(std::time::Duration::from_millis(1)); // sleep is fine
+    let h = std::thread::spawn(|| 42);
+    let (tx, rx) = std::sync::mpsc::channel::<u32>();
+}

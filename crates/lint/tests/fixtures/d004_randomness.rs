@@ -1,0 +1,7 @@
+// Fixture: D004 ambient randomness.
+use std::collections::hash_map::RandomState;
+
+fn entropy() {
+    let hasher = std::collections::hash_map::DefaultHasher::new();
+    let rng = thread_rng();
+}

@@ -1,0 +1,20 @@
+// Fixture: H001 allocation in a hot-path region.
+fn cold(v: &mut Vec<u32>) {
+    v.push(1); // outside any hot region: no finding
+}
+
+// lint: hot-path
+fn epoch_step(v: &mut Vec<u32>, x: &String) {
+    v.push(1);
+    let c = x.clone();
+    let s = format!("{c}");
+    let t = x.to_string();
+    let b = Box::new(0u8);
+    let w: Vec<u8> = Vec::new();
+    // lint: allow(H001) scratch buffer reuses capacity across epochs
+    v.push(2);
+}
+
+fn cold_again() {
+    let v: Vec<u8> = Vec::new(); // region ended at the closing brace
+}

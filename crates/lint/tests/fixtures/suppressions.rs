@@ -1,0 +1,12 @@
+// Fixture: suppression hygiene (S001).
+fn hygiene() {
+    // lint: allow(D001)
+    let bare = std::collections::HashMap::<u8, u8>::new();
+    // lint: allow(D999) not a rule id
+    // lint: allow(D002) excuses nothing on the next line
+    let stale = 0;
+    // lint: frobnicate
+    let unknown = 0;
+    // lint: allow(D001) justified and used — no finding from this pair
+    let fine = std::collections::HashMap::<u8, u8>::new();
+}

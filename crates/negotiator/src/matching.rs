@@ -279,7 +279,7 @@ mod tests {
         let mut rng = Xoshiro256::new(7);
         let mut arb = AcceptArbiter::new(&topo, 0, &mut rng);
         let grants = vec![Grant { dst: 3, port: 0 }, Grant { dst: 5, port: 0 }];
-        let mut wins = std::collections::HashMap::new();
+        let mut wins = std::collections::BTreeMap::new();
         for _ in 0..10 {
             let a = arb.accept(4, &grants, |_, _| true);
             *wins.entry(a[0].dst).or_insert(0) += 1;

@@ -350,8 +350,8 @@ mod tests {
         let mut q = DestQueue::new();
         q.enqueue_flow(1, 12_000, 0, true, TH);
         q.enqueue_flow(2, 12_000, 5, true, TH);
-        let mut seen = std::collections::HashMap::new();
-        let mut last_prio: std::collections::HashMap<u64, usize> = Default::default();
+        let mut seen = std::collections::BTreeMap::new();
+        let mut last_prio: std::collections::BTreeMap<u64, usize> = Default::default();
         while let Some(p) = q.dequeue_packet(1_115) {
             *seen.entry(p.flow).or_insert(0u64) += p.bytes;
             let lp = last_prio.entry(p.flow).or_insert(0);

@@ -159,7 +159,7 @@ mod tests {
     #[test]
     fn random_initialization_varies_pointer() {
         let members: Vec<usize> = (0..64).collect();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for seed in 0..32 {
             let r = Ring::new(members.clone(), &mut Xoshiro256::new(seed));
             seen.insert(r.pointer_member());

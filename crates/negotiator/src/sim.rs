@@ -504,6 +504,7 @@ impl NegotiatorSim {
         let mut cursor = 0usize;
 
         let mut epoch: u64 = 0;
+        // lint: hot-path
         loop {
             let t0 = epoch * self.epoch_len;
             if t0 >= duration {
@@ -654,16 +655,19 @@ impl NegotiatorSim {
     /// Collapse `active`/`active_relay` into the dense, (src, port)-ordered
     /// transmission list the scheduled phase iterates — matched slots only,
     /// in exactly the order the old full `n · s` sweep visited them.
+    // lint: hot-path
     fn rebuild_active_list(&mut self) {
         self.active_list.clear();
         for slot in 0..self.n * self.s {
             if let Some(dst) = self.active[slot] {
+                // lint: allow(H001) pushes into retained capacity — active_list is cleared, never shrunk
                 self.active_list.push(ActiveTx {
                     slot: slot as u32,
                     dst: dst as u32,
                     relay: false,
                 });
             } else if self.active_relay[slot].is_some() {
+                // lint: allow(H001) pushes into retained capacity — active_list is cleared, never shrunk
                 self.active_list.push(ActiveTx {
                     slot: slot as u32,
                     dst: 0,

@@ -111,7 +111,7 @@ mod tests {
         let reqs = bind_requests(&topo, 0, &qs, 1_000);
         assert_eq!(reqs.len(), 3);
         assert_eq!(reqs[0].0, 1, "oldest bundle binds first");
-        let ports: std::collections::HashSet<usize> = reqs.iter().map(|(_, r)| r.port).collect();
+        let ports: std::collections::BTreeSet<usize> = reqs.iter().map(|(_, r)| r.port).collect();
         assert_eq!(ports.len(), 3, "distinct ports");
     }
 
@@ -130,7 +130,7 @@ mod tests {
         // port 2.
         let qs = queues_with(16, &[(5, 500, 0), (9, 500, 0)]);
         let reqs = bind_requests(&topo, 0, &qs, 100);
-        let by_dst: std::collections::HashMap<usize, usize> =
+        let by_dst: std::collections::BTreeMap<usize, usize> =
             reqs.iter().map(|&(d, r)| (d, r.port)).collect();
         assert_eq!(by_dst[&5], 1);
         assert_eq!(by_dst[&9], 2);

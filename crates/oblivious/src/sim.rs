@@ -322,6 +322,7 @@ impl ObliviousSim {
         let per_pair_cap = self.cfg.relay_pair_packets as u64 * self.payload;
 
         let mut t: u64 = 0;
+        // lint: hot-path
         loop {
             let now = t * self.slot_len;
             if now >= duration {

@@ -8,6 +8,7 @@
 //! paper serve [--addr HOST:PORT] [--jobs N] [--out DIR]
 //! paper submit <file.json> [--addr HOST:PORT] [--priority N]
 //! paper list [--json]
+//! paper lint [--json]
 //! ```
 //!
 //! Experiments expand into independent runs executed across `--jobs`
@@ -42,6 +43,10 @@ fn main() {
     };
     if cli.list {
         list(&cli);
+        return;
+    }
+    if cli.lint {
+        run_lint(&cli);
         return;
     }
     if cli.serve {
@@ -284,6 +289,32 @@ fn submit(path: &Path, cli: &cli::Cli) {
     }
 }
 
+/// `paper lint`: scan the workspace for determinism-invariant violations
+/// (rules and zones: README "Static analysis"). Exit 0 when clean, 1 on
+/// findings, 2 when the scan itself cannot run.
+fn run_lint(cli: &cli::Cli) {
+    let root = Path::new(".");
+    if !root.join("crates").is_dir() {
+        eprintln!("error: lint: run from the workspace root (no crates/ directory here)");
+        std::process::exit(2);
+    }
+    let report = match lint::scan_workspace(root) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("error: lint: {error}");
+            std::process::exit(2);
+        }
+    };
+    if cli.json {
+        println!("{}", lint::render_json(&report).render());
+    } else {
+        print!("{}", lint::render_text(&report));
+    }
+    if !report.findings.is_empty() {
+        std::process::exit(1);
+    }
+}
+
 fn list(cli: &cli::Cli) {
     if cli.json {
         // Machine-readable: experiments + the scenario library, one
@@ -365,7 +396,8 @@ fn usage() {
          \u{20}      paper scenario <file.json>... [--jobs N] [--json] [--no-timing] [--no-cache] [--out DIR]\n\
          \u{20}      paper serve [--addr HOST:PORT] [--jobs N] [--out DIR]\n\
          \u{20}      paper submit <file.json> [--addr HOST:PORT] [--priority N]\n\
-         \u{20}      paper list [--json]"
+         \u{20}      paper list [--json]\n\
+         \u{20}      paper lint [--json]"
     );
     eprintln!("experiments:");
     for exp in EXPERIMENTS {

@@ -9,9 +9,17 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use metrics::Json;
+
+/// Lock a mutex, shrugging off poisoning. A scenario that panics inside a
+/// worker must not wedge the daemon: every critical section in this module
+/// is a single-field transition, so the data is consistent even when the
+/// holder died mid-section, and recovering beats panicking every follower.
+pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Where a job stands. Terminal states carry what the follower needs.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,17 +97,17 @@ impl Job {
 
     /// Current state (cloned).
     pub fn state(&self) -> JobState {
-        self.inner.lock().expect("job").state.clone()
+        lock_recover(&self.inner).state.clone()
     }
 
     /// All events recorded so far (cloned).
     pub fn events(&self) -> Vec<Json> {
-        self.inner.lock().expect("job").events.clone()
+        lock_recover(&self.inner).events.clone()
     }
 
     /// Append a progress event and wake followers.
     pub fn push_event(&self, event: Json) {
-        let mut inner = self.inner.lock().expect("job");
+        let mut inner = lock_recover(&self.inner);
         inner.events.push(event);
         self.changed.notify_all();
     }
@@ -107,7 +115,7 @@ impl Job {
     /// Move `Queued → Running`. Returns `false` (a no-op) if the job was
     /// cancelled first — the executor must then skip the simulation.
     pub fn start(&self) -> bool {
-        let mut inner = self.inner.lock().expect("job");
+        let mut inner = lock_recover(&self.inner);
         if inner.state != JobState::Queued {
             return false;
         }
@@ -120,7 +128,7 @@ impl Job {
     /// terminal (a cancel that raced a completion loses).
     pub fn finish(&self, state: JobState) {
         assert!(state.is_terminal(), "finish takes a terminal state");
-        let mut inner = self.inner.lock().expect("job");
+        let mut inner = lock_recover(&self.inner);
         if inner.state.is_terminal() {
             return;
         }
@@ -130,7 +138,7 @@ impl Job {
 
     /// Cancel if still queued. `true` when the cancellation won.
     pub fn cancel(&self) -> bool {
-        let mut inner = self.inner.lock().expect("job");
+        let mut inner = lock_recover(&self.inner);
         if inner.state != JobState::Queued {
             return false;
         }
@@ -142,7 +150,7 @@ impl Job {
     /// Block until there is something past `cursor`: either new events
     /// (cursor advances) or the terminal state once all events are drained.
     pub fn follow(&self, cursor: &mut usize) -> Follow {
-        let mut inner = self.inner.lock().expect("job");
+        let mut inner = lock_recover(&self.inner);
         loop {
             if inner.events.len() > *cursor {
                 let fresh = inner.events[*cursor..].to_vec();
@@ -152,7 +160,10 @@ impl Job {
             if inner.state.is_terminal() {
                 return Follow::Finished(inner.state.clone());
             }
-            inner = self.changed.wait(inner).expect("job");
+            inner = self
+                .changed
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -192,7 +203,7 @@ impl JobTable {
     /// Admit a submission for `hash`: attach to an in-flight twin when
     /// one exists, otherwise register a new queued job.
     pub fn admit(&self, hash: u64, name: &str) -> Admission {
-        let mut in_flight = self.in_flight.lock().expect("in-flight index");
+        let mut in_flight = lock_recover(&self.in_flight);
         if let Some(job) = in_flight.get(&hash) {
             if !job.state().is_terminal() {
                 self.coalesced.fetch_add(1, Ordering::Relaxed);
@@ -203,7 +214,7 @@ impl JobTable {
         let job = Job::new(id, hash, name.to_string());
         in_flight.insert(hash, Arc::clone(&job));
         self.served.fetch_add(1, Ordering::Relaxed);
-        let mut jobs = self.jobs.lock().expect("job registry");
+        let mut jobs = lock_recover(&self.jobs);
         jobs.insert(id, Arc::clone(&job));
         // Keep the registry bounded: evict the oldest *terminal* jobs
         // beyond the cap (live jobs are never evicted; followers hold
@@ -227,7 +238,7 @@ impl JobTable {
     /// transition, so a resubmission starts fresh instead of attaching to
     /// a finished record).
     pub fn retire(&self, job: &Job) {
-        let mut in_flight = self.in_flight.lock().expect("in-flight index");
+        let mut in_flight = lock_recover(&self.in_flight);
         if let Some(current) = in_flight.get(&job.hash) {
             if current.id == job.id {
                 in_flight.remove(&job.hash);
@@ -237,14 +248,14 @@ impl JobTable {
 
     /// Look up a job by id.
     pub fn get(&self, id: u64) -> Option<Arc<Job>> {
-        self.jobs.lock().expect("job registry").get(&id).cloned()
+        lock_recover(&self.jobs).get(&id).cloned()
     }
 
     /// `(total jobs ever admitted, currently non-terminal, coalesced
     /// submissions)`. The total counts admissions, not retained records —
     /// old terminal jobs are evicted past [`MAX_RETAINED_JOBS`].
     pub fn stats(&self) -> (usize, usize, usize) {
-        let jobs = self.jobs.lock().expect("job registry");
+        let jobs = lock_recover(&self.jobs);
         let active = jobs.values().filter(|j| !j.state().is_terminal()).count();
         (
             self.served.load(Ordering::Relaxed),
@@ -363,6 +374,7 @@ mod tests {
         };
         let follower = {
             let job = Arc::clone(&job);
+            // lint: allow(D003) test exercises cross-thread event following; no sim output involved
             std::thread::spawn(move || {
                 let mut cursor = 0;
                 let mut seen = Vec::new();

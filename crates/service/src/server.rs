@@ -52,7 +52,7 @@ use scenario::{CompiledScenario, PhaseProgress, ProgressSink};
 use sim::pool::WorkerPool;
 
 use crate::http::{read_request, respond, start_stream, Request};
-use crate::jobs::{Admission, Follow, Job, JobState, JobTable};
+use crate::jobs::{lock_recover, Admission, Follow, Job, JobState, JobTable};
 use crate::library::library_json;
 
 /// Daemon configuration.
@@ -124,6 +124,7 @@ impl Server {
         let accept = {
             let state = Arc::clone(&state);
             let conns = Arc::clone(&conns);
+            // lint: allow(D003) daemon accept loop; simulation work still runs on sim::pool
             std::thread::spawn(move || accept_loop(&listener, &state, &conns))
         };
         Ok(Server {
@@ -151,14 +152,14 @@ impl Server {
     /// all threads. Idempotent.
     pub fn shutdown(&mut self) {
         self.state.draining.store(true, Ordering::SeqCst);
-        if let Some(mut pool) = self.state.pool.lock().expect("pool").take() {
+        if let Some(mut pool) = lock_recover(&self.state.pool).take() {
             pool.shutdown();
         }
         self.state.closed.store(true, Ordering::SeqCst);
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        let handles: Vec<_> = self.conns.lock().expect("connections").drain(..).collect();
+        let handles: Vec<_> = lock_recover(&self.conns).drain(..).collect();
         for handle in handles {
             let _ = handle.join();
         }
@@ -241,8 +242,9 @@ fn accept_loop(
             Ok((stream, _peer)) => {
                 let _ = stream.set_nonblocking(false);
                 let state = Arc::clone(state);
+                // lint: allow(D003) one thread per connection; simulation work still runs on sim::pool
                 let handle = std::thread::spawn(move || handle_connection(stream, &state));
-                let mut conns = conns.lock().expect("connections");
+                let mut conns = lock_recover(conns);
                 conns.retain(|h| !h.is_finished());
                 conns.push(handle);
             }
@@ -268,9 +270,17 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
             return;
         }
     };
-    let result = route(&mut stream, &request, state);
-    if let Err(_io) = result {
-        // The peer went away mid-response; nothing sensible to do.
+    match catch_unwind(AssertUnwindSafe(|| route(&mut stream, &request, state))) {
+        Ok(Ok(())) => {}
+        Ok(Err(_io)) => {
+            // The peer went away mid-response; nothing sensible to do.
+        }
+        Err(_panic) => {
+            // A handler bug answers with a typed 500 instead of silently
+            // dropping the connection. Best-effort: the panic may have
+            // struck after headers already went out.
+            let _ = error_response(&mut stream, 500, "internal error handling request");
+        }
     }
 }
 
@@ -374,8 +384,13 @@ fn handle_submit(
     } else if wait_mode {
         let mut cursor = usize::MAX; // skip events, wait for the end
         match job.follow(&mut cursor) {
-            Follow::Events(_) => unreachable!("cursor pinned past all events"),
             Follow::Finished(terminal) => finished_response(stream, &terminal, disposition),
+            // A cursor pinned past every event only ever sees the terminal
+            // state; if that invariant ever breaks, a typed 500 beats
+            // panicking the worker thread.
+            Follow::Events(_) => {
+                error_response(stream, 500, "internal error: events on a pinned cursor")
+            }
         }
     } else {
         let mut body = Json::object();
@@ -396,7 +411,7 @@ fn dispatch(
     compiled: CompiledScenario,
     priority: i64,
 ) -> bool {
-    let pool = state.pool.lock().expect("pool");
+    let pool = lock_recover(&state.pool);
     let Some(pool) = pool.as_ref() else {
         return false;
     };

@@ -11,6 +11,7 @@
 //!   draining everything already accepted.
 
 use std::path::{Path, PathBuf};
+// lint: allow(D003) tests drive the daemon with real concurrent clients by design
 use std::sync::mpsc;
 
 use service::{client, Disposition, ServeConfig, Server};
@@ -107,6 +108,7 @@ fn concurrent_distinct_submissions_all_complete_correctly() {
         .map(|text| {
             let addr = addr.clone();
             let text = text.clone();
+            // lint: allow(D003) concurrent submitters are the scenario under test
             std::thread::spawn(move || client::submit(&addr, &text, 0, |_| {}))
         })
         .collect();
@@ -137,9 +139,11 @@ fn identical_inflight_submissions_coalesce() {
     // First submission: wait until the daemon confirms it queued (the
     // opening event) so the twin below is guaranteed to find it either
     // in flight or already cached — never simulate twice.
+    // lint: allow(D003) channel sequences the racing submitters this test needs
     let (queued_tx, queued_rx) = mpsc::channel::<()>();
     let background = {
         let (addr, text) = (addr.clone(), text.clone());
+        // lint: allow(D003) concurrent submitters are the scenario under test
         std::thread::spawn(move || {
             let mut first_event = Some(queued_tx);
             client::submit(&addr, &text, 0, |_| {
@@ -174,6 +178,7 @@ fn status_result_and_cancel_endpoints() {
     let victim = scenario_text("victim", 2);
     let background = {
         let (addr, heavy) = (addr.clone(), heavy.clone());
+        // lint: allow(D003) concurrent submitters are the scenario under test
         std::thread::spawn(move || client::submit(&addr, &heavy, 5, |_| {}))
     };
     // Queue the victim without streaming: 202 + a job id.

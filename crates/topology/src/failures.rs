@@ -14,7 +14,7 @@ use sim::time::Nanos;
 use sim::Xoshiro256;
 
 /// Direction of a fiber relative to its ToR.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LinkDir {
     /// ToR transmit side (laser → AWGR).
     Egress,

@@ -186,7 +186,7 @@ mod tests {
             panic!("pair (0,1) not connected");
         };
         let ports: Vec<usize> = (0..8).map(port_for_dst).collect();
-        let distinct: std::collections::HashSet<_> = ports.iter().collect();
+        let distinct: std::collections::BTreeSet<_> = ports.iter().collect();
         assert_eq!(distinct.len(), 8, "8 rotations should use 8 distinct ports");
     }
 

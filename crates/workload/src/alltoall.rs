@@ -51,7 +51,7 @@ mod tests {
         let t = w.generate();
         assert_eq!(t.len(), 16 * 15);
         // Every ordered pair appears exactly once.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for f in t.flows() {
             assert_ne!(f.src, f.dst);
             assert!(seen.insert((f.src, f.dst)));

@@ -72,7 +72,7 @@ impl MixedWorkload {
         // Tag incast flows by (src, dst, arrival, bytes) before the merge
         // renumbers ids.
         let key = |f: &Flow| (f.src, f.dst, f.arrival, f.bytes);
-        let incast_keys: std::collections::HashSet<_> = incasts.iter().map(key).collect();
+        let incast_keys: std::collections::BTreeSet<_> = incasts.iter().map(key).collect();
         let merged = bg.merge(FlowTrace::new(incasts));
         let tags = merged
             .flows()

@@ -31,7 +31,7 @@ proptest! {
             total_in += bytes;
         }
         prop_assert_eq!(q.total_bytes(), total_in);
-        let mut per_flow = std::collections::HashMap::new();
+        let mut per_flow = std::collections::BTreeMap::new();
         let mut total_out = 0u64;
         while let Some(p) = q.dequeue_packet(payload) {
             prop_assert!(p.bytes > 0 && p.bytes <= payload);
@@ -157,7 +157,7 @@ proptest! {
         let failed = f.fail_random(ratio, &mut Xoshiro256::new(seed));
         let target = ((2 * tors * ports) as f64 * ratio).round() as usize;
         prop_assert_eq!(failed.len(), target);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for &(tor, port, dir) in &failed {
             prop_assert!(tor < tors && port < ports);
             prop_assert!(seen.insert((tor, port, dir)), "duplicate link");

@@ -174,7 +174,7 @@ proptest! {
         let mut rng = Xoshiro256::new(seed);
         let mut ring = Ring::new(members.clone(), &mut rng);
         let candidates: Vec<usize> = members.iter().copied().step_by(2).collect();
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         let rounds = candidates.len() * 10;
         for _ in 0..rounds {
             let pick = ring.pick(&candidates).expect("candidates exist");
