@@ -1,0 +1,267 @@
+//! Epoch-engine scaling bench: fabric size × intra-run shard workers.
+//!
+//! ```text
+//! bench-epoch [--sizes 256,512,1024,2048,4096] [--workers-list 1,2,4]
+//!             [--epochs N] [--load PCT] [--out FILE]
+//! ```
+//!
+//! For every fabric size the bench builds the paper's parallel network at
+//! that ToR count, synthesizes one Poisson trace spanning `--epochs`
+//! epochs, and plays it through `NegotiatorSim` once per `--workers-list`
+//! entry, timing the whole run. The output document is `bench-diff`
+//! compatible (same `schema_version`/`config`/`runs[].metrics` layout the
+//! sweep writer uses):
+//!
+//! * **Inside `metrics`** — only deterministic simulation results
+//!   (delivered bytes, completion counts, percentiles). The tentpole
+//!   guarantee makes these byte-identical at any worker count and on any
+//!   machine, so CI gates on them byte-for-byte.
+//! * **Outside `metrics`** — wall-clock observations (`wall_secs`,
+//!   `epochs_per_sec`) and `host_parallelism`. These vary by machine and
+//!   are informational only; `bench-diff` never gates on them.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench::runs::{background_seeded, SEED};
+use metrics::Json;
+use negotiator::{NegotiatorConfig, NegotiatorSim, SimOptions};
+use sim::Bandwidth;
+use topology::{NetworkConfig, TopologyKind};
+use workload::FlowSizeDist;
+
+struct Options {
+    sizes: Vec<usize>,
+    workers_list: Vec<usize>,
+    epochs: u64,
+    load: f64,
+    out: Option<PathBuf>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            sizes: vec![256, 512, 1024, 2048, 4096],
+            workers_list: vec![1, 2, 4],
+            epochs: 20,
+            load: 0.6,
+            out: None,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match parse(std::env::args().skip(1).collect()) {
+        Ok(options) => options,
+        Err(error) => {
+            eprintln!("error: {error}");
+            eprintln!(
+                "usage: bench-epoch [--sizes N,N,...] [--workers-list N,N,...] \
+                 [--epochs N] [--load PCT] [--out FILE]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let document = run_bench(&options);
+    let text = format!("{}\n", document.render());
+    match &options.out {
+        Some(path) => {
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                if let Err(error) = std::fs::create_dir_all(dir) {
+                    eprintln!("error: creating {}: {error}", dir.display());
+                    return ExitCode::from(1);
+                }
+            }
+            if let Err(error) = std::fs::write(path, &text) {
+                eprintln!("error: writing {}: {error}", path.display());
+                return ExitCode::from(1);
+            }
+            eprintln!("[wrote {}]", path.display());
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// The paper's network geometry at an arbitrary ToR count (sizes must be
+/// divisible by the 8 uplink ports for topology validity).
+fn sized_net(n_tors: usize) -> NetworkConfig {
+    NetworkConfig {
+        n_tors,
+        n_ports: 8,
+        port_bandwidth: Bandwidth::from_gbps(100),
+        host_bandwidth: Bandwidth::from_gbps(400),
+        propagation_delay: 2_000,
+    }
+}
+
+fn run_bench(options: &Options) -> Json {
+    let host_parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut total_run_secs = 0.0;
+    let mut runs = Vec::new();
+    for &size in &options.sizes {
+        let net = sized_net(size);
+        // One probe sim fixes the epoch length (it depends only on the
+        // geometry); the trace then spans exactly `--epochs` epochs.
+        let epoch_len =
+            NegotiatorSim::new(NegotiatorConfig::paper_default(net.clone()), KIND).epoch_len();
+        let duration = options.epochs * epoch_len;
+        let trace = background_seeded(FlowSizeDist::hadoop(), options.load, &net, duration, SEED);
+        eprintln!(
+            "[size {size}: epoch {} ns, {} flows over {} epochs]",
+            epoch_len,
+            trace.len(),
+            options.epochs
+        );
+        for &workers in &options.workers_list {
+            let mut sim = NegotiatorSim::with_options(
+                NegotiatorConfig::paper_default(net.clone()),
+                KIND,
+                SimOptions {
+                    workers,
+                    ..SimOptions::default()
+                },
+            );
+            let started = std::time::Instant::now();
+            let mut report = sim.run(&trace, duration);
+            let wall_secs = started.elapsed().as_secs_f64();
+            total_run_secs += wall_secs;
+            let epochs_per_sec = options.epochs as f64 / wall_secs;
+            eprintln!(
+                "[size {size} workers {workers}: {wall_secs:.3}s, {epochs_per_sec:.2} epochs/s]"
+            );
+            let mut metrics = Json::object();
+            metrics
+                .push("delivered_bytes", report.goodput.delivered_bytes)
+                .push("completed", report.all.completed as u64)
+                .push("total_flows", report.all.total as u64)
+                .push("p99_ns", report.all.p99_ns() as u64)
+                .push("mice_p99_ns", report.mice.p99_ns() as u64);
+            let mut run = Json::object();
+            run.push("index", runs.len() as u64)
+                .push("system", "nego/parallel")
+                .push("param", size as f64)
+                .push("workers", workers as u64)
+                .push("seed", SEED)
+                .push("duration_ns", duration)
+                .push("metrics", metrics)
+                // Informational, machine-dependent — never gated.
+                .push("wall_secs", wall_secs)
+                .push("epochs_per_sec", epochs_per_sec);
+            runs.push(run);
+        }
+    }
+    let mut config = Json::object();
+    config
+        .push(
+            "sizes",
+            Json::Arr(
+                options
+                    .sizes
+                    .iter()
+                    .map(|&s| Json::from(s as u64))
+                    .collect(),
+            ),
+        )
+        .push(
+            "workers_list",
+            Json::Arr(
+                options
+                    .workers_list
+                    .iter()
+                    .map(|&w| Json::from(w as u64))
+                    .collect(),
+            ),
+        )
+        .push("epochs", options.epochs)
+        .push("load", options.load)
+        .push("seed", SEED);
+    let mut root = Json::object();
+    root.push("schema_version", 1u64)
+        .push("experiment", "epoch")
+        .push(
+            "artifact",
+            "Epoch-engine scaling: fabric size x shard workers",
+        )
+        .push("config", config)
+        .push("runs", Json::Arr(runs))
+        // Informational: where the wall numbers came from. The `timing`
+        // stanza matches the sweep writer's, so `bench-diff` prints the
+        // current/baseline wall-time ratio as its usual note.
+        .push("host_parallelism", host_parallelism as u64);
+    let mut timing = Json::object();
+    timing.push("total_run_secs", total_run_secs);
+    root.push("timing", timing);
+    root
+}
+
+const KIND: TopologyKind = TopologyKind::Parallel;
+
+fn parse(argv: Vec<String>) -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut it = argv.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sizes" => {
+                options.sizes = parse_list(&value(&mut it, "--sizes")?, "--sizes")?;
+                for &s in &options.sizes {
+                    if s < 16 || s % 8 != 0 {
+                        return Err(format!(
+                            "--sizes: {s} must be >= 16 and divisible by 8 uplink ports"
+                        ));
+                    }
+                }
+            }
+            "--workers-list" => {
+                options.workers_list =
+                    parse_list(&value(&mut it, "--workers-list")?, "--workers-list")?;
+                if options.workers_list.contains(&0) {
+                    return Err("--workers-list: need at least 1 worker".into());
+                }
+            }
+            "--epochs" => {
+                let v = value(&mut it, "--epochs")?;
+                options.epochs = v
+                    .parse()
+                    .map_err(|_| format!("--epochs: '{v}' is not an integer"))?;
+                if options.epochs == 0 {
+                    return Err("--epochs: need at least 1 epoch".into());
+                }
+            }
+            "--load" => {
+                let v = value(&mut it, "--load")?;
+                let pct: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--load: '{v}' is not a number"))?;
+                if !pct.is_finite() || pct <= 0.0 || pct > 100.0 {
+                    return Err(format!("--load: {pct}% is out of (0, 100]"));
+                }
+                options.load = pct / 100.0;
+            }
+            "--out" => options.out = Some(PathBuf::from(value(&mut it, "--out")?)),
+            flag => return Err(format!("unknown flag '{flag}'")),
+        }
+    }
+    Ok(options)
+}
+
+fn parse_list(v: &str, flag: &str) -> Result<Vec<usize>, String> {
+    let list: Vec<usize> = v
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("{flag}: '{s}' is not an integer"))
+        })
+        .collect::<Result<_, _>>()?;
+    if list.is_empty() {
+        return Err(format!("{flag}: need at least one entry"));
+    }
+    Ok(list)
+}
+
+fn value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}

@@ -38,6 +38,9 @@ pub struct Cli {
     /// Worker threads for the sweep engine (`--jobs N`, default: available
     /// parallelism).
     pub jobs: usize,
+    /// Intra-run shard workers per simulation (`--workers N`, default 1).
+    /// Purely a wall-clock knob: output is byte-identical at any value.
+    pub workers: usize,
     /// Write `results/<id>.json` files (`--json`).
     pub json: bool,
     /// Attach wall-clock metadata to written JSON (`--no-timing` clears
@@ -64,6 +67,7 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
         args: Args::default(),
         seeds: Vec::new(),
         jobs: sim::pool::default_jobs(),
+        workers: 1,
         json: false,
         timing: true,
         cache: true,
@@ -152,6 +156,17 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
                 }
                 cli.jobs = jobs;
             }
+            "--workers" => {
+                let v = value(&mut it, "--workers")?;
+                let workers: usize = v
+                    .parse()
+                    .map_err(|_| format!("--workers: '{v}' is not an integer"))?;
+                if workers == 0 {
+                    return Err("--workers: need at least 1 shard worker".into());
+                }
+                cli.workers = workers;
+                cli.args.workers = workers;
+            }
             "--json" => cli.json = true,
             "--out" => cli.out = PathBuf::from(value(&mut it, "--out")?),
             "list" => cli.list = true,
@@ -204,6 +219,9 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
     }
     if priority_set && cli.submit.is_none() {
         return Err("--priority only applies to `paper submit`".into());
+    }
+    if cli.workers != 1 && (cli.submit.is_some() || cli.lint || cli.list) {
+        return Err("--workers only applies to local runs and `paper serve`".into());
     }
     if cli.seeds.is_empty() {
         cli.seeds = vec![cli.args.seed];
@@ -313,6 +331,27 @@ mod tests {
         assert!(parse_strs(&["--seeds", "1,x"])
             .unwrap_err()
             .contains("not an integer"));
+    }
+
+    #[test]
+    fn workers_flag_parses_and_validates() {
+        let cli = parse_strs(&["fig9", "--workers", "4"]).unwrap();
+        assert_eq!(cli.workers, 4);
+        assert_eq!(cli.args.workers, 4);
+        let cli = parse_strs(&["fig9"]).unwrap();
+        assert_eq!(cli.workers, 1, "defaults to sequential");
+        let cli = parse_strs(&["scenario", "x.json", "--workers", "8"]).unwrap();
+        assert_eq!(cli.workers, 8);
+        let cli = parse_strs(&["serve", "--workers", "2"]).unwrap();
+        assert_eq!(cli.workers, 2);
+        assert!(parse_strs(&["fig9", "--workers", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse_strs(&["fig9", "--workers", "x"])
+            .unwrap_err()
+            .contains("not an integer"));
+        let err = parse_strs(&["submit", "a.json", "--workers", "2"]).unwrap_err();
+        assert!(err.contains("--workers only applies"), "{err}");
     }
 
     #[test]

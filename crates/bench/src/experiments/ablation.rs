@@ -51,6 +51,7 @@ impl Experiment for AblThreshold {
                 let net = net.clone();
                 let trace = Arc::clone(&trace);
                 let duration = args.duration;
+                let workers = args.workers;
                 let meta = RunMeta::new(self.id(), index, "nego/parallel", args)
                     .load(1.0)
                     .param("threshold_packets", threshold as f64);
@@ -63,6 +64,7 @@ impl Experiment for AblThreshold {
                         SimOptions::default(),
                         &trace,
                         duration,
+                        workers,
                     );
                     let st = sim.stats();
                     let cells = vec![

@@ -38,12 +38,13 @@ impl Experiment for Fig14 {
                 let net = net.clone();
                 let trace = Arc::clone(&trace);
                 let duration = args.duration;
+                let workers = args.workers;
                 let meta = RunMeta::new(self.id(), index, format!("nego/{}", kind.label()), args)
                     .load(1.0);
                 RunSpec::new(meta, move || {
                     let cfg = NegotiatorConfig::paper_default(net.clone());
                     let (rep, sim) =
-                        run_negotiator(cfg, kind, SimOptions::default(), &trace, duration);
+                        run_negotiator(cfg, kind, SimOptions::default(), &trace, duration, workers);
                     let rec = sim.match_recorder();
                     let series = rec.series();
                     let mut table = Table::new(
@@ -117,6 +118,7 @@ impl Experiment for Fig15 {
                 let net = speedup_net.clone();
                 let trace = Arc::clone(&speedup_trace);
                 let duration = args.duration;
+                let workers = args.workers;
                 let meta = RunMeta::new(self.id(), specs.len(), FIG15_LABELS[0], args).load(load);
                 specs.push(RunSpec::new(meta, move || {
                     let cfg = NegotiatorConfig::paper_default(net.clone());
@@ -126,6 +128,7 @@ impl Experiment for Fig15 {
                         SimOptions::default(),
                         &trace,
                         duration,
+                        workers,
                     );
                     fig15_metrics(rep)
                 }));
@@ -135,6 +138,7 @@ impl Experiment for Fig15 {
                 let net = flat_net.clone();
                 let trace = Arc::clone(&flat_trace);
                 let duration = args.duration;
+                let workers = args.workers;
                 let meta = RunMeta::new(self.id(), specs.len(), FIG15_LABELS[v + 1], args)
                     .load(load)
                     .param("iterations", rounds as f64);
@@ -149,6 +153,7 @@ impl Experiment for Fig15 {
                         },
                         &trace,
                         duration,
+                        workers,
                     );
                     fig15_metrics(rep)
                 }));
@@ -206,10 +211,11 @@ fn variant_specs(
             let trace = Arc::clone(&trace);
             let opts = opts.clone();
             let duration = args.duration;
+            let workers = args.workers;
             let meta = RunMeta::new(experiment, specs.len(), *label, args).load(load);
             specs.push(RunSpec::new(meta, move || {
                 let cfg = NegotiatorConfig::paper_default(net.clone());
-                let (mut rep, _) = run_negotiator(cfg, kind, opts, &trace, duration);
+                let (mut rep, _) = run_negotiator(cfg, kind, opts, &trace, duration, workers);
                 let cell = format!(
                     "{}/{}",
                     report::us(rep.mice.p99_ns()),

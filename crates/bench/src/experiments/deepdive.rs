@@ -41,6 +41,7 @@ impl Experiment for Fig12a {
                 let net = net.clone();
                 let trace = Arc::clone(&trace);
                 let duration = args.duration;
+                let workers = args.workers;
                 let meta = RunMeta::new(self.id(), specs.len(), "nego/parallel", args)
                     .load(load)
                     .param("slot_ns", slot_ns as f64);
@@ -53,6 +54,7 @@ impl Experiment for Fig12a {
                         SimOptions::default(),
                         &trace,
                         duration,
+                        workers,
                     );
                     let cell = report::us(rep.mice.p99_ns());
                     RunMetrics::with_report(Rendered::Cells(vec![cell]), rep)
@@ -102,6 +104,7 @@ impl Experiment for Fig12b {
                 let net = net.clone();
                 let trace = Arc::clone(&trace);
                 let duration = args.duration;
+                let workers = args.workers;
                 let meta = RunMeta::new(self.id(), specs.len(), "nego/parallel", args)
                     .load(load)
                     .param("scheduled_slots", slots as f64);
@@ -114,6 +117,7 @@ impl Experiment for Fig12b {
                         SimOptions::default(),
                         &trace,
                         duration,
+                        workers,
                     );
                     let cells = vec![
                         report::ms(rep.mice.p99_ns()),
@@ -214,6 +218,7 @@ impl Experiment for Fig13a {
                 let net = net.clone();
                 let shared = Arc::clone(&shared);
                 let duration = args.duration;
+                let workers = args.workers;
                 let meta = RunMeta::new(self.id(), specs.len(), name, args)
                     .load(load)
                     .seed(SEED);
@@ -227,7 +232,11 @@ impl Experiment for Fig13a {
                                 TopologyKind::ThinClos
                             };
                             let cfg = NegotiatorConfig::paper_default(net.clone());
-                            let mut sim = NegotiatorSim::new(cfg, kind);
+                            let opts = SimOptions {
+                                workers,
+                                ..SimOptions::default()
+                            };
+                            let mut sim = NegotiatorSim::with_options(cfg, kind, opts);
                             sim.run(trace, duration);
                             let bg = sim.report_subset(trace, bg_tags);
                             let overall = RunReport::build(
@@ -246,6 +255,7 @@ impl Experiment for Fig13a {
                                 ObliviousConfig::paper_default(net.clone()),
                                 TopologyKind::ThinClos,
                             );
+                            sim.set_workers(workers);
                             sim.run(trace, duration);
                             let bg = sim.report_subset(trace, bg_tags);
                             let overall = RunReport::build(

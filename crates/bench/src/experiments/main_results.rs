@@ -45,18 +45,25 @@ enum Sys {
 }
 
 /// One (system, trace) run.
-fn measure(sys: Sys, net: &NetworkConfig, trace: &FlowTrace, duration: Nanos) -> RunReport {
+fn measure(
+    sys: Sys,
+    net: &NetworkConfig,
+    trace: &FlowTrace,
+    duration: Nanos,
+    workers: usize,
+) -> RunReport {
     match sys {
         Sys::Nego(kind, pq) => {
             let mut cfg = NegotiatorConfig::paper_default(net.clone());
             cfg.priority_queues = pq;
-            let (rep, _) = run_negotiator(cfg, kind, SimOptions::default(), trace, duration);
+            let (rep, _) =
+                run_negotiator(cfg, kind, SimOptions::default(), trace, duration, workers);
             rep
         }
         Sys::Oblv(pq) => {
             let mut cfg = ObliviousConfig::paper_default(net.clone());
             cfg.priority_queues = pq;
-            let (rep, _) = run_oblivious(cfg, TopologyKind::ThinClos, trace, duration);
+            let (rep, _) = run_oblivious(cfg, TopologyKind::ThinClos, trace, duration, workers);
             rep
         }
     }
@@ -83,9 +90,10 @@ pub(super) fn load_sweep_specs(
             let net = net.clone();
             let trace = Arc::clone(&trace);
             let duration = args.duration;
+            let workers = args.workers;
             let meta = RunMeta::new(experiment, specs.len(), name, args).load(load);
             specs.push(RunSpec::new(meta, move || {
-                let mut rep = measure(sys, &net, &trace, duration);
+                let mut rep = measure(sys, &net, &trace, duration, workers);
                 let cells = vec![
                     format!("{:.4}", rep.mice.p99_ns() / 1e6),
                     format!("{:.3}", rep.goodput.normalized()),
@@ -195,6 +203,7 @@ impl Experiment for Fig10 {
                 let net = net.clone();
                 let trace = Arc::clone(&trace);
                 let duration = args.duration;
+                let workers = args.workers;
                 let meta = RunMeta::new(self.id(), index, "nego/parallel", args)
                     .load(1.0)
                     .param("failure_ratio", ratio);
@@ -204,6 +213,7 @@ impl Experiment for Fig10 {
                         TopologyKind::Parallel,
                         SimOptions {
                             total_rx_window: Some(20_000),
+                            workers,
                             ..SimOptions::default()
                         },
                     );

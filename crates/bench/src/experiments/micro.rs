@@ -45,6 +45,7 @@ impl Experiment for Table2 {
                 let net = net.clone();
                 let trace = Arc::clone(&trace);
                 let duration = args.duration;
+                let workers = args.workers;
                 let meta = RunMeta::new(
                     self.id(),
                     specs.len(),
@@ -57,7 +58,7 @@ impl Experiment for Table2 {
                     cfg.piggyback = pb;
                     cfg.priority_queues = pq;
                     let (mut rep, sim) =
-                        run_negotiator(cfg, kind, SimOptions::default(), &trace, duration);
+                        run_negotiator(cfg, kind, SimOptions::default(), &trace, duration, workers);
                     let epoch = sim.epoch_len() as f64;
                     let cell = format!(
                         "{:.1}/{:.1}",
@@ -112,13 +113,14 @@ impl Experiment for Fig6 {
                 let net = net.clone();
                 let trace = Arc::clone(&trace);
                 let duration = args.duration;
+                let workers = args.workers;
                 let meta =
                     RunMeta::new(self.id(), index, format!("nego/{}", kind.label()), args)
                         .load(1.0);
                 RunSpec::new(meta, move || {
                     let cfg = NegotiatorConfig::paper_default(net.clone());
                     let (mut rep, sim) =
-                        run_negotiator(cfg, kind, SimOptions::default(), &trace, duration);
+                        run_negotiator(cfg, kind, SimOptions::default(), &trace, duration, workers);
                     let epoch = sim.epoch_len();
                     let mut table = Table::new(
                         format!("Figure 6 — mice FCT CDF at 100% load, {}", kind.label()),
@@ -164,6 +166,7 @@ fn burst_finish(
     net: &NetworkConfig,
     trace: &workload::FlowTrace,
     horizon: u64,
+    workers: usize,
 ) -> Option<u64> {
     match sys {
         0 | 1 => {
@@ -173,7 +176,8 @@ fn burst_finish(
                 TopologyKind::ThinClos
             };
             let cfg = NegotiatorConfig::paper_default(net.clone());
-            let (_, sim) = run_negotiator(cfg, kind, SimOptions::default(), trace, horizon);
+            let (_, sim) =
+                run_negotiator(cfg, kind, SimOptions::default(), trace, horizon, workers);
             RunReport::burst_finish_time(trace, sim.tracker())
         }
         _ => {
@@ -182,6 +186,7 @@ fn burst_finish(
                 TopologyKind::ThinClos,
                 trace,
                 horizon,
+                workers,
             );
             RunReport::burst_finish_time(trace, sim.tracker())
         }
@@ -211,12 +216,13 @@ impl Experiment for Fig7a {
             for (sys, &name) in BURST_SYSTEMS.iter().enumerate() {
                 let net = net.clone();
                 let trace = Arc::clone(&trace);
+                let workers = args.workers;
                 let meta = RunMeta::new(self.id(), specs.len(), name, args)
                     .param("degree", degree as f64)
                     .seed(SEED)
                     .duration(FIG7A_HORIZON);
                 specs.push(RunSpec::new(meta, move || {
-                    let t = burst_finish(sys, &net, &trace, FIG7A_HORIZON)
+                    let t = burst_finish(sys, &net, &trace, FIG7A_HORIZON, workers)
                         .expect("incast must complete");
                     RunMetrics::new(Rendered::Cells(vec![report::us(t as f64)]))
                         .push_extra("finish_ns", t as f64)
@@ -274,11 +280,12 @@ impl Experiment for Fig7b {
             for (sys, &name) in BURST_SYSTEMS.iter().enumerate() {
                 let net = net.clone();
                 let trace = Arc::clone(&trace);
+                let workers = args.workers;
                 let meta = RunMeta::new(self.id(), specs.len(), name, args)
                     .param("flow_kb", kb as f64)
                     .duration(horizon);
                 specs.push(RunSpec::new(meta, move || {
-                    match burst_finish(sys, &net, &trace, horizon) {
+                    match burst_finish(sys, &net, &trace, horizon, workers) {
                         Some(t) if t > 0 => {
                             let gbps =
                                 (trace.total_bytes() * 8) as f64 / t as f64 / net.n_tors as f64;
@@ -340,6 +347,7 @@ impl Experiment for Fig8 {
                 let net = net.clone();
                 let trace = Arc::clone(&trace);
                 let duration = args.duration;
+                let workers = args.workers;
                 let meta = RunMeta::new(
                     self.id(),
                     specs.len(),
@@ -353,7 +361,7 @@ impl Experiment for Fig8 {
                     let pre_slots = pre_slots_for(&cfg, kind);
                     cfg.epoch = cfg.epoch.with_guardband(guard, pre_slots);
                     let (mut rep, _) =
-                        run_negotiator(cfg, kind, SimOptions::default(), &trace, duration);
+                        run_negotiator(cfg, kind, SimOptions::default(), &trace, duration, workers);
                     let cells = vec![
                         report::ms(rep.mice.p99_ns()),
                         format!("{:.3}", rep.goodput.normalized()),

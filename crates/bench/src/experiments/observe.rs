@@ -40,6 +40,7 @@ fn series_rows(
 }
 
 /// Run a NegotiaToR burst and render destination `dst`'s receiver series.
+#[allow(clippy::too_many_arguments)] // flat run parameters, called twice
 fn nego_rx_block(
     title: String,
     net: &NetworkConfig,
@@ -48,12 +49,14 @@ fn nego_rx_block(
     dst: usize,
     horizon: Nanos,
     until: Nanos,
+    workers: usize,
 ) -> String {
     let mut sim = NegotiatorSim::with_options(
         NegotiatorConfig::paper_default(net.clone()),
         kind,
         SimOptions {
             rx_window: Some(WINDOW),
+            workers,
             ..SimOptions::default()
         },
     );
@@ -91,6 +94,7 @@ impl Experiment for Fig17 {
         for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
             let net = net.clone();
             let trace = Arc::clone(&trace);
+            let workers = args.workers;
             let meta = RunMeta::new(
                 self.id(),
                 specs.len(),
@@ -113,6 +117,7 @@ impl Experiment for Fig17 {
                         dst,
                         horizon,
                         40_000,
+                        workers,
                     )
                 );
                 RunMetrics::new(Rendered::Block(block))
@@ -178,6 +183,7 @@ impl Experiment for Fig18 {
         for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
             let net = net.clone();
             let trace = Arc::clone(&trace);
+            let workers = args.workers;
             let meta = RunMeta::new(
                 self.id(),
                 specs.len(),
@@ -199,6 +205,7 @@ impl Experiment for Fig18 {
                         dst,
                         horizon,
                         until,
+                        workers,
                     )
                 );
                 RunMetrics::new(Rendered::Block(block))
@@ -254,6 +261,7 @@ impl Experiment for Fig19 {
     }
     fn specs(&self, args: &Args) -> Vec<RunSpec> {
         let horizon = 400_000;
+        let workers = args.workers;
         let meta = RunMeta::new(self.id(), 0, "nego/parallel", args)
             .seed(SEED)
             .duration(horizon);
@@ -271,6 +279,7 @@ impl Experiment for Fig19 {
                 TopologyKind::Parallel,
                 SimOptions {
                     rx_window: Some(WINDOW),
+                    workers,
                     ..SimOptions::default()
                 },
             );

@@ -343,6 +343,7 @@ mod tests {
             duration: 1_000,
             loads: vec![0.5],
             seed: 9,
+            workers: 1,
         };
         let meta = RunMeta::new("demo", 0, "sys", &args).load(0.5);
         let metrics =

@@ -44,26 +44,33 @@ pub fn background_seeded(
 }
 
 /// One NegotiaToR run: returns the report and the sim (for extra metrics).
+///
+/// `workers` is the intra-run shard worker count (`--workers`); reports
+/// are byte-identical at any value, so it is purely a wall-clock knob.
 pub fn run_negotiator(
     cfg: NegotiatorConfig,
     kind: TopologyKind,
-    opts: SimOptions,
+    mut opts: SimOptions,
     trace: &FlowTrace,
     duration: Nanos,
+    workers: usize,
 ) -> (RunReport, NegotiatorSim) {
+    opts.workers = workers.max(1);
     let mut sim = NegotiatorSim::with_options(cfg, kind, opts);
     let report = sim.run(trace, duration);
     (report, sim)
 }
 
-/// One traffic-oblivious run.
+/// One traffic-oblivious run. `workers` as in [`run_negotiator`].
 pub fn run_oblivious(
     cfg: ObliviousConfig,
     kind: TopologyKind,
     trace: &FlowTrace,
     duration: Nanos,
+    workers: usize,
 ) -> (RunReport, ObliviousSim) {
     let mut sim = ObliviousSim::new(cfg, kind);
+    sim.set_workers(workers);
     let report = sim.run(trace, duration);
     (report, sim)
 }

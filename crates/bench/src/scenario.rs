@@ -57,10 +57,11 @@ pub struct BatchOutcome {
     pub coalesced: usize,
 }
 
-/// Execute a compiled scenario across `jobs` workers and assemble the
-/// sweep report (rendered text + per-run metrics with series).
-pub fn run(compiled: &CompiledScenario, jobs: usize) -> SweepReport {
-    run_batch(std::slice::from_ref(compiled), jobs)
+/// Execute a compiled scenario across `jobs` pool workers with `workers`
+/// intra-run shard workers per simulation, and assemble the sweep report
+/// (rendered text + per-run metrics with series).
+pub fn run(compiled: &CompiledScenario, jobs: usize, workers: usize) -> SweepReport {
+    run_batch(std::slice::from_ref(compiled), jobs, workers)
         .reports
         .pop()
         .expect("one scenario in, one report out")
@@ -71,7 +72,7 @@ pub fn run(compiled: &CompiledScenario, jobs: usize) -> SweepReport {
 /// before dispatch: each distinct run simulates once and its output fans
 /// out to every scenario/position that requested it. Reports come back in
 /// input order and are byte-identical at any `jobs`.
-pub fn run_batch(compiled: &[CompiledScenario], jobs: usize) -> BatchOutcome {
+pub fn run_batch(compiled: &[CompiledScenario], jobs: usize, workers: usize) -> BatchOutcome {
     // Map every (scenario, run) slot onto a deduped task list.
     let mut task_of_hash: HashMap<u64, usize> = HashMap::new();
     let mut tasks: Vec<pool::Task<(ScenarioRunOutput, f64)>> = Vec::new();
@@ -80,7 +81,7 @@ pub fn run_batch(compiled: &[CompiledScenario], jobs: usize) -> BatchOutcome {
     let mut slots: Vec<Vec<(usize, String, bool)>> = Vec::new();
     let mut coalesced = 0usize;
     for c in compiled {
-        let runs = build_runs(c);
+        let runs = build_runs(c, workers);
         let mut scenario_slots = Vec::with_capacity(runs.len());
         for (engine, run) in c.spec.engines.iter().zip(runs) {
             let hash = c.run_hash(*engine);
@@ -141,8 +142,9 @@ pub fn run_batch(compiled: &[CompiledScenario], jobs: usize) -> BatchOutcome {
 pub fn execute_with_progress(
     compiled: &CompiledScenario,
     progress: Option<ProgressSink>,
+    workers: usize,
 ) -> SweepReport {
-    let results = build_runs_with_progress(compiled, progress)
+    let results = build_runs_with_progress(compiled, progress, workers)
         .into_iter()
         .enumerate()
         .map(|(index, run)| {
@@ -231,6 +233,9 @@ fn scenario_args(compiled: &CompiledScenario) -> Args {
         duration: compiled.duration,
         loads: Vec::new(),
         seed: compiled.spec.seed,
+        // Metadata only ever surfaces seed and duration; the shard worker
+        // count must never reach the output bytes.
+        workers: 1,
     }
 }
 
@@ -287,7 +292,7 @@ mod tests {
 
     #[test]
     fn scenario_report_carries_series_json() {
-        let report = run(&compiled(), 2);
+        let report = run(&compiled(), 2, 1);
         assert_eq!(report.id, "scenario-adapter");
         assert_eq!(report.results.len(), 2, "negotiator + oblivious");
         let json = results::experiment_json(&report, None);
@@ -316,8 +321,8 @@ mod tests {
     #[test]
     fn scenario_is_byte_identical_across_jobs() {
         let c = compiled();
-        let serial = run(&c, 1);
-        let parallel = run(&c, 8);
+        let serial = run(&c, 1, 1);
+        let parallel = run(&c, 8, 1);
         assert_eq!(serial.rendered, parallel.rendered);
         let s = results::experiment_json(&serial, None).render();
         let p = results::experiment_json(&parallel, None).render();
@@ -325,10 +330,25 @@ mod tests {
     }
 
     #[test]
+    fn scenario_is_byte_identical_across_shard_workers() {
+        let c = compiled();
+        let sequential = run(&c, 1, 1);
+        for workers in [2, 8] {
+            let sharded = run(&c, 1, workers);
+            assert_eq!(sequential.rendered, sharded.rendered, "{workers} workers");
+            assert_eq!(
+                deterministic_document(&sequential),
+                deterministic_document(&sharded),
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
     fn serving_path_matches_batch_path_byte_for_byte() {
         let c = compiled();
-        let batch = run(&c, 4);
-        let served = execute_with_progress(&c, None);
+        let batch = run(&c, 4, 1);
+        let served = execute_with_progress(&c, None, 2);
         assert_eq!(batch.rendered, served.rendered);
         assert_eq!(
             deterministic_document(&batch),
@@ -340,7 +360,7 @@ mod tests {
     fn batch_coalesces_identical_runs_and_fans_out() {
         let c = compiled();
         // The same scenario twice: 4 requested engine runs, 2 simulated.
-        let outcome = run_batch(&[c.clone(), c.clone()], 4);
+        let outcome = run_batch(&[c.clone(), c.clone()], 4, 1);
         assert_eq!(outcome.coalesced, 2);
         assert_eq!(outcome.reports.len(), 2);
         assert_eq!(outcome.reports[0].rendered, outcome.reports[1].rendered);
@@ -349,7 +369,7 @@ mod tests {
             deterministic_document(&outcome.reports[1])
         );
         // Fan-out must produce the same bytes as simulating separately.
-        let solo = run(&c, 4);
+        let solo = run(&c, 4, 1);
         assert_eq!(outcome.reports[0].rendered, solo.rendered);
         // Duplicates carry no wall cost of their own.
         assert!(outcome.reports[1].runs_wall_secs() == 0.0);
@@ -360,7 +380,7 @@ mod tests {
             Path::new("."),
         )
         .unwrap();
-        let outcome = run_batch(&[c, other], 4);
+        let outcome = run_batch(&[c, other], 4, 1);
         assert_eq!(outcome.coalesced, 0);
         assert_ne!(
             deterministic_document(&outcome.reports[0]),

@@ -46,7 +46,8 @@ impl Rule {
         }
     }
 
-    fn from_id(id: &str) -> Option<Rule> {
+    /// Parse a rule id (`"D003"` → [`Rule::D003`]); `None` for unknown ids.
+    pub fn from_id(id: &str) -> Option<Rule> {
         Some(match id {
             "D001" => Rule::D001,
             "D002" => Rule::D002,

@@ -1,0 +1,9 @@
+// Fixture: the D003 zone extension. This snippet is scanned twice under
+// different paths — as `crates/sim/src/shard.rs` (the sharded epoch
+// engine, where threading IS the point) it must come back clean; as any
+// other engine file the same bytes are two D003 findings.
+fn shard_workers() {
+    let handle = std::thread::spawn(worker);
+    let (tx, rx) = std::sync::mpsc::channel();
+    handle.join().unwrap();
+}

@@ -115,6 +115,76 @@ fn suppression_fixture_hygiene() {
     );
 }
 
+/// The D003 zone extension is a property of the *path*, not the source:
+/// the identical threading snippet is clean when it lives at
+/// `crates/sim/src/shard.rs` (or `pool.rs`) and two findings anywhere
+/// else in the engine zone.
+#[test]
+fn d003_shard_zone_fixture_is_path_gated() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join("d003_shard_zone.rs");
+    let src = std::fs::read_to_string(&path).expect("d003_shard_zone.rs");
+    for exempt in ["crates/sim/src/shard.rs", "crates/sim/src/pool.rs"] {
+        let f = lint::scan_file(exempt, &src);
+        assert!(f.is_empty(), "{exempt} should be exempt, got {f:?}");
+    }
+    let f = lint::scan_file("crates/sim/src/lib.rs", &src);
+    assert_eq!(
+        ids(&f),
+        vec![("D003", 6, 31), ("D003", 7, 31)],
+        "same bytes outside the shard engine must fire"
+    );
+}
+
+/// Suppression hygiene on the real tree: every `lint: allow` directive in
+/// the scanned workspace names a known rule AND carries a justification.
+/// (The self-scan gate below already catches bare allows as S001 — this
+/// asserts the stronger invariant directly, with the offending lines in
+/// the failure message.)
+#[test]
+fn workspace_allows_all_carry_justifications() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = scan_workspace(&root).expect("workspace scan");
+    let mut offenders = Vec::new();
+    let mut seen_allows = 0usize;
+    for rel in &report.files {
+        // The lint crate itself documents and unit-tests the directive
+        // syntax (placeholder `RULE`, deliberately-bad `D999` strings);
+        // the hygiene claim is about the *consumers* of the directive.
+        if rel.starts_with("crates/lint/") {
+            continue;
+        }
+        let src = std::fs::read_to_string(root.join(rel)).unwrap_or_else(|e| panic!("{rel}: {e}"));
+        for (i, line) in src.lines().enumerate() {
+            let Some(at) = line.find("lint: allow(") else {
+                continue;
+            };
+            seen_allows += 1;
+            let rest = &line[at + "lint: allow(".len()..];
+            let Some((id, justification)) = rest.split_once(')') else {
+                offenders.push(format!("{rel}:{} — unclosed allow", i + 1));
+                continue;
+            };
+            if Rule::from_id(id.trim()).is_none() {
+                offenders.push(format!("{rel}:{} — unknown rule `{id}`", i + 1));
+            }
+            if justification.trim().is_empty() {
+                offenders.push(format!("{rel}:{} — no justification", i + 1));
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "bare allows:\n{}",
+        offenders.join("\n")
+    );
+    assert!(
+        seen_allows >= 5,
+        "suspiciously few allows found ({seen_allows}) — did the directive syntax change?"
+    );
+}
+
 #[test]
 fn every_rule_has_a_distinct_hint() {
     let rules = [

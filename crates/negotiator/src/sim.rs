@@ -60,6 +60,8 @@ use workload::FlowTrace;
 
 pub use topology::failures::FailureAction;
 
+mod parallel;
+
 /// Which scheduling logic runs on top of the common data path.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SchedulerMode {
@@ -104,6 +106,14 @@ pub struct SimOptions {
     /// speedup cannot overrun ToR memory. `None` (the paper's evaluation
     /// setting) treats ToRs as sinks.
     pub host_buffer_bytes: Option<u64>,
+    /// Intra-run worker threads for the per-ToR phase work (`--workers`).
+    /// ToRs are partitioned into contiguous shards (`sim::shard`) and
+    /// shard results merge in fixed shard order, so any value — including
+    /// the default `1`, which runs fully sequential — produces
+    /// byte-identical reports. Selective-relay runs ignore the knob and
+    /// stay sequential: relay admission is order-dependent across ToRs
+    /// (see `sim/parallel.rs`).
+    pub workers: usize,
 }
 
 impl Default for SimOptions {
@@ -114,6 +124,7 @@ impl Default for SimOptions {
             rx_window: None,
             total_rx_window: None,
             host_buffer_bytes: None,
+            workers: 1,
         }
     }
 }
@@ -283,6 +294,9 @@ pub struct NegotiatorSim {
 
     // Reusable per-epoch buffers.
     scratch: SimScratch,
+    /// Per-shard lanes + merge cursors for the intra-run parallel path
+    /// (`opts.workers > 1`); empty and untouched when sequential.
+    par: parallel::ParState,
 
     ran: bool,
 }
@@ -408,6 +422,7 @@ impl NegotiatorSim {
             phase_probe: None,
             ran_duration: 0,
             scratch: SimScratch::default(),
+            par: parallel::ParState::default(),
 
             ran: false,
             cfg,
@@ -421,6 +436,21 @@ impl NegotiatorSim {
     /// Epoch length in ns for this configuration/topology.
     pub fn epoch_len(&self) -> Nanos {
         self.epoch_len
+    }
+
+    /// Effective intra-run worker count. Selective relay pins the run to
+    /// one worker: relay admission reads claims left by lower-numbered
+    /// ToRs in the same step, so its visit order is semantic, not an
+    /// artifact — sharding it would change bytes. The clamp never makes
+    /// path *selection* depend on data, only on options fixed at
+    /// construction, so a `workers > 1` run is byte-identical to the
+    /// sequential one by the merge rules in `sim/parallel.rs`.
+    fn par_workers(&self) -> usize {
+        if self.opts.selective_relay {
+            1
+        } else {
+            self.opts.workers.max(1)
+        }
     }
 
     /// Schedule a link-state change at absolute time `at` (see
@@ -643,9 +673,15 @@ impl NegotiatorSim {
             self.rebuild_active_list();
             return;
         }
-        self.step_accept();
-        self.step_grant();
-        self.step_request(t0);
+        if self.par_workers() > 1 {
+            self.step_accept_parallel();
+            self.step_grant_parallel();
+            self.step_request_parallel(t0);
+        } else {
+            self.step_accept();
+            self.step_grant();
+            self.step_request(t0);
+        }
         if self.opts.selective_relay {
             self.relay_request_step(epoch);
         }
@@ -1153,6 +1189,11 @@ impl NegotiatorSim {
         // skipped work is writes of values already in place.
         if self.failures.failed_count() == 0 && self.detector.is_quiescent() {
             self.observe_pending = false;
+            if self.par_workers() > 1 {
+                cursor = self.predefined_healthy_parallel(flows, cursor, &cache, rot, t0, tracker);
+                self.pre_cache = cache;
+                return cursor;
+            }
             for slot in 0..self.pre_slots {
                 let slot_start = t0 + slot as Nanos * self.pre_slot_len;
                 cursor = self.inject(flows, cursor, slot_start);
@@ -1298,7 +1339,11 @@ impl NegotiatorSim {
         if quiet && !self.opts.selective_relay {
             self.stats.unmatched_slots +=
                 (total_slots - self.active_list.len() as u64) * k_slots as u64;
-            self.scheduled_phase_batched(sched_start, tracker);
+            if self.par_workers() > 1 {
+                self.scheduled_batched_parallel(sched_start, tracker);
+            } else {
+                self.scheduled_phase_batched(sched_start, tracker);
+            }
             return cursor;
         }
 

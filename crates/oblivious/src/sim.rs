@@ -105,6 +105,18 @@ pub struct ObliviousSim {
     tracker: Option<FlowTracker>,
     ran_duration: Nanos,
     rng: Xoshiro256,
+    /// Intra-run workers for the associative backlog scans (probes).
+    ///
+    /// Unlike the negotiator engine, `serve_slot` itself cannot shard:
+    /// relay admission is a sequential credit protocol — connection `i`
+    /// of a slot reads `relay_claim` entries written by connections
+    /// `< i`, and `pick_via` consumes one RNG stream in visit order —
+    /// so the rotor's per-slot loop is order-*semantic*, not merely
+    /// order-preserving. Worker counts therefore only fan out the
+    /// read-only probe sums, which are exact at any shard split
+    /// (integer addition is associative), keeping reports byte-identical
+    /// at any value.
+    workers: usize,
     ran: bool,
 }
 
@@ -153,9 +165,16 @@ impl ObliviousSim {
             tracker: None,
             ran_duration: 0,
             rng: Xoshiro256::new(cfg.seed),
+            workers: 1,
             ran: false,
             cfg,
         }
+    }
+
+    /// Set the intra-run worker count (`--workers`). Byte-identical at
+    /// any value: see the field doc for why only the probe scans shard.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
     }
 
     /// Slot length in ns.
@@ -195,19 +214,28 @@ impl ObliviousSim {
     /// bound segments at sources and relay FIFOs at intermediates; grants
     /// and accepts stay zero — the rotor never negotiates.
     fn phase_counters(&self, tracker: &FlowTracker) -> PhaseCounters {
-        let bound: u64 = self
-            .bound
-            .iter()
-            .flat_map(|levels| levels.iter())
-            .flat_map(|q| q.iter())
-            .map(|seg| seg.bytes as u64)
-            .sum();
-        let relay: u64 = self
-            .relay
-            .iter()
-            .flat_map(|q| q.iter())
-            .map(|&(_, bytes)| bytes as u64)
-            .sum();
+        // Shard the O(n²) backlog scans across the intra-run workers:
+        // u64 sums over disjoint row ranges recombine exactly, so any
+        // worker count produces the same totals.
+        let shards = sim::shard::partition(self.n, self.workers);
+        let (bound_q, relay_q) = (&self.bound, &self.relay);
+        let n = self.n;
+        let partials = sim::shard::map_shards(shards, |_, shard| {
+            let bound: u64 = bound_q[shard.start * n..shard.end * n]
+                .iter()
+                .flat_map(|levels| levels.iter())
+                .flat_map(|q| q.iter())
+                .map(|seg| seg.bytes as u64)
+                .sum();
+            let relay: u64 = relay_q[shard.start * n..shard.end * n]
+                .iter()
+                .flat_map(|q| q.iter())
+                .map(|&(_, bytes)| bytes as u64)
+                .sum();
+            (bound, relay)
+        });
+        let bound: u64 = partials.iter().map(|&(b, _)| b).sum();
+        let relay: u64 = partials.iter().map(|&(_, r)| r).sum();
         PhaseCounters {
             delivered_bytes: tracker.delivered_payload(),
             backlog_bytes: bound + relay,

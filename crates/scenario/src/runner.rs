@@ -54,9 +54,11 @@ pub struct ScenarioRun {
     pub run: Box<dyn FnOnce() -> ScenarioRunOutput + Send + 'static>,
 }
 
-/// Build the scenario's runs, one per engine in spec order.
-pub fn build_runs(compiled: &CompiledScenario) -> Vec<ScenarioRun> {
-    build_runs_with_progress(compiled, None)
+/// Build the scenario's runs, one per engine in spec order. `workers` is
+/// the intra-run shard worker count (`--workers`); output is
+/// byte-identical at any value, so it never enters the run hash.
+pub fn build_runs(compiled: &CompiledScenario, workers: usize) -> Vec<ScenarioRun> {
+    build_runs_with_progress(compiled, None, workers)
 }
 
 /// [`build_runs`] with an optional live progress sink, invoked from the
@@ -64,6 +66,7 @@ pub fn build_runs(compiled: &CompiledScenario) -> Vec<ScenarioRun> {
 pub fn build_runs_with_progress(
     compiled: &CompiledScenario,
     progress: Option<ProgressSink>,
+    workers: usize,
 ) -> Vec<ScenarioRun> {
     compiled
         .spec
@@ -76,7 +79,7 @@ pub fn build_runs_with_progress(
             let progress = progress.clone();
             ScenarioRun {
                 system,
-                run: Box::new(move || run_engine(engine, &compiled, &sys, progress)),
+                run: Box::new(move || run_engine(engine, &compiled, &sys, progress, workers)),
             }
         })
         .collect()
@@ -114,6 +117,7 @@ fn run_engine(
     compiled: &CompiledScenario,
     system: &str,
     progress: Option<ProgressSink>,
+    workers: usize,
 ) -> ScenarioRunOutput {
     let spec = &compiled.spec;
     let trace = Arc::clone(&compiled.trace);
@@ -130,6 +134,7 @@ fn run_engine(
                 spec.topology,
                 SimOptions {
                     mode: spec.mode,
+                    workers,
                     ..SimOptions::default()
                 },
             );
@@ -154,6 +159,7 @@ fn run_engine(
             let mut cfg = ObliviousConfig::paper_default(spec.net.clone());
             cfg.seed = engine_seed;
             let mut sim = ObliviousSim::new(cfg, spec.topology);
+            sim.set_workers(workers);
             for (at, action) in &compiled.failures {
                 sim.schedule_failure(*at, action.clone());
             }
@@ -201,7 +207,7 @@ mod tests {
     #[test]
     fn both_engines_run_and_bucket_phases() {
         let c = compiled("");
-        for run in build_runs(&c) {
+        for run in build_runs(&c, 1) {
             let out = (run.run)();
             assert_eq!(out.series.len(), 2, "{}", run.system);
             assert!(out.series.iter().any(|p| p.completed > 0), "{}", run.system);
@@ -244,7 +250,7 @@ mod tests {
   ]
 }"#;
         let c = compile(parse_scenario(text).unwrap(), Path::new(".")).unwrap();
-        let runs = build_runs(&c);
+        let runs = build_runs(&c, 2);
         assert_eq!(runs.len(), 1);
         let out = (runs.into_iter().next().unwrap().run)();
         let g: Vec<f64> = out.series.iter().map(|p| p.goodput_normalized).collect();
@@ -258,7 +264,7 @@ mod tests {
     fn progress_sink_sees_every_phase_and_changes_nothing() {
         use std::sync::Mutex;
         let c = compiled("");
-        let plain: Vec<_> = build_runs(&c)
+        let plain: Vec<_> = build_runs(&c, 1)
             .into_iter()
             .map(|r| (r.run)().rendered)
             .collect();
@@ -267,7 +273,7 @@ mod tests {
             let seen = Arc::clone(&seen);
             Arc::new(move |p: PhaseProgress| seen.lock().unwrap().push(p))
         };
-        let observed: Vec<_> = build_runs_with_progress(&c, Some(sink))
+        let observed: Vec<_> = build_runs_with_progress(&c, Some(sink), 1)
             .into_iter()
             .map(|r| (r.run)().rendered)
             .collect();
@@ -288,7 +294,7 @@ mod tests {
     fn run_output_is_deterministic() {
         let c = compiled("");
         let once = |c: &CompiledScenario| {
-            let out: Vec<_> = build_runs(c).into_iter().map(|r| (r.run)()).collect();
+            let out: Vec<_> = build_runs(c, 1).into_iter().map(|r| (r.run)()).collect();
             out.iter()
                 .map(|o| (o.rendered.clone(), o.series.clone()))
                 .collect::<Vec<_>>()

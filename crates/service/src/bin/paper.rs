@@ -2,17 +2,19 @@
 //!
 //! ```text
 //! paper <experiment-id>... [--duration-ms N] [--loads 10,50,100] [--seed N]
-//!       [--jobs N] [--json] [--no-timing] [--out DIR] [--seeds A,B,C]
+//!       [--jobs N] [--workers N] [--json] [--no-timing] [--out DIR] [--seeds A,B,C]
 //! paper all --jobs 8 --json --out results/
-//! paper scenario <file.json>... [--jobs N] [--json] [--no-timing] [--no-cache] [--out DIR]
-//! paper serve [--addr HOST:PORT] [--jobs N] [--out DIR]
+//! paper scenario <file.json>... [--jobs N] [--workers N] [--json] [--no-timing] [--no-cache] [--out DIR]
+//! paper serve [--addr HOST:PORT] [--jobs N] [--workers N] [--out DIR]
 //! paper submit <file.json> [--addr HOST:PORT] [--priority N]
 //! paper list [--json]
 //! paper lint [--json]
 //! ```
 //!
 //! Experiments expand into independent runs executed across `--jobs`
-//! worker threads; output is byte-identical at any job count. `--json`
+//! worker threads, and each simulation can shard its per-ToR phase work
+//! across `--workers` intra-run threads; output is byte-identical at any
+//! job or worker count. `--json`
 //! writes one machine-readable `results/<id>.json` per experiment
 //! (schema: see `bench::results`), which `bench-diff` compares across
 //! revisions to gate CI on regressions. `paper scenario` runs declarative
@@ -53,6 +55,7 @@ fn main() {
         let config = service::ServeConfig {
             addr: cli.addr.clone(),
             jobs: cli.jobs,
+            workers: cli.workers,
             out: cli.out.clone(),
             scenarios_dir: Path::new("scenarios").to_path_buf(),
         };
@@ -179,7 +182,7 @@ fn run_scenarios(cli: &cli::Cli) {
             runs,
             cli.jobs
         );
-        let outcome = scenario::run_batch(&to_run, cli.jobs);
+        let outcome = scenario::run_batch(&to_run, cli.jobs, cli.workers);
         if outcome.coalesced > 0 {
             eprintln!(
                 "[coalesced {} duplicate run(s) — identical content hash, simulated once]",
@@ -392,9 +395,9 @@ fn list_scenarios(dir: &Path) {
 fn usage() {
     eprintln!(
         "usage: paper <experiment-id>|all|list [--duration-ms N] [--loads 10,50,100]\n\
-         \u{20}      [--seed N | --seeds A,B,C] [--jobs N] [--json] [--no-timing] [--out DIR]\n\
-         \u{20}      paper scenario <file.json>... [--jobs N] [--json] [--no-timing] [--no-cache] [--out DIR]\n\
-         \u{20}      paper serve [--addr HOST:PORT] [--jobs N] [--out DIR]\n\
+         \u{20}      [--seed N | --seeds A,B,C] [--jobs N] [--workers N] [--json] [--no-timing] [--out DIR]\n\
+         \u{20}      paper scenario <file.json>... [--jobs N] [--workers N] [--json] [--no-timing] [--no-cache] [--out DIR]\n\
+         \u{20}      paper serve [--addr HOST:PORT] [--jobs N] [--workers N] [--out DIR]\n\
          \u{20}      paper submit <file.json> [--addr HOST:PORT] [--priority N]\n\
          \u{20}      paper list [--json]\n\
          \u{20}      paper lint [--json]"

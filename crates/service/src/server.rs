@@ -62,6 +62,10 @@ pub struct ServeConfig {
     pub addr: String,
     /// Worker threads draining the job queue.
     pub jobs: usize,
+    /// Intra-run shard workers per simulation (`--workers`). Purely a
+    /// wall-clock knob: served documents are byte-identical at any value,
+    /// so the cache coalesces across worker counts.
+    pub workers: usize,
     /// Results directory; the shared cache lives at `<out>/cache`.
     pub out: PathBuf,
     /// Scenario library directory (`GET /scenarios`); also anchors
@@ -74,6 +78,7 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: bench::cli::DEFAULT_ADDR.to_string(),
             jobs: sim::pool::default_jobs(),
+            workers: 1,
             out: PathBuf::from("results"),
             scenarios_dir: PathBuf::from("scenarios"),
         }
@@ -433,7 +438,7 @@ fn execute_job(state: &Arc<ServerState>, job: &Arc<Job>, compiled: &CompiledScen
         Arc::new(move |p: PhaseProgress| job.push_event(phase_event(&p)))
     };
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        let report = execute_with_progress(compiled, Some(sink));
+        let report = execute_with_progress(compiled, Some(sink), state.config.workers);
         let document = deterministic_document(&report);
         let entry = CacheEntry {
             scenario: compiled.spec.name.clone(),

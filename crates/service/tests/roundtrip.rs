@@ -40,7 +40,7 @@ fn scenario_text(name: &str, seed: u64) -> String {
 fn offline_document(text: &str) -> String {
     let compiled =
         bench::scenario::load_str(text, Path::new("<test>")).expect("test scenario is valid");
-    let report = bench::scenario::run(&compiled, 2);
+    let report = bench::scenario::run(&compiled, 2, 1);
     bench::scenario::deterministic_document(&report)
 }
 
@@ -50,6 +50,7 @@ fn start_server(tag: &str, jobs: usize) -> (Server, String, PathBuf) {
     let server = Server::start(ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         jobs,
+        workers: 2,
         out: out.clone(),
         scenarios_dir: out.join("scenarios"),
     })
@@ -251,6 +252,7 @@ fn graceful_shutdown_rejects_new_work_and_drains() {
         let server = Server::start(ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             jobs: 2,
+            workers: 1,
             out: out.clone(),
             scenarios_dir: out.join("scenarios"),
         })
@@ -259,7 +261,7 @@ fn graceful_shutdown_rejects_new_work_and_drains() {
         (server, addr, ())
     };
     let compiled = bench::scenario::load_str(&text, Path::new("<test>")).unwrap();
-    let report = bench::scenario::run(&compiled, 2);
+    let report = bench::scenario::run(&compiled, 2, 1);
     bench::cache::ResultCache::new(out.join("cache"))
         .store(
             compiled.content_hash(),

@@ -17,21 +17,24 @@
 //! * [`series`] — windowed time-series sampling (receiver-bandwidth plots).
 //! * [`pool`] — a minimal ordered worker pool so the experiment harness can
 //!   fan independent runs across cores.
+//! * [`shard`] — contiguous row partitions + scoped fork/join for
+//!   deterministic intra-run parallelism (the epoch engines' `--workers`).
 //!
 //! Design notes: the simulators built on top of this crate are
 //! *slot-synchronous* (both architectures in the paper transmit in fixed,
 //! globally synchronized timeslots), so the event queue is used for
 //! irregular events (flow arrivals, link failures) while the per-slot fabric
-//! work advances with plain arithmetic on [`Nanos`]. Each simulation run is
-//! single-threaded by design: reproducibility of the paper's experiments
-//! trumps parallel speed, and a full 30 ms run of the 128-ToR network
-//! completes in seconds. Parallelism lives one layer up — [`pool`] executes
-//! many independent runs at once and reassembles their outputs in order.
+//! work advances with plain arithmetic on [`Nanos`]. Parallelism exists on
+//! two axes, both with the same guarantee — worker counts can never change
+//! output bytes: [`pool`] executes many independent runs at once and
+//! reassembles their outputs in order, and [`shard`] lets one run fan its
+//! per-ToR phase work across workers with an order-preserving merge.
 
 pub mod events;
 pub mod pool;
 pub mod rng;
 pub mod series;
+pub mod shard;
 pub mod stats;
 pub mod time;
 

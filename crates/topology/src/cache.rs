@@ -90,6 +90,28 @@ impl PredefinedCache {
         &self.conns[r * self.slots + slot]
     }
 
+    /// The sub-slice of [`Self::slot_conns`] whose sources fall in
+    /// `[src_start, src_end)` — the shard-local view of one slot used by
+    /// the intra-run parallel epoch engine (`sim::shard`). Because the
+    /// slot list is in ascending `(src, port)` order, the view is a
+    /// contiguous range found by binary search, and concatenating the
+    /// views of a contiguous shard partition in shard order reproduces
+    /// the full slot list exactly — which is what keeps the sharded
+    /// predefined phase byte-identical to the sequential one.
+    #[inline]
+    pub fn slot_conns_for_srcs(
+        &self,
+        rot: u64,
+        slot: usize,
+        src_start: u32,
+        src_end: u32,
+    ) -> &[PredefinedConn] {
+        let conns = self.slot_conns(rot, slot);
+        let lo = conns.partition_point(|c| c.src < src_start);
+        let hi = conns.partition_point(|c| c.src < src_end);
+        &conns[lo..hi]
+    }
+
     /// Number of distinct rotations cached.
     pub fn rotation_period(&self) -> usize {
         self.rot_period
@@ -133,6 +155,27 @@ mod tests {
                         direct.as_slice(),
                         "{kind:?} rot {rot} slot {slot}"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn src_range_views_concatenate_to_the_full_slot_list() {
+        let topo = AnyTopology::build(TopologyKind::Parallel, NetworkConfig::paper_default());
+        let cache = PredefinedCache::build(&topo);
+        let n = topo.net().n_tors as u32;
+        for rot in [0u64, 3] {
+            for slot in 0..topo.predefined_slots() {
+                let full = cache.slot_conns(rot, slot);
+                // Any contiguous partition of the src space must tile the
+                // slot list exactly, in order.
+                for bounds in [vec![0, n], vec![0, 1, n / 2, n - 1, n]] {
+                    let mut tiled = Vec::new();
+                    for w in bounds.windows(2) {
+                        tiled.extend_from_slice(cache.slot_conns_for_srcs(rot, slot, w[0], w[1]));
+                    }
+                    assert_eq!(tiled.as_slice(), full, "rot {rot} slot {slot}");
                 }
             }
         }

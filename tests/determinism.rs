@@ -113,6 +113,92 @@ fn variant_reports_are_reproducible() {
     }
 }
 
+/// The tentpole guarantee of the intra-run parallel engine: any
+/// `--workers` count produces the very same `RunReport` as the
+/// sequential engine, on both topologies. Worker counts above the shard
+/// count (here 8 > 16 ToRs / 2) exercise the clamp too.
+#[test]
+fn negotiator_report_is_identical_at_any_worker_count() {
+    let t = trace(21);
+    for kind in [TopologyKind::Parallel, TopologyKind::ThinClos] {
+        let run = |workers: usize| {
+            let cfg = NegotiatorConfig::paper_default(NetworkConfig::small_for_tests());
+            let opts = SimOptions {
+                workers,
+                ..SimOptions::default()
+            };
+            NegotiatorSim::with_options(cfg, kind, opts).run(&t, DURATION)
+        };
+        let sequential = run(1);
+        assert!(
+            sequential.goodput.delivered_bytes > 0,
+            "{kind:?}: nothing delivered"
+        );
+        for workers in [2, 3, 8] {
+            assert_eq!(
+                sequential,
+                run(workers),
+                "{kind:?}: {workers} workers diverged from sequential"
+            );
+        }
+    }
+}
+
+/// Every scheduler variant shards the same way — the parallel phase
+/// bodies replicate each mode's grant/request logic, so each mode must
+/// hold the byte-identity promise on its own.
+#[test]
+fn variant_reports_are_identical_at_any_worker_count() {
+    let t = trace(33);
+    for mode in [
+        SchedulerMode::Iterative { rounds: 2 },
+        SchedulerMode::DataSize,
+        SchedulerMode::HolDelay { alpha: 0.001 },
+        SchedulerMode::Stateful,
+        SchedulerMode::Projector,
+    ] {
+        let run = |workers: usize| {
+            let cfg = NegotiatorConfig::paper_default(NetworkConfig::small_for_tests());
+            let opts = SimOptions {
+                mode,
+                workers,
+                ..SimOptions::default()
+            };
+            NegotiatorSim::with_options(cfg, TopologyKind::Parallel, opts).run(&t, DURATION)
+        };
+        assert_eq!(run(1), run(4), "{mode:?}: 4 workers diverged");
+    }
+}
+
+/// A run that crosses failure epochs mixes engine paths — epoch-start
+/// steps stay sharded while the predefined phase falls back to the
+/// sequential observation loop — and must still be worker-independent.
+#[test]
+fn failure_runs_are_identical_at_any_worker_count() {
+    use negotiator::FailureAction;
+    let t = trace(44);
+    let run = |workers: usize| {
+        let cfg = NegotiatorConfig::paper_default(NetworkConfig::small_for_tests());
+        let opts = SimOptions {
+            workers,
+            ..SimOptions::default()
+        };
+        let mut sim = NegotiatorSim::with_options(cfg, TopologyKind::Parallel, opts);
+        let epoch = sim.epoch_len();
+        sim.schedule_failure(
+            10 * epoch,
+            FailureAction::FailRandom {
+                ratio: 0.2,
+                seed: 5,
+            },
+        );
+        sim.schedule_failure(30 * epoch, FailureAction::RepairAll);
+        sim.run(&t, DURATION)
+    };
+    let sequential = run(1);
+    assert_eq!(sequential, run(8), "8 workers diverged across failures");
+}
+
 /// The oblivious baseline is reproducible as well.
 #[test]
 fn oblivious_report_is_reproducible() {
