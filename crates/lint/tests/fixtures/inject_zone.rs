@@ -1,0 +1,11 @@
+// Fixture: the adversarial fault-injection module lives in the engine
+// zone. A hypothetical regression that tracked flap state in a HashMap
+// or drew gray-drop decisions from ambient RNG would break the
+// byte-identity guarantee — scanned as `crates/topology/src/inject.rs`
+// these bytes must fire D001 and D004.
+use std::collections::HashMap;
+
+fn gray_drops_badly(flaps: &HashMap<u64, bool>) -> bool {
+    let roll: f64 = thread_rng().gen();
+    roll < 0.5
+}

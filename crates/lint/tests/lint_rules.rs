@@ -137,6 +137,34 @@ fn d003_shard_zone_fixture_is_path_gated() {
     );
 }
 
+/// The fault-injection module is engine surface: scanned under its real
+/// path, unordered containers (D001) and ambient RNG (D004) both fire —
+/// a flap table in a `HashMap` or a gray-drop decision from `thread_rng`
+/// would silently break byte-identity, and the linter is the backstop.
+#[test]
+fn inject_module_is_lint_gated_as_engine_code() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join("inject_zone.rs");
+    let src = std::fs::read_to_string(&path).expect("inject_zone.rs");
+    let f = lint::scan_file("crates/topology/src/inject.rs", &src);
+    let rule_ids: Vec<&str> = f.iter().map(|x| x.rule.id()).collect();
+    assert!(rule_ids.contains(&"D001"), "HashMap must fire D001: {f:?}");
+    assert!(
+        rule_ids.contains(&"D004"),
+        "ambient RNG must fire D004: {f:?}"
+    );
+    // The same bytes in an infra crate relax D001 (harness code may use
+    // maps) but still reject ambient randomness.
+    let f = lint::scan_file("crates/bench/src/inject_zone.rs", &src);
+    let rule_ids: Vec<&str> = f.iter().map(|x| x.rule.id()).collect();
+    assert!(
+        !rule_ids.contains(&"D001"),
+        "infra zone relaxes D001: {f:?}"
+    );
+    assert!(rule_ids.contains(&"D004"), "D004 applies everywhere: {f:?}");
+}
+
 /// Suppression hygiene on the real tree: every `lint: allow` directive in
 /// the scanned workspace names a known rule AND carries a justification.
 /// (The self-scan gate below already catches bare allows as S001 — this

@@ -26,6 +26,18 @@ pub struct PhaseCounters {
     pub grants: u64,
     /// Grants accepted so far (negotiator only).
     pub accepts: u64,
+    /// Control messages dropped by gray failures so far (negotiator only —
+    /// the oblivious engine has no control plane to degrade).
+    pub control_dropped: u64,
+    /// Directed links the fault detector currently excludes that are *not*
+    /// ground-truth down — false positives, typically gray-failure fallout.
+    pub detector_fp_links: u64,
+    /// Directed links ground-truth down that the detector has *not* (yet)
+    /// excluded — false negatives, i.e. detection lag.
+    pub detector_fn_links: u64,
+    /// ToRs currently cut off from the largest partition group (0 when the
+    /// fabric is whole).
+    pub partitioned_tors: u64,
 }
 
 /// One recorded boundary: when it was (nominally) due and the counters the

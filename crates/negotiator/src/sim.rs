@@ -44,6 +44,7 @@ use crate::fault::FaultDetector;
 use crate::matching::{Accept, AcceptArbiter, Grant, GrantArbiter};
 use crate::queues::{DestQueue, Packet};
 use crate::stats::SchedStats;
+use crate::variants::greedy;
 use crate::variants::informative;
 use crate::variants::iterative::IterativeMatcher;
 use crate::variants::projector;
@@ -54,11 +55,12 @@ use sim::time::Nanos;
 use sim::{BandwidthSeries, Xoshiro256};
 use std::collections::VecDeque;
 use topology::{
-    AnyTopology, FailureSchedule, LinkFailures, PredefinedCache, Topology, TopologyKind,
+    AnyTopology, FailureSchedule, FaultModel, LinkFailures, PredefinedCache, Topology, TopologyKind,
 };
 use workload::FlowTrace;
 
 pub use topology::failures::FailureAction;
+pub use topology::inject::FaultAction;
 
 mod parallel;
 
@@ -273,6 +275,9 @@ pub struct NegotiatorSim {
     failures: LinkFailures,
     detector: FaultDetector,
     fail_sched: FailureSchedule,
+    // Adversarial fault families (flap / partition / gray / greedy) layered
+    // on top of the clean failure schedule.
+    faults: FaultModel,
     // Per-epoch observation scratch.
     egress_attempted: Vec<bool>,
     egress_ok: Vec<bool>,
@@ -401,6 +406,7 @@ impl NegotiatorSim {
             failures: LinkFailures::new(n, s),
             detector: FaultDetector::new(n, s),
             fail_sched: FailureSchedule::new(),
+            faults: FaultModel::new(),
             egress_attempted: vec![false; n * s],
             egress_ok: vec![false; n * s],
             ingress_attempted: vec![false; n * s],
@@ -459,6 +465,12 @@ impl NegotiatorSim {
         self.fail_sched.schedule(at, action);
     }
 
+    /// Schedule an adversarial fault action at absolute time `at` (see
+    /// [`topology::FaultModel`] for the families and ordering rules).
+    pub fn schedule_fault(&mut self, at: Nanos, action: FaultAction) {
+        self.faults.schedule(at, action);
+    }
+
     /// Attach a phase-boundary probe; its snapshots are readable via
     /// [`Self::phase_probe`] after the run.
     pub fn set_phase_probe(&mut self, probe: PhaseProbe) {
@@ -472,12 +484,47 @@ impl NegotiatorSim {
 
     /// Cumulative counters for phase-boundary snapshots.
     fn phase_counters(&self, tracker: &FlowTracker) -> PhaseCounters {
+        let (fp, fn_) = self.detector_divergence();
         PhaseCounters {
             delivered_bytes: tracker.delivered_payload(),
             backlog_bytes: self.queue_bytes.iter().sum(),
             grants: self.stats.grants_issued,
             accepts: self.stats.accepts_made,
+            control_dropped: self.stats.control_dropped,
+            detector_fp_links: fp,
+            detector_fn_links: fn_,
+            partitioned_tors: self.failures.partitioned_tors() as u64,
         }
+    }
+
+    /// Directed links where the detector's exclusion set disagrees with
+    /// ground truth: `(false positives, false negatives)`. Gray failures
+    /// produce false positives (the link is up for data but its dummies
+    /// drop); clean failures show up as false negatives until the
+    /// two-epoch detection window closes.
+    fn detector_divergence(&self) -> (u64, u64) {
+        let (mut fp, mut fn_) = (0, 0);
+        for tor in 0..self.n {
+            for port in 0..self.s {
+                for (excluded, down) in [
+                    (
+                        self.detector.egress_excluded(tor, port),
+                        self.failures.egress_down(tor, port),
+                    ),
+                    (
+                        self.detector.ingress_excluded(tor, port),
+                        self.failures.ingress_down(tor, port),
+                    ),
+                ] {
+                    match (excluded, down) {
+                        (true, false) => fp += 1,
+                        (false, true) => fn_ += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        (fp, fn_)
     }
 
     /// Per-flow tracker of the completed run.
@@ -548,6 +595,7 @@ impl NegotiatorSim {
                     .record(t0, counters);
             }
             self.fail_sched.apply_due(t0, &mut self.failures);
+            self.faults.epoch_update(t0, &mut self.failures);
             cursor = self.inject(flows, cursor, t0);
             self.epoch_start(epoch, t0);
             cursor = self.predefined_phase(flows, cursor, epoch, t0, &mut tracker);
@@ -559,6 +607,7 @@ impl NegotiatorSim {
             if cursor >= flows.len()
                 && tracker.completed_count() == flows.len()
                 && self.fail_sched.is_drained()
+                && self.faults.is_drained()
             {
                 break;
             }
@@ -675,11 +724,11 @@ impl NegotiatorSim {
         }
         if self.par_workers() > 1 {
             self.step_accept_parallel();
-            self.step_grant_parallel();
+            self.step_grant_parallel(epoch);
             self.step_request_parallel(t0);
         } else {
             self.step_accept();
-            self.step_grant();
+            self.step_grant(epoch);
             self.step_request(t0);
         }
         if self.opts.selective_relay {
@@ -824,7 +873,7 @@ impl NegotiatorSim {
     }
 
     /// GRANT: consume requests delivered last epoch and allocate ports.
-    fn step_grant(&mut self) {
+    fn step_grant(&mut self, epoch: u64) {
         self.clear_grant_buckets();
         let mut reqs = std::mem::take(&mut self.scratch.reqs);
         let mut srcs = std::mem::take(&mut self.scratch.srcs);
@@ -835,6 +884,17 @@ impl NegotiatorSim {
         for dst in 0..self.n {
             reqs.clear();
             std::mem::swap(&mut reqs, &mut self.inbox_requests[dst]);
+            if self.faults.greedy(dst) {
+                // Byzantine-lite misbehavior: the requests just swapped in
+                // are discarded, backpressure and debits are ignored, and
+                // every ingress port is granted round-robin.
+                for port in 0..self.s {
+                    if let Some(src) = greedy::greedy_source(&self.topo, self.n, epoch, dst, port) {
+                        self.push_grant(dst, src, port, 0);
+                    }
+                }
+                continue;
+            }
             // §3.6.5 backpressure: a destination whose receive buffer is
             // more than half full grants nothing this epoch.
             if let Some(cap) = self.opts.host_buffer_bytes {
@@ -1181,13 +1241,16 @@ impl NegotiatorSim {
         // the loop body can borrow `self` mutably.
         let cache = std::mem::take(&mut self.pre_cache);
 
-        // Healthy-fabric fast path: with zero ground failures and a
-        // quiescent detector, every connection is up and usable, and a
-        // round of all-success observations would change no detector
-        // state — so the per-connection bookkeeping and the end-of-epoch
-        // observation pass can be skipped wholesale. Bit-exact: the only
-        // skipped work is writes of values already in place.
-        if self.failures.failed_count() == 0 && self.detector.is_quiescent() {
+        // Healthy-fabric fast path: with zero ground failures (including
+        // partitions), a quiescent detector and no active gray failure,
+        // every connection is up and usable, and a round of all-success
+        // observations would change no detector state — so the
+        // per-connection bookkeeping and the end-of-epoch observation pass
+        // can be skipped wholesale. Bit-exact: the only skipped work is
+        // writes of values already in place. Gray epochs must take the
+        // slow path even though no link is down: drops are decided
+        // per-connection and the detector has to see the misses.
+        if self.failures.healthy() && self.detector.is_quiescent() && !self.faults.gray_active() {
             self.observe_pending = false;
             if self.par_workers() > 1 {
                 cursor = self.predefined_healthy_parallel(flows, cursor, &cache, rot, t0, tracker);
@@ -1236,12 +1299,21 @@ impl NegotiatorSim {
                 self.egress_attempted[src * self.s + port] = true;
                 self.ingress_attempted[dst * self.s + port] = true;
                 let up = self.failures.link_up(src, dst, port);
-                if up {
+                // Gray failure: the link carries data but loses this
+                // epoch's control traffic. No ok-observation is recorded
+                // (the detector sees a missed dummy and may exclude the
+                // link — an organic false positive) and no scheduling
+                // message crosses; undelivered requests and grants expire
+                // in their buckets at the next epoch start.
+                let gray = up && self.faults.gray_drops(epoch, src, dst);
+                if up && !gray {
                     self.egress_ok[src * self.s + port] = true;
                     self.ingress_ok[dst * self.s + port] = true;
                     if self.msg_flags[src * self.n + dst] != 0 {
                         self.deliver_messages(src, dst);
                     }
+                } else if gray {
+                    self.stats.control_dropped += self.control_msg_count(src, dst) + 1;
                 }
                 // Piggyback one data packet (§3.4.1) unless the
                 // detector already excluded the link.
@@ -1268,6 +1340,29 @@ impl NegotiatorSim {
         }
         self.pre_cache = cache;
         cursor
+    }
+
+    /// Control messages queued on the `src → dst` predefined connection
+    /// this epoch: the request (if flagged) plus the pair's grant and
+    /// relay buckets. Used to size [`SchedStats::control_dropped`] when a
+    /// gray failure eats the connection's control traffic.
+    fn control_msg_count(&self, src: usize, dst: usize) -> u64 {
+        let idx = src * self.n + dst;
+        let flags = self.msg_flags[idx];
+        let mut count = 0;
+        if flags & REQ_FLAG != 0 {
+            count += 1;
+        }
+        if flags & GRANT_FLAG != 0 {
+            count += self.grant_buckets[idx].len() as u64;
+        }
+        if flags & RELAY_REQ_FLAG != 0 {
+            count += self.relay_req_buckets[idx].len() as u64;
+        }
+        if flags & RELAY_GRANT_FLAG != 0 {
+            count += self.relay_grant_buckets[idx].len() as u64;
+        }
+        count
     }
 
     /// Move this epoch's outgoing scheduling messages across one predefined

@@ -327,7 +327,7 @@ impl NegotiatorSim {
     /// arbiters, demand matrices and outgoing grant buckets are all
     /// granter-row state; the dirty-index merge concatenates lanes in
     /// shard order, matching the sequential granter-ascending scan.
-    pub(super) fn step_grant_parallel(&mut self) {
+    pub(super) fn step_grant_parallel(&mut self, epoch: u64) {
         debug_assert!(!self.opts.selective_relay, "relay runs are sequential");
         self.clear_grant_buckets();
         let shards = shard::partition(self.n, self.par_workers());
@@ -338,6 +338,7 @@ impl NegotiatorSim {
         let host_buffer = self.opts.host_buffer_bytes;
         let detector = &self.detector;
         let topo = &self.topo;
+        let faults = &self.faults;
         let rx_buffer = &self.rx_buffer[..];
         {
             let inboxes = shard::split_rows(&mut self.inbox_requests, 1, &shards);
@@ -401,6 +402,25 @@ impl NegotiatorSim {
                     let row = dst - shard.start;
                     lane.scratch.reqs.clear();
                     std::mem::swap(&mut lane.scratch.reqs, &mut inbox_requests[row]);
+                    if faults.greedy(dst) {
+                        // Byzantine-lite misbehavior, mirroring the
+                        // sequential step: discard the swapped-in requests
+                        // and grant every port round-robin over sources.
+                        for port in 0..s {
+                            if let Some(src) = greedy::greedy_source(topo, n, epoch, dst, port) {
+                                push_grant(
+                                    grant_buckets,
+                                    msg_flags,
+                                    &mut lane.dirty,
+                                    dst,
+                                    src,
+                                    port,
+                                    0,
+                                );
+                            }
+                        }
+                        continue;
+                    }
                     if let Some(cap) = host_buffer {
                         if rx_buffer[dst] > cap / 2 {
                             continue;
@@ -660,6 +680,10 @@ impl NegotiatorSim {
         tracker: &mut FlowTracker,
     ) -> usize {
         debug_assert!(!self.opts.selective_relay, "relay runs are sequential");
+        debug_assert!(
+            !self.faults.gray_active(),
+            "gray epochs take the sequential failure path (healthy gate)"
+        );
         let (n, pre_slots) = (self.n, self.pre_slots);
         let (pre_slot_len, prop) = (self.pre_slot_len, self.cfg.net.propagation_delay);
         let (piggyback, pb_payload) = (self.cfg.piggyback, self.pb_payload);

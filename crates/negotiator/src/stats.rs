@@ -33,6 +33,10 @@ pub struct SchedStats {
     pub unmatched_slots: u64,
     /// Packets transmitted into a ground-truth-failed link and lost.
     pub lost_packets: u64,
+    /// Control messages (requests, grants, relay traffic and the per-
+    /// connection dummy) dropped by an active gray failure. Data packets
+    /// are never in this count — a gray link stays up for data.
+    pub control_dropped: u64,
 }
 
 impl SchedStats {

@@ -19,7 +19,12 @@
 //!   by bundle waiting delay.
 //! * [`relay`] — A.2.2: traffic-aware selective relay for the thin-clos
 //!   topology (elephant-only, congestion-aware two-hop paths).
+//!
+//! [`greedy`] is not a paper variant but the fault-injection layer's
+//! Byzantine-lite misbehaving ToR: a destination that grants every port
+//! every epoch, ignoring requests and the debit discipline.
 
+pub mod greedy;
 pub mod informative;
 pub mod iterative;
 pub mod projector;

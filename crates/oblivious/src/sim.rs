@@ -34,8 +34,8 @@ use sim::time::Nanos;
 use sim::{BandwidthSeries, Xoshiro256};
 use std::collections::VecDeque;
 use topology::{
-    AnyTopology, FailureAction, FailureSchedule, LinkFailures, PredefinedCache, Topology,
-    TopologyKind,
+    AnyTopology, FailureAction, FailureSchedule, FaultAction, FaultModel, LinkFailures,
+    PredefinedCache, Topology, TopologyKind,
 };
 use workload::FlowTrace;
 
@@ -98,6 +98,10 @@ pub struct ObliviousSim {
     /// sender), which is the §2 degradation scenario timelines exercise.
     failures: LinkFailures,
     fail_sched: FailureSchedule,
+    // Adversarial fault families. Gray failures and greedy ToRs are
+    // negotiation-plane faults, so on this engine only the link-state
+    // families (flap, partition) have any effect.
+    faults: FaultModel,
 
     rx_final: Vec<BandwidthSeries>,
     rx_transit: Vec<BandwidthSeries>,
@@ -153,6 +157,7 @@ impl ObliviousSim {
             landing: Vec::new(),
             failures: LinkFailures::new(n, cfg.net.n_ports),
             fail_sched: FailureSchedule::new(),
+            faults: FaultModel::new(),
             rx_final: match rec.rx_window {
                 Some(w) => (0..n).map(|_| BandwidthSeries::new(w)).collect(),
                 None => Vec::new(),
@@ -199,6 +204,14 @@ impl ObliviousSim {
         self.fail_sched.schedule(at, action);
     }
 
+    /// Schedule an adversarial fault action at absolute time `at`. Flaps
+    /// and partitions take links down exactly as clean failures do; gray
+    /// failures and greedy ToRs are no-ops here — the rotor has no
+    /// control plane to degrade.
+    pub fn schedule_fault(&mut self, at: Nanos, action: FaultAction) {
+        self.faults.schedule(at, action);
+    }
+
     /// Attach a phase-boundary probe; its snapshots are readable via
     /// [`Self::phase_probe`] after the run.
     pub fn set_phase_probe(&mut self, probe: PhaseProbe) {
@@ -241,6 +254,10 @@ impl ObliviousSim {
             backlog_bytes: bound + relay,
             grants: 0,
             accepts: 0,
+            control_dropped: 0,
+            detector_fp_links: 0,
+            detector_fn_links: 0,
+            partitioned_tors: self.failures.partitioned_tors() as u64,
         }
     }
 
@@ -364,6 +381,7 @@ impl ObliviousSim {
                     .record(now, counters);
             }
             self.fail_sched.apply_due(now, &mut self.failures);
+            self.faults.epoch_update(now, &mut self.failures);
             // Inject flows due by this slot.
             while cursor < flows.len() && flows[cursor].arrival <= now {
                 let f = flows[cursor];
@@ -390,7 +408,7 @@ impl ObliviousSim {
                 (t as usize + (self.slot_len + prop).div_ceil(self.slot_len) as usize) % depth;
             let slot = (t % self.round as u64) as usize;
             let cache = std::mem::take(&mut self.cache);
-            let any_failed = self.failures.failed_count() > 0;
+            let any_failed = !self.failures.healthy();
             for conn in cache.slot_conns(0, slot) {
                 let (src, via) = (conn.src as usize, conn.dst as usize);
                 // A down fiber silently wastes the slot; the rotor has no
@@ -405,6 +423,7 @@ impl ObliviousSim {
             if cursor >= flows.len()
                 && tracker.completed_count() == flows.len()
                 && self.fail_sched.is_drained()
+                && self.faults.is_drained()
             {
                 break;
             }

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use crate::spec::{EventAction, ScenarioSpec, WorkloadPhase};
 use negotiator::NegotiatorConfig;
 use sim::time::Nanos;
-use topology::{AnyTopology, FailureAction, Topology};
+use topology::{AnyTopology, FailureAction, FaultAction, Topology};
 use workload::{
     load_trace, AllToAllWorkload, Flow, FlowTrace, IncastWorkload, PoissonWorkload, WorkloadSpec,
 };
@@ -32,6 +32,11 @@ pub struct CompiledScenario {
     pub trace: Arc<FlowTrace>,
     /// The event timeline as engine failure-schedule entries.
     pub failures: Vec<(Nanos, FailureAction)>,
+    /// The adversarial timeline as engine fault-schedule entries: phase
+    /// `faults` blocks (start at phase start, stop at phase end) merged
+    /// with `inject` events, stably sorted by time so a phase's stops
+    /// land before the next phase's starts at a shared boundary.
+    pub injections: Vec<(Nanos, FaultAction)>,
     /// Phase-end times, strictly increasing — the probe's boundaries.
     pub boundaries: Vec<Nanos>,
 }
@@ -132,6 +137,21 @@ pub fn compile(spec: ScenarioSpec, base_dir: &Path) -> Result<CompiledScenario, 
     }
 
     let mut failures = Vec::new();
+    let mut injections: Vec<(Nanos, FaultAction)> = Vec::new();
+    // Phase faults first, walking phases in order: a phase's stop entries
+    // are pushed before the next phase's starts at the same boundary, and
+    // the stable sort below preserves that insertion order (which is the
+    // order `FaultModel::schedule` applies equal-time actions in).
+    for phase in &spec.phases {
+        let start_ns = phase.start_epoch * epoch_len;
+        let end_ns = phase.end_epoch * epoch_len;
+        for fault in &phase.faults {
+            injections.push((start_ns, fault.to_action(epoch_len)));
+            if let Some(stop) = fault.stop_action() {
+                injections.push((end_ns, stop));
+            }
+        }
+    }
     for event in &spec.events {
         let at = event.at_epoch * epoch_len;
         match &event.action {
@@ -148,8 +168,10 @@ pub fn compile(spec: ScenarioSpec, base_dir: &Path) -> Result<CompiledScenario, 
                     seed: *seed,
                 },
             )),
+            EventAction::Inject(inject) => injections.push((at, inject.to_action(epoch_len))),
         }
     }
+    injections.sort_by_key(|&(at, _)| at);
 
     let boundaries = spec
         .phases
@@ -161,6 +183,7 @@ pub fn compile(spec: ScenarioSpec, base_dir: &Path) -> Result<CompiledScenario, 
         duration,
         trace: Arc::new(FlowTrace::new(flows)),
         failures,
+        injections,
         boundaries,
         spec,
     })
@@ -250,6 +273,68 @@ mod tests {
             FailureAction::FailLink { tor: 1, .. }
         ));
         assert!(matches!(c.failures[3].1, FailureAction::RepairAll));
+    }
+
+    #[test]
+    fn phase_faults_and_inject_events_merge_in_stable_time_order() {
+        let s = spec(
+            r#""phases": [
+    {"workload": "poisson", "load": 50, "epochs": [0, 50],
+     "faults": {"gray": {"drop_prob": 0.5}}},
+    {"workload": "poisson", "load": 50, "epochs": [50, 100],
+     "faults": {"greedy": {"tors": [2]}}}
+  ],
+  "events": [
+    {"at_epoch": 50, "inject": {"kind": "partition", "groups": 2}},
+    {"at_epoch": 75, "inject": {"kind": "heal"}}
+  ]"#,
+        );
+        let c = compile(s, Path::new(".")).unwrap();
+        // gray start@0, [gray stop, greedy start, partition]@50·len,
+        // heal@75·len, greedy stop@100·len — stops before the next
+        // phase's starts at the shared boundary, events after both.
+        let kinds: Vec<(Nanos, &'static str)> = c
+            .injections
+            .iter()
+            .map(|(at, a)| {
+                (
+                    *at,
+                    match a {
+                        FaultAction::GrayStart { .. } => "gray+",
+                        FaultAction::GrayStop => "gray-",
+                        FaultAction::GreedyStart { .. } => "greedy+",
+                        FaultAction::GreedyStop => "greedy-",
+                        FaultAction::Partition(_) => "part+",
+                        FaultAction::Heal => "part-",
+                        _ => "other",
+                    },
+                )
+            })
+            .collect();
+        let e = c.epoch_len;
+        assert_eq!(
+            kinds,
+            vec![
+                (0, "gray+"),
+                (50 * e, "gray-"),
+                (50 * e, "greedy+"),
+                (50 * e, "part+"),
+                (75 * e, "part-"),
+                (100 * e, "greedy-"),
+            ]
+        );
+        // Epoch-denominated flap durations convert at the epoch length.
+        let s = spec(
+            r#""phases": [{"workload": "poisson", "load": 50, "epochs": [0, 50]}],
+  "events": [{"at_epoch": 5, "inject": {"kind": "flap_start", "ratio": 0.2,
+              "up_epochs": 3, "down_epochs": 2}}]"#,
+        );
+        let c = compile(s, Path::new(".")).unwrap();
+        assert!(matches!(
+            c.injections[0],
+            (at, FaultAction::FlapStart { up, down, .. })
+                if at == 5 * c.epoch_len && up == 3 * c.epoch_len && down == 2 * c.epoch_len
+        ));
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::compile::CompiledScenario;
 use crate::spec::{EngineKind, WorkloadPhase};
 use negotiator::SchedulerMode;
 use topology::failures::LinkDir;
-use topology::FailureAction;
+use topology::{FailureAction, FaultAction, FlapTargets, PartitionSpec};
 
 /// Incremental FNV-1a (64-bit) over a canonical encoding. Deliberately
 /// boring: stability across builds and platforms is the whole point.
@@ -87,8 +87,10 @@ impl CompiledScenario {
         let spec = &self.spec;
         let mut h = StableHasher::new();
         // A version tag so a future encoding change invalidates old cache
-        // entries instead of colliding with them.
-        h.write_str("scenario-content-v1");
+        // entries instead of colliding with them. v2: the adversarial
+        // injection timeline joined the encoding, and the per-phase series
+        // gained fault columns — every cached report's bytes changed.
+        h.write_str("scenario-content-v2");
         h.write_str(&spec.name).write_str(&spec.description);
         h.write_str(spec.topology.label());
         h.write_u64(spec.net.n_tors as u64)
@@ -129,6 +131,11 @@ impl CompiledScenario {
         for (at, action) in &self.failures {
             h.write_u64(*at);
             hash_failure(&mut h, action);
+        }
+        h.write_u64(self.injections.len() as u64);
+        for (at, action) in &self.injections {
+            h.write_u64(*at);
+            hash_fault(&mut h, action);
         }
         h.finish()
     }
@@ -222,6 +229,85 @@ fn hash_failure(h: &mut StableHasher, action: &FailureAction) {
     }
 }
 
+fn hash_fault(h: &mut StableHasher, action: &FaultAction) {
+    match action {
+        FaultAction::FlapStart { targets, up, down } => {
+            h.write_str("flap_start");
+            match targets {
+                FlapTargets::Links(links) => {
+                    h.write_str("links").write_u64(links.len() as u64);
+                    for &(tor, port, dir) in links {
+                        h.write_u64(tor as u64)
+                            .write_u64(port as u64)
+                            .write_str(match dir {
+                                LinkDir::Egress => "egress",
+                                LinkDir::Ingress => "ingress",
+                            });
+                    }
+                }
+                FlapTargets::Random { ratio, seed } => {
+                    h.write_str("random").write_f64(*ratio).write_u64(*seed);
+                }
+            }
+            h.write_u64(*up).write_u64(*down);
+        }
+        FaultAction::FlapStop => {
+            h.write_str("flap_stop");
+        }
+        FaultAction::Partition(spec) => {
+            h.write_str("partition");
+            match spec {
+                PartitionSpec::Explicit(groups) => {
+                    h.write_str("explicit").write_u64(groups.len() as u64);
+                    for &g in groups {
+                        h.write_u64(g as u64);
+                    }
+                }
+                PartitionSpec::Random { groups, seed } => {
+                    h.write_str("random")
+                        .write_u64(*groups as u64)
+                        .write_u64(*seed);
+                }
+            }
+        }
+        FaultAction::Heal => {
+            h.write_str("heal");
+        }
+        FaultAction::GrayStart {
+            drop_prob,
+            seed,
+            tors,
+        } => {
+            h.write_str("gray_start")
+                .write_f64(*drop_prob)
+                .write_u64(*seed);
+            match tors {
+                None => {
+                    h.write_u64(u64::MAX);
+                }
+                Some(tors) => {
+                    h.write_u64(tors.len() as u64);
+                    for &t in tors {
+                        h.write_u64(t as u64);
+                    }
+                }
+            }
+        }
+        FaultAction::GrayStop => {
+            h.write_str("gray_stop");
+        }
+        FaultAction::GreedyStart { tors } => {
+            h.write_str("greedy_start").write_u64(tors.len() as u64);
+            for &t in tors {
+                h.write_u64(t as u64);
+            }
+        }
+        FaultAction::GreedyStop => {
+            h.write_str("greedy_stop");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +371,47 @@ mod tests {
         assert_ne!(
             c.run_hash(EngineKind::Negotiator),
             c.run_hash(EngineKind::Oblivious)
+        );
+    }
+
+    #[test]
+    fn every_injection_parameter_moves_the_hash() {
+        let with_events = |events: &str| {
+            base("anchor", 3, 50).replace(
+                "\"seed\": 3,",
+                &format!("\"seed\": 3, \"events\": [{events}],"),
+            )
+        };
+        let anchor = compiled(&with_events(
+            r#"{"at_epoch": 5, "inject": {"kind": "gray_start", "drop_prob": 0.5, "seed": 7}}"#,
+        ))
+        .content_hash();
+        assert_ne!(anchor, compiled(&base("anchor", 3, 50)).content_hash());
+        for events in [
+            // Timing, probability, seed, scope — each must move the key.
+            r#"{"at_epoch": 6, "inject": {"kind": "gray_start", "drop_prob": 0.5, "seed": 7}}"#,
+            r#"{"at_epoch": 5, "inject": {"kind": "gray_start", "drop_prob": 0.6, "seed": 7}}"#,
+            r#"{"at_epoch": 5, "inject": {"kind": "gray_start", "drop_prob": 0.5, "seed": 8}}"#,
+            r#"{"at_epoch": 5, "inject": {"kind": "gray_start", "drop_prob": 0.5, "seed": 7, "tors": [1]}}"#,
+            r#"{"at_epoch": 5, "inject": {"kind": "flap_start", "ratio": 0.5, "seed": 7,
+                "up_epochs": 2, "down_epochs": 1}}"#,
+            r#"{"at_epoch": 5, "inject": {"kind": "partition", "groups": 2, "seed": 7}}"#,
+            r#"{"at_epoch": 5, "inject": {"kind": "greedy_start", "tors": [2]}}"#,
+        ] {
+            assert_ne!(
+                compiled(&with_events(events)).content_hash(),
+                anchor,
+                "{events}"
+            );
+        }
+        // A phase-level faults block keys the cache the same way.
+        let phased = base("anchor", 3, 50).replace(
+            r#""epochs": [0, 20]}"#,
+            r#""epochs": [0, 20], "faults": {"gray": {"drop_prob": 0.5, "seed": 7}}}"#,
+        );
+        assert_ne!(
+            compiled(&phased).content_hash(),
+            compiled(&base("anchor", 3, 50)).content_hash()
         );
     }
 

@@ -9,9 +9,11 @@
 //! declares the fabric, a sequence of **workload phases** (any generator
 //! or a replayed trace, each with a load and an epoch span) and a
 //! **timeline of events** at absolute epochs (`fail_links`,
-//! `repair_links`, `fail_random`); the crate compiles it into one flow
-//! trace, one failure schedule and one list of phase boundaries, and runs
-//! it through both engines. Each run feeds a
+//! `repair_links`, `fail_random`, plus the adversarial `inject` family —
+//! flapping links, partitions, gray failures, greedy granters — also
+//! available as a per-phase `faults` block); the crate compiles it into
+//! one flow trace, one failure schedule, one fault-injection schedule and
+//! one list of phase boundaries, and runs it through both engines. Each run feeds a
 //! [`metrics::PhaseProbe`], so the output carries an epoch-bucketed time
 //! series — goodput, FCT percentiles, match ratio and queue backlog per
 //! phase — next to the usual aggregates.
@@ -51,4 +53,4 @@ pub use runner::{
     ScenarioRunOutput,
 };
 pub use series::PhaseStat;
-pub use spec::{parse_scenario, EngineKind, PhaseSpec, ScenarioSpec, WorkloadPhase};
+pub use spec::{parse_scenario, EngineKind, InjectSpec, PhaseSpec, ScenarioSpec, WorkloadPhase};

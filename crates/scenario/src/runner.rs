@@ -141,6 +141,9 @@ fn run_engine(
             for (at, action) in &compiled.failures {
                 sim.schedule_failure(*at, action.clone());
             }
+            for (at, action) in &compiled.injections {
+                sim.schedule_fault(*at, action.clone());
+            }
             sim.set_phase_probe(make_probe(compiled, system, progress));
             let mut report = sim.run(&trace, compiled.duration);
             let stats = series::phase_stats(
@@ -162,6 +165,9 @@ fn run_engine(
             sim.set_workers(workers);
             for (at, action) in &compiled.failures {
                 sim.schedule_failure(*at, action.clone());
+            }
+            for (at, action) in &compiled.injections {
+                sim.schedule_fault(*at, action.clone());
             }
             sim.set_phase_probe(make_probe(compiled, system, progress));
             let mut report = sim.run(&trace, compiled.duration);
@@ -258,6 +264,36 @@ mod tests {
             g[1] < g[0] * 0.97 && g[1] < g[2],
             "failures must dent phase 1: {g:?}"
         );
+    }
+
+    #[test]
+    fn phase_faults_dent_their_phase_and_fill_the_new_columns() {
+        // A steady load with a gray middle phase: the detector false
+        // positives and control drops must land in (exactly) that phase,
+        // and data keeps flowing throughout.
+        let text = r#"{
+  "name": "gray", "topology": "parallel", "tors": 16, "ports": 4,
+  "host_gbps": 200,
+  "engines": ["negotiator"],
+  "phases": [
+    {"workload": "poisson", "load": 60, "epochs": [0, 60]},
+    {"workload": "poisson", "load": 60, "epochs": [60, 120],
+     "faults": {"gray": {"drop_prob": 1.0, "tors": [0, 1, 2]}}},
+    {"workload": "poisson", "load": 60, "epochs": [120, 200]}
+  ]
+}"#;
+        let c = compile(parse_scenario(text).unwrap(), Path::new(".")).unwrap();
+        let out = (build_runs(&c, 2).into_iter().next().unwrap().run)();
+        let s = &out.series;
+        assert_eq!(s[0].control_dropped, 0, "{s:?}");
+        assert!(s[1].control_dropped > 0, "{s:?}");
+        assert!(s[1].detector_fp_links > 0, "{s:?}");
+        assert_eq!(s[1].detector_fn_links, 0, "{s:?}");
+        assert!(s.iter().all(|p| p.delivered_bytes > 0), "{s:?}");
+        // The gray window ends with the phase: by the scenario end the
+        // detector has re-included everything.
+        assert_eq!(s[2].detector_fp_links, 0, "{s:?}");
+        assert!(out.rendered.contains("ctl_drop"));
     }
 
     #[test]

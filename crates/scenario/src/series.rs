@@ -41,6 +41,19 @@ pub struct PhaseStat {
     pub match_ratio: Option<f64>,
     /// Bytes still queued when the phase ended.
     pub backlog_bytes: u64,
+    /// Control messages dropped by gray failures during the phase (always
+    /// 0 for the oblivious engine, which has no control plane).
+    pub control_dropped: u64,
+    /// Directed links the fault detector excluded without a ground-truth
+    /// failure, at the phase end (false positives — gray failures cause
+    /// these).
+    pub detector_fp_links: u64,
+    /// Ground-truth-failed directed links the detector had not excluded at
+    /// the phase end (false negatives — detection lag causes these).
+    pub detector_fn_links: u64,
+    /// ToRs cut off from the largest connected group at the phase end
+    /// (0 when unpartitioned).
+    pub partitioned_tors: u64,
 }
 
 /// Derive the per-phase stats of one run from its boundary `snapshots`
@@ -101,6 +114,10 @@ pub fn phase_stats(
             completed,
             match_ratio: (grants > 0).then(|| accepts as f64 / grants as f64),
             backlog_bytes: snap.counters.backlog_bytes,
+            control_dropped: snap.counters.control_dropped - prev.control_dropped,
+            detector_fp_links: snap.counters.detector_fp_links,
+            detector_fn_links: snap.counters.detector_fn_links,
+            partitioned_tors: snap.counters.partitioned_tors,
         });
         prev = snap.counters;
     }
@@ -125,7 +142,11 @@ pub fn stats_to_json(stats: &[PhaseStat]) -> Json {
                     .push("fct_p99_ns", s.fct_p99_ns)
                     .push("completed", s.completed)
                     .push("match_ratio", s.match_ratio)
-                    .push("backlog_bytes", s.backlog_bytes);
+                    .push("backlog_bytes", s.backlog_bytes)
+                    .push("control_dropped", s.control_dropped)
+                    .push("detector_fp_links", s.detector_fp_links)
+                    .push("detector_fn_links", s.detector_fn_links)
+                    .push("partitioned_tors", s.partitioned_tors);
                 obj
             })
             .collect(),
@@ -145,6 +166,10 @@ pub fn render_stats(system: &str, stats: &[PhaseStat]) -> String {
             "completed",
             "match",
             "backlog_B",
+            "ctl_drop",
+            "det_fp",
+            "det_fn",
+            "part",
         ],
     );
     for s in stats {
@@ -159,6 +184,10 @@ pub fn render_stats(system: &str, stats: &[PhaseStat]) -> String {
             s.match_ratio
                 .map_or_else(|| "-".into(), |r| format!("{r:.3}")),
             format!("{}", s.backlog_bytes),
+            format!("{}", s.control_dropped),
+            format!("{}", s.detector_fp_links),
+            format!("{}", s.detector_fn_links),
+            format!("{}", s.partitioned_tors),
         ]);
     }
     table.render()

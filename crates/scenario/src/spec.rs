@@ -12,9 +12,10 @@
 
 use metrics::json::{line_col, SpannedJson};
 use negotiator::SchedulerMode;
+use sim::time::Nanos;
 use sim::Bandwidth;
 use topology::failures::LinkDir;
-use topology::{NetworkConfig, TopologyKind};
+use topology::{FaultAction, FlapTargets, NetworkConfig, PartitionSpec, TopologyKind};
 use workload::FlowSizeDist;
 
 /// A validation error carrying the byte offset it points at (when the
@@ -107,6 +108,9 @@ pub struct PhaseSpec {
     pub end_epoch: u64,
     /// The traffic this phase offers.
     pub workload: WorkloadPhase,
+    /// Faults active for exactly this phase's span: each entry starts at
+    /// the phase start and its counterpart stop fires at the phase end.
+    pub faults: Vec<InjectSpec>,
 }
 
 /// One timed link-state event (epochs are absolute).
@@ -132,6 +136,92 @@ pub enum EventAction {
         /// Sampling seed.
         seed: u64,
     },
+    /// An adversarial fault injection (`topology::inject` family).
+    Inject(InjectSpec),
+}
+
+/// One adversarial injection at the spec level: durations are measured
+/// in epochs (the scenario's time unit) and converted to nanoseconds by
+/// `compile`, which knows the epoch length.
+#[derive(Debug, Clone)]
+pub enum InjectSpec {
+    /// Start a duty-cycled link oscillation.
+    FlapStart {
+        /// Links to oscillate.
+        targets: FlapTargets,
+        /// Connected epochs per cycle.
+        up_epochs: u64,
+        /// Dark epochs per cycle.
+        down_epochs: u64,
+    },
+    /// Stop every flap.
+    FlapStop,
+    /// Partition the ToR set.
+    Partition(PartitionSpec),
+    /// Heal the partition.
+    Heal,
+    /// Start a gray failure (control-plane drops, data untouched).
+    GrayStart {
+        /// Per-(epoch, src, dst) drop probability in `(0, 1]`.
+        drop_prob: f64,
+        /// Decision seed.
+        seed: u64,
+        /// Affected source ToRs (`None` = every ToR).
+        tors: Option<Vec<usize>>,
+    },
+    /// End the gray failure.
+    GrayStop,
+    /// Mark ToRs as greedy granters.
+    GreedyStart {
+        /// Misbehaving ToRs.
+        tors: Vec<usize>,
+    },
+    /// Every ToR returns to honest granting.
+    GreedyStop,
+}
+
+impl InjectSpec {
+    /// The engine-level action, epoch durations converted at `epoch_len`.
+    pub fn to_action(&self, epoch_len: Nanos) -> FaultAction {
+        match self {
+            InjectSpec::FlapStart {
+                targets,
+                up_epochs,
+                down_epochs,
+            } => FaultAction::FlapStart {
+                targets: targets.clone(),
+                up: up_epochs * epoch_len,
+                down: down_epochs * epoch_len,
+            },
+            InjectSpec::FlapStop => FaultAction::FlapStop,
+            InjectSpec::Partition(spec) => FaultAction::Partition(spec.clone()),
+            InjectSpec::Heal => FaultAction::Heal,
+            InjectSpec::GrayStart {
+                drop_prob,
+                seed,
+                tors,
+            } => FaultAction::GrayStart {
+                drop_prob: *drop_prob,
+                seed: *seed,
+                tors: tors.clone(),
+            },
+            InjectSpec::GrayStop => FaultAction::GrayStop,
+            InjectSpec::GreedyStart { tors } => FaultAction::GreedyStart { tors: tors.clone() },
+            InjectSpec::GreedyStop => FaultAction::GreedyStop,
+        }
+    }
+
+    /// The action that ends this fault at a phase's end boundary (used
+    /// when the fault comes from a per-phase `faults` block).
+    pub fn stop_action(&self) -> Option<FaultAction> {
+        match self {
+            InjectSpec::FlapStart { .. } => Some(FaultAction::FlapStop),
+            InjectSpec::Partition(_) => Some(FaultAction::Heal),
+            InjectSpec::GrayStart { .. } => Some(FaultAction::GrayStop),
+            InjectSpec::GreedyStart { .. } => Some(FaultAction::GreedyStop),
+            _ => None,
+        }
+    }
 }
 
 /// A fully validated scenario.
@@ -263,7 +353,7 @@ fn validate(doc: &SpannedJson) -> Result<ScenarioSpec, SpecError> {
     let mode = parse_mode(doc)?;
     let seed = opt_u64_min(doc, "seed", 0)?.unwrap_or(1);
     let engines = parse_engines(doc)?;
-    let phases = parse_phases(doc, &net)?;
+    let phases = parse_phases(doc, &net, seed)?;
     let events = parse_events(doc, &net, seed, phases.last().expect("non-empty").end_epoch)?;
 
     Ok(ScenarioSpec {
@@ -351,7 +441,11 @@ fn parse_engines(doc: &SpannedJson) -> Result<Vec<EngineKind>, SpecError> {
     Ok(out)
 }
 
-fn parse_phases(doc: &SpannedJson, net: &NetworkConfig) -> Result<Vec<PhaseSpec>, SpecError> {
+fn parse_phases(
+    doc: &SpannedJson,
+    net: &NetworkConfig,
+    scenario_seed: u64,
+) -> Result<Vec<PhaseSpec>, SpecError> {
     let phases = doc
         .get("phases")
         .ok_or_else(|| SpecError::at(doc.pos, "the scenario needs a 'phases' array"))?;
@@ -424,11 +518,16 @@ fn parse_phases(doc: &SpannedJson, net: &NetworkConfig) -> Result<Vec<PhaseSpec>
             std::cmp::Ordering::Equal => {}
         }
         let workload = parse_workload(item, &label, net)?;
+        let faults = match item.get("faults") {
+            None => Vec::new(),
+            Some(f) => parse_phase_faults(f, net, scenario_seed, i as u64)?,
+        };
         out.push(PhaseSpec {
             label,
             start_epoch,
             end_epoch,
             workload,
+            faults,
         });
     }
     Ok(out)
@@ -440,7 +539,7 @@ fn parse_workload(
     net: &NetworkConfig,
 ) -> Result<WorkloadPhase, SpecError> {
     let kind = req_str(phase, "workload")?;
-    let base = ["label", "epochs", "workload"];
+    let base = ["label", "epochs", "workload", "faults"];
     match kind.as_str() {
         "poisson" => {
             check_keys(
@@ -535,7 +634,7 @@ fn parse_events(
         expect_obj(item, "an event")?;
         check_keys(
             item,
-            &["at_epoch", "action", "links", "ratio", "seed"],
+            &["at_epoch", "action", "inject", "links", "ratio", "seed"],
             "an event",
         )?;
         let at = item
@@ -552,7 +651,6 @@ fn parse_events(
                 ),
             ));
         }
-        let action = req_str(item, "action")?;
         // A key belonging to a *different* action must not be silently
         // dropped (the misplaced-parameter variant of the unknown-key rule).
         let reject_stray = |keys: &[&str], action: &str| -> Result<(), SpecError> {
@@ -566,6 +664,31 @@ fn parse_events(
             }
             Ok(())
         };
+        // An event carries either a link-state 'action' or an adversarial
+        // 'inject' — exactly one.
+        if let Some(inject) = item.get("inject") {
+            if item.get("action").is_some() {
+                return Err(SpecError::at(
+                    inject.pos,
+                    "an event takes either 'action' or 'inject', not both",
+                ));
+            }
+            for &key in &["links", "ratio", "seed"] {
+                if let Some(stray) = item.get(key) {
+                    return Err(SpecError::at(
+                        stray.pos,
+                        format!("'{key}' belongs inside the 'inject' object"),
+                    ));
+                }
+            }
+            let seed = scenario_seed ^ (0x1AF0_5EED + i as u64);
+            out.push(EventSpec {
+                at_epoch,
+                action: EventAction::Inject(parse_inject(inject, net, seed)?),
+            });
+            continue;
+        }
+        let action = req_str(item, "action")?;
         let action = match action.as_str() {
             "fail_links" => {
                 reject_stray(&["ratio", "seed"], "fail_links")?;
@@ -599,7 +722,10 @@ fn parse_events(
             other => {
                 return Err(SpecError::at(
                     item.get("action").expect("required above").pos,
-                    format!("unknown action {other:?} (fail_links, repair_links, fail_random)"),
+                    format!(
+                        "unknown action {other:?} (fail_links, repair_links, fail_random){}",
+                        did_you_mean(other, &["fail_links", "repair_links", "fail_random"])
+                    ),
                 ))
             }
         };
@@ -661,6 +787,341 @@ fn parse_link(
 }
 
 // ---------------------------------------------------------------------
+// Adversarial fault injection (`topology::inject` surface)
+// ---------------------------------------------------------------------
+
+const INJECT_KINDS: &[&str] = &[
+    "flap_start",
+    "flap_stop",
+    "partition",
+    "heal",
+    "gray_start",
+    "gray_stop",
+    "greedy_start",
+    "greedy_stop",
+];
+
+/// Parse an event's `inject` object, dispatching on its `kind`.
+/// `default_seed` feeds any randomized sub-spec left without an explicit
+/// seed, so omitting one still yields a reproducible scenario.
+fn parse_inject(
+    v: &SpannedJson,
+    net: &NetworkConfig,
+    default_seed: u64,
+) -> Result<InjectSpec, SpecError> {
+    expect_obj(v, "an 'inject'")?;
+    let kind = req_str(v, "kind")?;
+    match kind.as_str() {
+        "flap_start" => {
+            check_keys(
+                v,
+                &["kind", "links", "ratio", "seed", "up_epochs", "down_epochs"],
+                "a 'flap_start' inject",
+            )?;
+            let targets = parse_flap_targets(v, net, default_seed)?;
+            let up_epochs = need_u64(v, "up_epochs", 1, MAX_EPOCHS, "a 'flap_start' inject")?;
+            let down_epochs = need_u64(v, "down_epochs", 1, MAX_EPOCHS, "a 'flap_start' inject")?;
+            Ok(InjectSpec::FlapStart {
+                targets,
+                up_epochs,
+                down_epochs,
+            })
+        }
+        "flap_stop" => {
+            check_keys(v, &["kind"], "a 'flap_stop' inject")?;
+            Ok(InjectSpec::FlapStop)
+        }
+        "partition" => {
+            check_keys(
+                v,
+                &["kind", "assign", "groups", "seed"],
+                "a 'partition' inject",
+            )?;
+            Ok(InjectSpec::Partition(parse_partition(
+                v,
+                net,
+                default_seed,
+            )?))
+        }
+        "heal" => {
+            check_keys(v, &["kind"], "a 'heal' inject")?;
+            Ok(InjectSpec::Heal)
+        }
+        "gray_start" => {
+            check_keys(
+                v,
+                &["kind", "drop_prob", "seed", "tors"],
+                "a 'gray_start' inject",
+            )?;
+            let (drop_prob, seed, tors) = parse_gray(v, net, default_seed)?;
+            Ok(InjectSpec::GrayStart {
+                drop_prob,
+                seed,
+                tors,
+            })
+        }
+        "gray_stop" => {
+            check_keys(v, &["kind"], "a 'gray_stop' inject")?;
+            Ok(InjectSpec::GrayStop)
+        }
+        "greedy_start" => {
+            check_keys(v, &["kind", "tors"], "a 'greedy_start' inject")?;
+            let tors_val = v.get("tors").ok_or_else(|| {
+                SpecError::at(v.pos, "a 'greedy_start' inject needs a 'tors' array")
+            })?;
+            Ok(InjectSpec::GreedyStart {
+                tors: parse_tor_list(tors_val, net)?,
+            })
+        }
+        "greedy_stop" => {
+            check_keys(v, &["kind"], "a 'greedy_stop' inject")?;
+            Ok(InjectSpec::GreedyStop)
+        }
+        other => Err(SpecError::at(
+            v.get("kind").expect("required above").pos,
+            format!(
+                "unknown inject kind {other:?} ({}){}",
+                INJECT_KINDS.join(", "),
+                did_you_mean(other, INJECT_KINDS)
+            ),
+        )),
+    }
+}
+
+/// Parse a phase's `faults` block: every listed fault starts at the
+/// phase start, and its counterpart stop fires at the phase end — the
+/// declarative way to say "this phase runs under adversity".
+fn parse_phase_faults(
+    v: &SpannedJson,
+    net: &NetworkConfig,
+    scenario_seed: u64,
+    phase_i: u64,
+) -> Result<Vec<InjectSpec>, SpecError> {
+    expect_obj(v, "'faults'")?;
+    check_keys(
+        v,
+        &["flap", "partition", "gray", "greedy"],
+        "a phase 'faults' block",
+    )?;
+    // Distinct default-seed lanes per phase and per fault family.
+    let lane = |family: u64| scenario_seed ^ (0xFA01_7000 + 4 * phase_i + family);
+    let mut out = Vec::new();
+    if let Some(flap) = v.get("flap") {
+        expect_obj(flap, "'faults.flap'")?;
+        check_keys(
+            flap,
+            &["links", "ratio", "seed", "up_epochs", "down_epochs"],
+            "'faults.flap'",
+        )?;
+        let targets = parse_flap_targets(flap, net, lane(0))?;
+        let up_epochs = need_u64(flap, "up_epochs", 1, MAX_EPOCHS, "'faults.flap'")?;
+        let down_epochs = need_u64(flap, "down_epochs", 1, MAX_EPOCHS, "'faults.flap'")?;
+        out.push(InjectSpec::FlapStart {
+            targets,
+            up_epochs,
+            down_epochs,
+        });
+    }
+    if let Some(part) = v.get("partition") {
+        expect_obj(part, "'faults.partition'")?;
+        check_keys(part, &["assign", "groups", "seed"], "'faults.partition'")?;
+        out.push(InjectSpec::Partition(parse_partition(part, net, lane(1))?));
+    }
+    if let Some(gray) = v.get("gray") {
+        expect_obj(gray, "'faults.gray'")?;
+        check_keys(gray, &["drop_prob", "seed", "tors"], "'faults.gray'")?;
+        let (drop_prob, seed, tors) = parse_gray(gray, net, lane(2))?;
+        out.push(InjectSpec::GrayStart {
+            drop_prob,
+            seed,
+            tors,
+        });
+    }
+    if let Some(greedy) = v.get("greedy") {
+        expect_obj(greedy, "'faults.greedy'")?;
+        check_keys(greedy, &["tors"], "'faults.greedy'")?;
+        let tors_val = greedy
+            .get("tors")
+            .ok_or_else(|| SpecError::at(greedy.pos, "'faults.greedy' needs a 'tors' array"))?;
+        out.push(InjectSpec::GreedyStart {
+            tors: parse_tor_list(tors_val, net)?,
+        });
+    }
+    if out.is_empty() {
+        return Err(SpecError::at(
+            v.pos,
+            "a 'faults' block needs at least one of flap, partition, gray, greedy",
+        ));
+    }
+    Ok(out)
+}
+
+/// Flap targets: an explicit `links` list XOR a random `ratio` (with an
+/// optional `seed` that only makes sense for the random form).
+fn parse_flap_targets(
+    v: &SpannedJson,
+    net: &NetworkConfig,
+    default_seed: u64,
+) -> Result<FlapTargets, SpecError> {
+    match (v.get("links"), v.get("ratio")) {
+        (Some(_), Some(ratio)) => Err(SpecError::at(
+            ratio.pos,
+            "a flap takes either 'links' or a 'ratio', not both",
+        )),
+        (None, None) => Err(SpecError::at(
+            v.pos,
+            "a flap needs 'links' or a random 'ratio'",
+        )),
+        (Some(links), None) => {
+            if let Some(seed) = v.get("seed") {
+                return Err(SpecError::at(
+                    seed.pos,
+                    "'seed' only applies to a random ('ratio') flap",
+                ));
+            }
+            let entries = links
+                .as_array()
+                .filter(|l| !l.is_empty())
+                .ok_or_else(|| SpecError::at(links.pos, "'links' must be a non-empty array"))?;
+            let mut parsed = Vec::new();
+            for entry in entries {
+                parsed.push(parse_link(entry, net)?);
+            }
+            Ok(FlapTargets::Links(parsed))
+        }
+        (None, Some(ratio_val)) => {
+            let ratio = num_in_range(ratio_val, "'ratio'", 0.0, 1.0, true)?;
+            let seed = opt_u64_min(v, "seed", 0)?.unwrap_or(default_seed);
+            Ok(FlapTargets::Random { ratio, seed })
+        }
+    }
+}
+
+/// Partition spec: an explicit per-ToR `assign` array XOR a random
+/// `groups` count (with an optional `seed` for the random form).
+fn parse_partition(
+    v: &SpannedJson,
+    net: &NetworkConfig,
+    default_seed: u64,
+) -> Result<PartitionSpec, SpecError> {
+    match (v.get("assign"), v.get("groups")) {
+        (Some(_), Some(groups)) => Err(SpecError::at(
+            groups.pos,
+            "a partition takes either 'assign' or 'groups', not both",
+        )),
+        (None, None) => Err(SpecError::at(
+            v.pos,
+            "a partition needs a per-ToR 'assign' array or a random 'groups' count",
+        )),
+        (Some(assign), None) => {
+            if let Some(seed) = v.get("seed") {
+                return Err(SpecError::at(
+                    seed.pos,
+                    "'seed' only applies to a random ('groups') partition",
+                ));
+            }
+            let entries = assign
+                .as_array()
+                .ok_or_else(|| SpecError::at(assign.pos, "'assign' must be an array"))?;
+            if entries.len() != net.n_tors {
+                return Err(SpecError::at(
+                    assign.pos,
+                    format!(
+                        "'assign' lists {} groups but the fabric has {} ToRs",
+                        entries.len(),
+                        net.n_tors
+                    ),
+                ));
+            }
+            let mut groups = Vec::with_capacity(entries.len());
+            for entry in entries {
+                let g = entry
+                    .as_u64()
+                    .filter(|&g| g < net.n_tors as u64)
+                    .ok_or_else(|| {
+                        SpecError::at(
+                            entry.pos,
+                            format!("a group id must be an integer below {}", net.n_tors),
+                        )
+                    })?;
+                groups.push(g as u32);
+            }
+            let first = groups[0];
+            if groups.iter().all(|&g| g == first) {
+                return Err(SpecError::at(
+                    assign.pos,
+                    "'assign' puts every ToR in one group — that is no partition",
+                ));
+            }
+            Ok(PartitionSpec::Explicit(groups))
+        }
+        (None, Some(groups_val)) => {
+            let groups = groups_val
+                .as_u64()
+                .filter(|&g| (2..=net.n_tors as u64).contains(&g))
+                .ok_or_else(|| {
+                    SpecError::at(
+                        groups_val.pos,
+                        format!("'groups' must be an integer in [2, {}]", net.n_tors),
+                    )
+                })? as u32;
+            let seed = opt_u64_min(v, "seed", 0)?.unwrap_or(default_seed);
+            Ok(PartitionSpec::Random { groups, seed })
+        }
+    }
+}
+
+/// Gray-failure parameters: required `drop_prob`, optional `seed` and
+/// optional affected-`tors` scope.
+fn parse_gray(
+    v: &SpannedJson,
+    net: &NetworkConfig,
+    default_seed: u64,
+) -> Result<(f64, u64, Option<Vec<usize>>), SpecError> {
+    let prob_val = v
+        .get("drop_prob")
+        .ok_or_else(|| SpecError::at(v.pos, "a gray failure needs a 'drop_prob'"))?;
+    let drop_prob = num_in_range(prob_val, "'drop_prob'", 0.0, 1.0, true)?;
+    let seed = opt_u64_min(v, "seed", 0)?.unwrap_or(default_seed);
+    let tors = match v.get("tors") {
+        None => None,
+        Some(tors_val) => Some(parse_tor_list(tors_val, net)?),
+    };
+    Ok((drop_prob, seed, tors))
+}
+
+/// A non-empty, duplicate-free list of in-range ToR indices.
+fn parse_tor_list(v: &SpannedJson, net: &NetworkConfig) -> Result<Vec<usize>, SpecError> {
+    let entries = v
+        .as_array()
+        .filter(|t| !t.is_empty())
+        .ok_or_else(|| SpecError::at(v.pos, "'tors' must be a non-empty array"))?;
+    let mut out = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let tor = entry
+            .as_u64()
+            .filter(|&t| t < net.n_tors as u64)
+            .ok_or_else(|| {
+                SpecError::at(
+                    entry.pos,
+                    format!(
+                        "ToR index out of range — the fabric has {} ToRs",
+                        net.n_tors
+                    ),
+                )
+            })? as usize;
+        if out.contains(&tor) {
+            return Err(SpecError::at(
+                entry.pos,
+                format!("duplicate ToR index {tor}"),
+            ));
+        }
+        out.push(tor);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
 // Small typed accessors over SpannedJson, all error-reporting by position
 // ---------------------------------------------------------------------
 
@@ -693,13 +1154,55 @@ fn check_keys(v: &SpannedJson, allowed: &[&str], what: &str) -> Result<(), SpecE
             return Err(SpecError::at(
                 *key_pos,
                 format!(
-                    "unknown key {key:?} in {what} (allowed: {})",
-                    allowed.join(", ")
+                    "unknown key {key:?} in {what} (allowed: {}){}",
+                    allowed.join(", "),
+                    did_you_mean(key, allowed)
                 ),
             ));
         }
     }
     Ok(())
+}
+
+/// ` — did you mean "x"?` when a candidate sits within a small edit
+/// distance of the input, else empty. Candidates are scanned in sorted
+/// order (mirroring the lint module's sorted-rule lookup) so ties break
+/// the same way on every platform.
+fn did_you_mean(input: &str, candidates: &[&str]) -> String {
+    let mut sorted: Vec<&str> = candidates.to_vec();
+    sorted.sort_unstable();
+    let mut best: Option<(usize, &str)> = None;
+    for cand in sorted {
+        let d = edit_distance(input, cand);
+        if best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, cand));
+        }
+    }
+    match best {
+        // One edit is always plausible; two only on longer names, so
+        // short keys like "at" never suggest an unrelated "al".
+        Some((d, cand)) if d >= 1 && (d == 1 || (d == 2 && input.len() >= 5)) => {
+            format!(" — did you mean {cand:?}?")
+        }
+        _ => String::new(),
+    }
+}
+
+/// Levenshtein distance, two-row dynamic program over bytes (keys are
+/// ASCII identifiers).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let subst = prev[j] + usize::from(ca != cb);
+            curr[j + 1] = subst.min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
 }
 
 fn req_str(v: &SpannedJson, key: &str) -> Result<String, SpecError> {
@@ -753,6 +1256,12 @@ fn req_u64_range(
 ) -> Result<u64, SpecError> {
     opt_u64_range(v, key, min, max)?
         .ok_or_else(|| SpecError::at(v.pos, format!("phase '{label}' needs a '{key}'")))
+}
+
+/// Like [`req_u64_range`] but phrased for non-phase containers.
+fn need_u64(v: &SpannedJson, key: &str, min: u64, max: u64, what: &str) -> Result<u64, SpecError> {
+    opt_u64_range(v, key, min, max)?
+        .ok_or_else(|| SpecError::at(v.pos, format!("{what} needs a '{key}'")))
 }
 
 /// A number in `(lo, hi]` (exclusive low — loads and ratios of zero are
@@ -966,6 +1475,157 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("unknown scheduler mode"), "{err}");
+    }
+
+    #[test]
+    fn inject_events_parse_and_default_seeds_derive() {
+        let text = minimal(
+            r#",
+  "events": [
+    {"at_epoch": 5, "inject": {"kind": "gray_start", "drop_prob": 0.5, "tors": [0, 1]}},
+    {"at_epoch": 40, "inject": {"kind": "gray_stop"}},
+    {"at_epoch": 10, "inject": {"kind": "flap_start", "ratio": 0.1,
+                                "up_epochs": 2, "down_epochs": 1}},
+    {"at_epoch": 20, "inject": {"kind": "partition", "groups": 2}},
+    {"at_epoch": 30, "inject": {"kind": "heal"}},
+    {"at_epoch": 50, "inject": {"kind": "greedy_start", "tors": [3]}}
+  ]"#,
+        );
+        let s = parse_scenario(&text).unwrap();
+        assert_eq!(s.events.len(), 6);
+        // Sorted by epoch; spot-check the gray event and its derived seed.
+        let EventAction::Inject(InjectSpec::GrayStart {
+            drop_prob,
+            seed,
+            tors,
+        }) = &s.events[0].action
+        else {
+            panic!("gray_start first, got {:?}", s.events[0]);
+        };
+        assert!((drop_prob - 0.5).abs() < 1e-12);
+        assert_eq!(*seed, 1 ^ 0x1AF0_5EED); // scenario seed 1, event index 0
+        assert_eq!(tors.as_deref(), Some(&[0usize, 1][..]));
+        let EventAction::Inject(InjectSpec::FlapStart {
+            targets,
+            up_epochs,
+            down_epochs,
+        }) = &s.events[1].action
+        else {
+            panic!("flap_start second");
+        };
+        assert!(
+            matches!(targets, FlapTargets::Random { ratio, .. } if (ratio - 0.1).abs() < 1e-12)
+        );
+        assert_eq!((*up_epochs, *down_epochs), (2, 1));
+    }
+
+    #[test]
+    fn inject_validation_points_at_the_token() {
+        // action XOR inject.
+        let text = minimal(
+            r#",
+  "events": [{"at_epoch": 1, "action": "repair_links", "inject": {"kind": "heal"}}]"#,
+        );
+        let err = parse_scenario(&text).unwrap_err();
+        assert!(err.contains("either 'action' or 'inject'"), "{err}");
+        // Flap needs exactly one target form.
+        let text = minimal(
+            r#",
+  "events": [{"at_epoch": 1, "inject": {"kind": "flap_start",
+    "ratio": 0.1, "links": [{"tor": 0, "port": 0}], "up_epochs": 1, "down_epochs": 1}}]"#,
+        );
+        let err = parse_scenario(&text).unwrap_err();
+        assert!(err.contains("not both"), "{err}");
+        // Explicit partition must cover the fabric and actually split it.
+        let text = minimal(
+            r#",
+  "events": [{"at_epoch": 1, "inject": {"kind": "partition", "assign": [0, 1]}}]"#,
+        );
+        let err = parse_scenario(&text).unwrap_err();
+        assert!(
+            err.contains("lists 2 groups but the fabric has 16"),
+            "{err}"
+        );
+        let all_zero = format!("[{}]", vec!["0"; 16].join(", "));
+        let text = minimal(&format!(
+            r#",
+  "events": [{{"at_epoch": 1, "inject": {{"kind": "partition", "assign": {all_zero}}}}}]"#
+        ));
+        let err = parse_scenario(&text).unwrap_err();
+        assert!(err.contains("no partition"), "{err}");
+        // drop_prob range, greedy tor range and duplicates.
+        let text = minimal(
+            r#",
+  "events": [{"at_epoch": 1, "inject": {"kind": "gray_start", "drop_prob": 1.5}}]"#,
+        );
+        let err = parse_scenario(&text).unwrap_err();
+        assert!(err.contains("'drop_prob' = 1.5 is out of range"), "{err}");
+        let text = minimal(
+            r#",
+  "events": [{"at_epoch": 1, "inject": {"kind": "greedy_start", "tors": [3, 3]}}]"#,
+        );
+        let err = parse_scenario(&text).unwrap_err();
+        assert!(err.contains("duplicate ToR index 3"), "{err}");
+        // Event-level parameters must live inside the inject object.
+        let text = minimal(
+            r#",
+  "events": [{"at_epoch": 1, "seed": 4, "inject": {"kind": "heal"}}]"#,
+        );
+        let err = parse_scenario(&text).unwrap_err();
+        assert!(err.contains("'seed' belongs inside the 'inject'"), "{err}");
+    }
+
+    #[test]
+    fn phase_faults_block_parses_and_validates() {
+        let text = minimal("").replace(
+            r#"{"workload": "poisson", "load": 50, "epochs": [0, 100]}"#,
+            r#"{"workload": "poisson", "load": 50, "epochs": [0, 100],
+      "faults": {"gray": {"drop_prob": 0.3}, "greedy": {"tors": [1, 2]}}}"#,
+        );
+        let s = parse_scenario(&text).unwrap();
+        assert_eq!(s.phases[0].faults.len(), 2);
+        assert!(matches!(
+            s.phases[0].faults[0],
+            InjectSpec::GrayStart { .. }
+        ));
+        assert!(matches!(
+            &s.phases[0].faults[1],
+            InjectSpec::GreedyStart { tors } if tors == &[1, 2]
+        ));
+        let empty = text.replace(
+            r#""faults": {"gray": {"drop_prob": 0.3}, "greedy": {"tors": [1, 2]}}"#,
+            r#""faults": {}"#,
+        );
+        let err = parse_scenario(&empty).unwrap_err();
+        assert!(err.contains("at least one of"), "{err}");
+    }
+
+    #[test]
+    fn typos_get_a_did_you_mean_hint() {
+        let text = minimal(
+            r#",
+  "events": [{"at_epoch": 1, "action": "fail_linsk",
+              "links": [{"tor": 0, "port": 0}]}]"#,
+        );
+        let err = parse_scenario(&text).unwrap_err();
+        assert!(err.contains("did you mean \"fail_links\"?"), "{err}");
+        let text = minimal(
+            r#",
+  "events": [{"at_epoch": 1, "inject": {"kind": "grey_start", "drop_prob": 0.5}}]"#,
+        );
+        let err = parse_scenario(&text).unwrap_err();
+        assert!(err.contains("did you mean \"gray_start\"?"), "{err}");
+        // Unknown keys get the same treatment via check_keys.
+        let text = minimal(
+            r#",
+  "events": [{"at_epoch": 1, "inject": {"kind": "gray_start", "drop_probb": 0.5}}]"#,
+        );
+        let err = parse_scenario(&text).unwrap_err();
+        assert!(err.contains("did you mean \"drop_prob\"?"), "{err}");
+        // A wildly wrong name earns no guess.
+        let err = parse_scenario(&minimal("").replace("\"topology\"", "\"zzzzzz\"")).unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+        assert!(!err.contains("did you mean"), "{err}");
     }
 
     #[test]

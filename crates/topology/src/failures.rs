@@ -31,6 +31,11 @@ pub struct LinkFailures {
     /// Currently failed directed links, maintained by `fail`/`repair` so
     /// the engines' per-slot/per-epoch "anything broken?" check is O(1).
     down_count: usize,
+    /// Active partition: group id per ToR; empty when the fabric is whole.
+    /// Cross-group pairs lose connectivity in both directions while the
+    /// per-fiber state above is untouched, so a partition composes with
+    /// (and heals independently of) individual link failures.
+    partition: Vec<u32>,
 }
 
 impl LinkFailures {
@@ -41,11 +46,22 @@ impl LinkFailures {
             egress_down: vec![false; n_tors * n_ports],
             ingress_down: vec![false; n_tors * n_ports],
             down_count: 0,
+            partition: Vec::new(),
         }
     }
 
     fn idx(&self, tor: usize, port: usize) -> usize {
         tor * self.n_ports + port
+    }
+
+    /// Number of ToRs in the fabric.
+    pub fn n_tors(&self) -> usize {
+        self.egress_down.len() / self.n_ports
+    }
+
+    /// Ports per ToR.
+    pub fn n_ports(&self) -> usize {
+        self.n_ports
     }
 
     /// Mark one directed link failed (idempotent).
@@ -86,9 +102,59 @@ impl LinkFailures {
 
     /// Can a transmission from `(src, port)` reach `(dst, port)`?
     /// (Egress fiber of the source and ingress fiber of the destination
-    /// must both be up; the AWGR itself is passive and never fails here.)
+    /// must both be up, and the pair must share a partition group; the
+    /// AWGR itself is passive and never fails here.)
     pub fn link_up(&self, src: usize, dst: usize, port: usize) -> bool {
-        !self.egress_down(src, port) && !self.ingress_down(dst, port)
+        self.pair_open(src, dst) && !self.egress_down(src, port) && !self.ingress_down(dst, port)
+    }
+
+    /// Are `src` and `dst` on the same side of the (possibly absent)
+    /// partition?
+    #[inline]
+    pub fn pair_open(&self, src: usize, dst: usize) -> bool {
+        self.partition.is_empty() || self.partition[src] == self.partition[dst]
+    }
+
+    /// Partition the ToR set: `assign[tor]` gives each ToR's group id and
+    /// every cross-group pair loses connectivity until [`Self::heal_partition`].
+    pub fn set_partition(&mut self, assign: Vec<u32>) {
+        debug_assert_eq!(
+            assign.len(),
+            self.n_tors(),
+            "partition assignment must cover every ToR"
+        );
+        self.partition = assign;
+    }
+
+    /// Remove the partition; cross-group pairs reconnect (per-fiber
+    /// failures, if any, remain).
+    pub fn heal_partition(&mut self) {
+        self.partition.clear();
+    }
+
+    /// Is a partition active?
+    pub fn partitioned(&self) -> bool {
+        !self.partition.is_empty()
+    }
+
+    /// ToRs cut off from the largest partition group (0 when whole) — the
+    /// "partition size" the scenario series reports.
+    pub fn partitioned_tors(&self) -> usize {
+        if self.partition.is_empty() {
+            return 0;
+        }
+        let groups = self
+            .partition
+            .iter()
+            .map(|&g| g as usize)
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let mut counts = vec![0usize; groups];
+        for &g in &self.partition {
+            counts[g as usize] += 1;
+        }
+        self.partition.len() - counts.iter().copied().max().unwrap_or(0)
     }
 
     /// Number of currently failed directed links (O(1) — the engines ask
@@ -103,16 +169,23 @@ impl LinkFailures {
         self.down_count
     }
 
-    /// Fail a uniform random sample of `ratio` of all directed links
-    /// (the Figure 10 setup: simultaneous failures at ratios 1%–10%).
-    /// Returns the failed links for later repair.
-    pub fn fail_random(
-        &mut self,
-        ratio: f64,
-        rng: &mut Xoshiro256,
-    ) -> Vec<(usize, usize, LinkDir)> {
+    /// Fully healthy fabric: no failed fibers and no partition. The
+    /// engines' fast paths gate on this, not on [`Self::failed_count`],
+    /// because a partition breaks pairs without touching any fiber.
+    pub fn healthy(&self) -> bool {
+        self.down_count == 0 && self.partition.is_empty()
+    }
+
+    /// Sample a uniform `ratio` of all directed links without changing
+    /// any state. A zero-link sample is RNG-neutral: the caller's stream
+    /// position is untouched, so downstream draws from the same `rng`
+    /// are identical whether or not a no-op sample happened in between.
+    pub fn sample_random(&self, ratio: f64, rng: &mut Xoshiro256) -> Vec<(usize, usize, LinkDir)> {
         let n_links = self.egress_down.len();
         let target = ((2 * n_links) as f64 * ratio).round() as usize;
+        if target == 0 {
+            return Vec::new();
+        }
         let mut all: Vec<(usize, usize, LinkDir)> = Vec::with_capacity(2 * n_links);
         for tor in 0..n_links / self.n_ports {
             for port in 0..self.n_ports {
@@ -121,7 +194,19 @@ impl LinkFailures {
             }
         }
         rng.shuffle(&mut all);
-        let chosen: Vec<_> = all.into_iter().take(target).collect();
+        all.truncate(target);
+        all
+    }
+
+    /// Fail a uniform random sample of `ratio` of all directed links
+    /// (the Figure 10 setup: simultaneous failures at ratios 1%–10%).
+    /// Returns the failed links for later repair.
+    pub fn fail_random(
+        &mut self,
+        ratio: f64,
+        rng: &mut Xoshiro256,
+    ) -> Vec<(usize, usize, LinkDir)> {
+        let chosen = self.sample_random(ratio, rng);
         for &(tor, port, dir) in &chosen {
             self.fail(tor, port, dir);
         }
@@ -251,6 +336,69 @@ mod tests {
         assert_eq!(f.failed_count(), 13);
         f.repair_all(&failed);
         assert_eq!(f.failed_count(), 0);
+    }
+
+    #[test]
+    fn fail_random_zero_target_is_rng_neutral() {
+        // Regression: a sample that rounds to zero links used to build
+        // and shuffle the full link list, silently advancing the caller's
+        // stream. The stream position must be unchanged.
+        let mut f = LinkFailures::new(16, 4);
+        let mut rng = Xoshiro256::new(42);
+        let untouched = rng.clone();
+        let failed = f.fail_random(0.001, &mut rng); // 128 links * 0.001 -> 0
+        assert!(failed.is_empty());
+        assert_eq!(f.failed_count(), 0);
+        let mut untouched = untouched;
+        for _ in 0..8 {
+            assert_eq!(
+                rng.next_u64(),
+                untouched.next_u64(),
+                "zero-link fail_random must not advance the RNG"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_pairs_only() {
+        let mut f = LinkFailures::new(4, 2);
+        f.set_partition(vec![0, 0, 1, 1]);
+        assert!(f.partitioned());
+        assert_eq!(f.partitioned_tors(), 2);
+        assert!(f.link_up(0, 1, 0), "intra-group pair stays up");
+        assert!(!f.link_up(0, 2, 0), "cross-group pair is blocked");
+        assert!(!f.link_up(3, 1, 1), "both directions blocked");
+        assert_eq!(f.failed_count(), 0, "no fiber is marked failed");
+        assert!(!f.healthy(), "partitioned fabric is not healthy");
+    }
+
+    #[test]
+    fn heal_partition_returns_to_healthy() {
+        let mut f = LinkFailures::new(6, 2);
+        f.set_partition(vec![0, 1, 2, 0, 1, 2]);
+        assert!(!f.healthy());
+        f.heal_partition();
+        assert!(f.healthy());
+        assert_eq!(f.partitioned_tors(), 0);
+        for src in 0..6 {
+            for dst in 0..6 {
+                for port in 0..2 {
+                    assert!(f.link_up(src, dst, port));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_composes_with_fiber_failures() {
+        let mut f = LinkFailures::new(4, 2);
+        f.fail(0, 0, LinkDir::Egress);
+        f.set_partition(vec![0, 0, 1, 1]);
+        f.heal_partition();
+        assert!(!f.healthy(), "fiber failure survives the heal");
+        assert!(!f.link_up(0, 1, 0));
+        f.repair(0, 0, LinkDir::Egress);
+        assert!(f.healthy());
     }
 
     #[test]

@@ -1,0 +1,507 @@
+//! Adversarial fault injection: a composable [`FaultModel`] that
+//! generalizes [`FailureSchedule`](crate::FailureSchedule)'s clean
+//! fail/repair timeline to the fault families the related simulators
+//! treat as first-class (ROADMAP item 3):
+//!
+//! * **Flapping links** — duty-cycled up/down oscillation on a set of
+//!   directed links, either listed explicitly or sampled once (seeded)
+//!   when the flap activates.
+//! * **Partitions** — the ToR set splits into groups and every
+//!   cross-group pair loses connectivity until a `Heal`; the group
+//!   state lives inside [`LinkFailures`] so both engines' existing
+//!   `link_up` checks honor it.
+//! * **Gray failures** — links stay up for data but negotiation control
+//!   traffic (REQUEST/GRANT and the dummy/feedback messages the fault
+//!   detector relies on) is dropped probabilistically. The drop decision
+//!   is *position-keyed*: a seeded hash of `(epoch, src, dst)`, so any
+//!   shard layout or visit order produces the identical drop set and
+//!   `--workers` can never move a drop.
+//! * **Greedy ToRs** — Byzantine-lite granters that ignore requests and
+//!   the debit discipline (the grant logic itself lives in
+//!   `negotiator::variants`; this model only tracks who misbehaves).
+//!
+//! Determinism contract: every random choice is drawn from a seed
+//! carried in the action itself (scenario-compiled, hashed into the
+//! content address) — never from ambient randomness (the D004 lint
+//! forbids it) and never from engine state that varies with `--jobs`
+//! or `--workers`. All mutation happens in [`FaultModel::epoch_update`],
+//! which the engines call from their sequential driver loops only.
+
+use crate::failures::{LinkDir, LinkFailures};
+use sim::time::Nanos;
+use sim::Xoshiro256;
+
+/// Which directed links a flap drives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlapTargets {
+    /// An explicit list of `(tor, port, dir)` links.
+    Links(Vec<(usize, usize, LinkDir)>),
+    /// A uniform sample of `ratio` of all directed links, drawn once
+    /// from `seed` when the flap activates.
+    Random {
+        /// Fraction of directed links to flap.
+        ratio: f64,
+        /// Sampling seed.
+        seed: u64,
+    },
+}
+
+/// How a partition splits the ToR set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionSpec {
+    /// Explicit group id per ToR (`assign[tor]`).
+    Explicit(Vec<u32>),
+    /// A seeded balanced split into `groups` groups.
+    Random {
+        /// Number of groups (≥ 2).
+        groups: u32,
+        /// Assignment seed.
+        seed: u64,
+    },
+}
+
+/// One scheduled change to the fault model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// Start a duty-cycled oscillation: `up` nanoseconds connected, then
+    /// `down` nanoseconds dark, repeating from the activation instant.
+    FlapStart {
+        /// Links to oscillate.
+        targets: FlapTargets,
+        /// Connected span of each cycle.
+        up: Nanos,
+        /// Dark span of each cycle.
+        down: Nanos,
+    },
+    /// Stop every flap; links a flap currently holds down come back up.
+    FlapStop,
+    /// Partition the ToR set; cross-group pairs lose connectivity.
+    Partition(PartitionSpec),
+    /// Heal the partition.
+    Heal,
+    /// Start a gray failure: control messages from the scoped source
+    /// ToRs are dropped with probability `drop_prob`; data is untouched.
+    GrayStart {
+        /// Per-(epoch, src, dst) drop probability in `(0, 1]`.
+        drop_prob: f64,
+        /// Decision seed.
+        seed: u64,
+        /// Affected source ToRs (`None` = every ToR).
+        tors: Option<Vec<usize>>,
+    },
+    /// End the gray failure.
+    GrayStop,
+    /// Mark ToRs as greedy granters (Byzantine-lite).
+    GreedyStart {
+        /// Misbehaving ToRs.
+        tors: Vec<usize>,
+    },
+    /// Every ToR returns to honest granting.
+    GreedyStop,
+}
+
+/// One active flap group.
+#[derive(Debug, Clone)]
+struct Flap {
+    links: Vec<(usize, usize, LinkDir)>,
+    up: Nanos,
+    down: Nanos,
+    /// Activation instant — phase zero of the duty cycle.
+    start: Nanos,
+    /// Whether the flap currently holds its links down.
+    down_now: bool,
+}
+
+/// Active gray-failure state.
+#[derive(Debug, Clone)]
+struct Gray {
+    /// `drop_prob` mapped onto u64 space: drop iff `mix(...) < threshold`.
+    threshold: u64,
+    seed: u64,
+    /// Per-source-ToR scope mask (`None` = every source).
+    scope: Option<Vec<bool>>,
+}
+
+/// Composable per-epoch fault model: a timed schedule of
+/// [`FaultAction`]s plus the state of every currently active fault.
+/// Engines call [`Self::epoch_update`] once per epoch (negotiator) or
+/// per slot (oblivious) from their sequential driver loops, then query
+/// [`Self::gray_drops`]/[`Self::greedy`] from the scheduling steps.
+#[derive(Debug, Clone, Default)]
+pub struct FaultModel {
+    schedule: Vec<(Nanos, FaultAction)>,
+    cursor: usize,
+    flaps: Vec<Flap>,
+    gray: Option<Gray>,
+    /// Per-ToR greedy flags, grown on first `GreedyStart`.
+    greedy: Vec<bool>,
+    greedy_count: usize,
+}
+
+impl FaultModel {
+    /// An empty model: nothing scheduled, nothing active.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `action` at absolute time `at`. Inserts keep the
+    /// schedule sorted; equal timestamps preserve scheduling order (so a
+    /// phase's stop actions, scheduled before the next phase's starts,
+    /// apply first).
+    pub fn schedule(&mut self, at: Nanos, action: FaultAction) {
+        let pos = self.cursor + self.schedule[self.cursor..].partition_point(|&(t, _)| t <= at);
+        self.schedule.insert(pos, (at, action));
+    }
+
+    /// True once every scheduled action has been applied. Active faults
+    /// (an unhealed partition, a running flap) do not keep a drained
+    /// model "busy": with no pending actions and no pending flows the
+    /// engines may exit early, exactly as with `FailureSchedule`.
+    pub fn is_drained(&self) -> bool {
+        self.cursor >= self.schedule.len()
+    }
+
+    /// Does any fault exist — scheduled or active? Engines that never
+    /// received an injection skip all per-epoch fault bookkeeping.
+    pub fn is_idle(&self) -> bool {
+        self.schedule.is_empty()
+            && self.flaps.is_empty()
+            && self.gray.is_none()
+            && self.greedy_count == 0
+    }
+
+    /// Apply every action due by `now`, then advance flap duty cycles.
+    /// Must be called from the sequential driver loop only — all
+    /// mutation happens here, so shard workers see a frozen model.
+    pub fn epoch_update(&mut self, now: Nanos, failures: &mut LinkFailures) {
+        while let Some(&(at, ref action)) = self.schedule.get(self.cursor) {
+            if at > now {
+                break;
+            }
+            let action = action.clone();
+            self.cursor += 1;
+            // Anchor on the *scheduled* instant, not the observation
+            // instant: a flap's duty cycle starts at its `at` even when
+            // the engine's epoch boundary lands a little later.
+            self.apply(action, at, failures);
+        }
+        for flap in &mut self.flaps {
+            let period = flap.up + flap.down;
+            let phase = (now - flap.start) % period;
+            let want_down = phase >= flap.up;
+            if want_down != flap.down_now {
+                flap.down_now = want_down;
+                for &(tor, port, dir) in &flap.links {
+                    if want_down {
+                        failures.fail(tor, port, dir);
+                    } else {
+                        failures.repair(tor, port, dir);
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, action: FaultAction, at: Nanos, failures: &mut LinkFailures) {
+        match action {
+            FaultAction::FlapStart { targets, up, down } => {
+                let links = match targets {
+                    FlapTargets::Links(links) => links,
+                    FlapTargets::Random { ratio, seed } => {
+                        failures.sample_random(ratio, &mut Xoshiro256::new(seed))
+                    }
+                };
+                self.flaps.push(Flap {
+                    links,
+                    up: up.max(1),
+                    down: down.max(1),
+                    start: at,
+                    down_now: false,
+                });
+            }
+            FaultAction::FlapStop => {
+                for flap in self.flaps.drain(..) {
+                    if flap.down_now {
+                        failures.repair_all(&flap.links);
+                    }
+                }
+            }
+            FaultAction::Partition(spec) => {
+                let assign = match spec {
+                    PartitionSpec::Explicit(assign) => assign,
+                    PartitionSpec::Random { groups, seed } => {
+                        partition_random(failures.n_tors(), groups, seed)
+                    }
+                };
+                failures.set_partition(assign);
+            }
+            FaultAction::Heal => failures.heal_partition(),
+            FaultAction::GrayStart {
+                drop_prob,
+                seed,
+                tors,
+            } => {
+                let scope = tors.map(|tors| {
+                    let mut mask = vec![false; failures.n_tors()];
+                    for tor in tors {
+                        mask[tor] = true;
+                    }
+                    mask
+                });
+                self.gray = Some(Gray {
+                    threshold: (drop_prob * u64::MAX as f64) as u64,
+                    seed,
+                    scope,
+                });
+            }
+            FaultAction::GrayStop => self.gray = None,
+            FaultAction::GreedyStart { tors } => {
+                if self.greedy.len() < failures.n_tors() {
+                    self.greedy.resize(failures.n_tors(), false);
+                }
+                for tor in tors {
+                    if !self.greedy[tor] {
+                        self.greedy[tor] = true;
+                        self.greedy_count += 1;
+                    }
+                }
+            }
+            FaultAction::GreedyStop => {
+                self.greedy.fill(false);
+                self.greedy_count = 0;
+            }
+        }
+    }
+
+    /// Is a gray failure active? While true, the negotiator must take
+    /// its observing (non-fast) predefined path so drops feed the fault
+    /// detector.
+    pub fn gray_active(&self) -> bool {
+        self.gray.is_some()
+    }
+
+    /// Should the control traffic of connection `src → dst` be dropped
+    /// this epoch? Position-keyed (seed, epoch, src, dst): the decision
+    /// is a pure function of where the connection sits in simulated
+    /// time, never of visit order, so any `--workers` split computes the
+    /// identical drop set.
+    pub fn gray_drops(&self, epoch: u64, src: usize, dst: usize) -> bool {
+        let Some(gray) = &self.gray else {
+            return false;
+        };
+        if let Some(scope) = &gray.scope {
+            if !scope[src] {
+                return false;
+            }
+        }
+        let key = gray.seed
+            ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (src as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+            ^ (dst as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25);
+        Xoshiro256::new(key).next_u64() < gray.threshold
+    }
+
+    /// Is `tor` currently granting greedily?
+    pub fn greedy(&self, tor: usize) -> bool {
+        self.greedy.get(tor).copied().unwrap_or(false)
+    }
+
+    /// Any greedy ToR active?
+    pub fn any_greedy(&self) -> bool {
+        self.greedy_count > 0
+    }
+}
+
+/// Seeded balanced assignment of `n` ToRs into `groups` groups: shuffle
+/// the ToR ids, deal them round-robin. Every group is non-empty whenever
+/// `groups <= n`.
+fn partition_random(n: usize, groups: u32, seed: u64) -> Vec<u32> {
+    let mut tors: Vec<usize> = (0..n).collect();
+    Xoshiro256::new(seed).shuffle(&mut tors);
+    let mut assign = vec![0u32; n];
+    for (i, &tor) in tors.iter().enumerate() {
+        assign[tor] = (i % groups.max(1) as usize) as u32;
+    }
+    assign
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_with(at: Nanos, action: FaultAction) -> FaultModel {
+        let mut m = FaultModel::new();
+        m.schedule(at, action);
+        m
+    }
+
+    #[test]
+    fn flap_duty_cycle_honors_its_period_exactly() {
+        // One directed link, 3 ns up / 2 ns down, activated at t=10.
+        // Checking every nanosecond tick: the link must be down exactly
+        // during [10+3, 10+5), [10+8, 10+10), ... — 2 of every 5 ticks.
+        let mut f = LinkFailures::new(4, 2);
+        let mut m = model_with(
+            10,
+            FaultAction::FlapStart {
+                targets: FlapTargets::Links(vec![(0, 0, LinkDir::Egress)]),
+                up: 3,
+                down: 2,
+            },
+        );
+        let mut down_ticks = 0;
+        for now in 0..10 + 5 * 4 {
+            m.epoch_update(now, &mut f);
+            let down = f.egress_down(0, 0);
+            if now < 10 {
+                assert!(!down, "flap inactive before its start at t={now}");
+            } else {
+                let phase = (now - 10) % 5;
+                assert_eq!(down, phase >= 3, "wrong duty state at t={now}");
+            }
+            down_ticks += down as usize;
+        }
+        assert_eq!(down_ticks, 2 * 4, "exactly `down` ticks per period");
+    }
+
+    #[test]
+    fn flap_stop_repairs_only_what_the_flap_holds_down() {
+        let mut f = LinkFailures::new(4, 2);
+        f.fail(1, 1, LinkDir::Ingress); // unrelated hard failure
+        let mut m = model_with(
+            0,
+            FaultAction::FlapStart {
+                targets: FlapTargets::Links(vec![(0, 0, LinkDir::Egress)]),
+                up: 1,
+                down: 1,
+            },
+        );
+        m.epoch_update(1, &mut f); // phase 1 -> down
+        assert!(f.egress_down(0, 0));
+        m.schedule(2, FaultAction::FlapStop);
+        m.epoch_update(2, &mut f);
+        assert!(!f.egress_down(0, 0), "flapped link comes back up");
+        assert!(f.ingress_down(1, 1), "hard failure untouched");
+    }
+
+    #[test]
+    fn partition_then_heal_returns_link_failures_to_healthy() {
+        // Property over several explicit and random splits: after
+        // Partition + Heal, the ground truth is exactly healthy again.
+        let cases: Vec<PartitionSpec> = vec![
+            PartitionSpec::Explicit(vec![0, 1, 0, 1, 0, 1, 0, 1]),
+            PartitionSpec::Explicit(vec![2, 2, 1, 1, 0, 0, 0, 0]),
+            PartitionSpec::Random { groups: 2, seed: 7 },
+            PartitionSpec::Random { groups: 3, seed: 8 },
+        ];
+        for spec in cases {
+            let mut f = LinkFailures::new(8, 2);
+            let mut m = model_with(5, FaultAction::Partition(spec.clone()));
+            m.schedule(9, FaultAction::Heal);
+            m.epoch_update(5, &mut f);
+            assert!(!f.healthy(), "{spec:?} must partition");
+            assert!(f.partitioned_tors() > 0);
+            m.epoch_update(9, &mut f);
+            assert!(f.healthy(), "{spec:?} must heal clean");
+            assert_eq!(f.partitioned_tors(), 0);
+            assert!(m.is_drained());
+        }
+    }
+
+    #[test]
+    fn random_partition_is_balanced_and_deterministic() {
+        let a = partition_random(10, 3, 99);
+        let b = partition_random(10, 3, 99);
+        assert_eq!(a, b);
+        let mut counts = [0usize; 3];
+        for &g in &a {
+            counts[g as usize] += 1;
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        assert!(counts.iter().all(|&c| c >= 3), "balanced split: {counts:?}");
+        assert_ne!(partition_random(10, 3, 100), a, "seed moves the split");
+    }
+
+    #[test]
+    fn gray_drop_decision_is_positional_and_seeded() {
+        let mut f = LinkFailures::new(8, 2);
+        let mut m = model_with(
+            0,
+            FaultAction::GrayStart {
+                drop_prob: 0.5,
+                seed: 21,
+                tors: None,
+            },
+        );
+        m.epoch_update(0, &mut f);
+        assert!(m.gray_active());
+        assert!(f.healthy(), "gray failures never touch link state");
+        // Pure positional function: same (epoch, src, dst) -> same answer.
+        let mut drops = 0;
+        for epoch in 0..50 {
+            for src in 0..8 {
+                for dst in 0..8 {
+                    let d = m.gray_drops(epoch, src, dst);
+                    assert_eq!(d, m.gray_drops(epoch, src, dst));
+                    drops += d as usize;
+                }
+            }
+        }
+        let total = 50 * 8 * 8;
+        assert!(
+            (total / 3..2 * total / 3).contains(&drops),
+            "p=0.5 should drop roughly half: {drops}/{total}"
+        );
+        m.schedule(1, FaultAction::GrayStop);
+        m.epoch_update(1, &mut f);
+        assert!(!m.gray_active());
+        assert!(!m.gray_drops(0, 0, 1));
+    }
+
+    #[test]
+    fn gray_scope_limits_sources() {
+        let mut f = LinkFailures::new(8, 2);
+        let mut m = model_with(
+            0,
+            FaultAction::GrayStart {
+                drop_prob: 1.0,
+                seed: 3,
+                tors: Some(vec![2]),
+            },
+        );
+        m.epoch_update(0, &mut f);
+        for dst in 0..8 {
+            if dst != 2 {
+                assert!(m.gray_drops(7, 2, dst), "scoped source drops at p=1");
+            }
+            assert!(!m.gray_drops(7, 3, dst), "out-of-scope source never drops");
+        }
+    }
+
+    #[test]
+    fn greedy_flags_toggle_per_tor() {
+        let mut f = LinkFailures::new(8, 2);
+        let mut m = model_with(0, FaultAction::GreedyStart { tors: vec![1, 5] });
+        m.schedule(10, FaultAction::GreedyStop);
+        m.epoch_update(0, &mut f);
+        assert!(m.any_greedy());
+        assert!(m.greedy(1) && m.greedy(5));
+        assert!(!m.greedy(0) && !m.greedy(7));
+        m.epoch_update(10, &mut f);
+        assert!(!m.any_greedy());
+        assert!(!m.greedy(1));
+    }
+
+    #[test]
+    fn equal_timestamps_preserve_scheduling_order() {
+        // A stop scheduled before a start at the same instant applies
+        // first — the phase-boundary compile pattern relies on it.
+        let mut f = LinkFailures::new(4, 2);
+        let mut m = FaultModel::new();
+        m.schedule(5, FaultAction::GreedyStart { tors: vec![0] });
+        m.schedule(7, FaultAction::GreedyStop);
+        m.schedule(7, FaultAction::GreedyStart { tors: vec![2] });
+        m.epoch_update(7, &mut f);
+        assert!(m.greedy(2) && !m.greedy(0));
+    }
+}

@@ -18,11 +18,14 @@
 //! schedulers need: the predefined-phase round-robin pattern (who talks to
 //! whom in each timeslot), per-port reachability for the scheduled phase,
 //! and the scope of each GRANT ring. [`failures`] models per-direction link
-//! failures for the fault-tolerance experiments (§3.6.1, Figure 10).
+//! failures for the fault-tolerance experiments (§3.6.1, Figure 10), and
+//! [`inject`] layers the adversarial fault families on top of them
+//! (flapping links, partitions, gray failures, greedy ToRs).
 
 pub mod cache;
 pub mod config;
 pub mod failures;
+pub mod inject;
 pub mod parallel;
 pub mod thinclos;
 pub mod traits;
@@ -31,6 +34,7 @@ pub mod validate;
 pub use cache::{PredefinedCache, PredefinedConn};
 pub use config::{NetworkConfig, TopologyKind};
 pub use failures::{FailureAction, FailureSchedule, LinkFailures};
+pub use inject::{FaultAction, FaultModel, FlapTargets, PartitionSpec};
 pub use parallel::ParallelNet;
 pub use thinclos::ThinClos;
 pub use traits::{AnyTopology, Topology};
