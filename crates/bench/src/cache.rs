@@ -18,8 +18,12 @@
 //! [`CompiledScenario::content_hash`]: scenario::CompiledScenario::content_hash
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use metrics::Json;
+
+use crate::profile::{self, Stage};
 
 /// Envelope version; bumped if the entry layout changes.
 pub const CACHE_VERSION: u64 = 1;
@@ -36,16 +40,38 @@ pub struct CacheEntry {
     pub document: String,
 }
 
+/// Hit/miss totals shared by every clone of one [`ResultCache`] (the
+/// daemon clones its cache across connection handlers; the counts must
+/// aggregate, not fork).
+#[derive(Debug, Default)]
+struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
 /// A content-addressed store rooted at one directory.
 #[derive(Debug, Clone)]
 pub struct ResultCache {
     dir: PathBuf,
+    counters: Arc<CacheCounters>,
 }
 
 impl ResultCache {
     /// Cache rooted at `dir` (created lazily on first store).
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        ResultCache { dir: dir.into() }
+        ResultCache {
+            dir: dir.into(),
+            counters: Arc::new(CacheCounters::default()),
+        }
+    }
+
+    /// Lifetime `(hits, misses)` across this cache and all its clones.
+    /// Corrupt entries count as misses — that is what the caller saw.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.counters.hits.load(Ordering::Relaxed),
+            self.counters.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// The directory this cache lives in.
@@ -62,6 +88,17 @@ impl ResultCache {
     /// reads as a miss (and is reported) rather than poisoning the run —
     /// the simulation is always a safe fallback.
     pub fn lookup(&self, hash: u64) -> Option<CacheEntry> {
+        let timer = profile::start(Stage::CacheLookup);
+        let found = self.lookup_inner(hash);
+        timer.stop();
+        match found.is_some() {
+            true => self.counters.hits.fetch_add(1, Ordering::Relaxed),
+            false => self.counters.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn lookup_inner(&self, hash: u64) -> Option<CacheEntry> {
         let path = self.entry_path(hash);
         let text = std::fs::read_to_string(&path).ok()?;
         match parse_entry(&text) {
@@ -79,6 +116,13 @@ impl ResultCache {
     /// Store `entry` under `hash` atomically (write-to-temp + rename).
     /// Returns the entry's final path.
     pub fn store(&self, hash: u64, entry: &CacheEntry) -> std::io::Result<PathBuf> {
+        let timer = profile::start(Stage::CacheStore);
+        let result = self.store_inner(hash, entry);
+        timer.stop();
+        result
+    }
+
+    fn store_inner(&self, hash: u64, entry: &CacheEntry) -> std::io::Result<PathBuf> {
         std::fs::create_dir_all(&self.dir)?;
         let path = self.entry_path(hash);
         // The temp name carries the pid so two processes storing the same
@@ -176,6 +220,23 @@ mod tests {
         // A wrong version is a miss too, not a crash.
         std::fs::write(cache.entry_path(hash), "{\"cache_version\": 99}").unwrap();
         assert_eq!(cache.lookup(hash), None);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses_across_clones() {
+        let cache = ResultCache::new(tmp_dir("stats"));
+        assert_eq!(cache.stats(), (0, 0));
+        cache.lookup(11); // miss
+        cache.store(11, &entry()).unwrap();
+        let clone = cache.clone();
+        clone.lookup(11); // hit, seen by both
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(clone.stats(), (1, 1));
+        // Corrupt entries count as misses.
+        std::fs::write(cache.entry_path(11), "garbage").unwrap();
+        assert_eq!(cache.lookup(11), None);
+        assert_eq!(cache.stats(), (1, 2));
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

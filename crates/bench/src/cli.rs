@@ -24,6 +24,15 @@ pub struct Cli {
     pub serve: bool,
     /// `paper submit <file.json>` — submit a scenario to a daemon.
     pub submit: Option<PathBuf>,
+    /// `paper trace <file.ndjson>` — summarize a flight-recorder trace.
+    pub trace_cmd: Option<PathBuf>,
+    /// Write flight-recorder NDJSON for a scenario run (`--trace PATH`;
+    /// single-scenario `paper scenario` only).
+    pub trace: Option<PathBuf>,
+    /// Daemon log verbosity for `paper serve`
+    /// (`--log-level error|info|debug`, default `info`). Kept as the raw
+    /// token here; the service layer owns the typed level.
+    pub log_level: String,
     /// Daemon address for `serve`/`submit` (`--addr HOST:PORT`).
     pub addr: String,
     /// Job priority for `submit` (`--priority N`, higher runs earlier).
@@ -61,6 +70,9 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
         scenario: Vec::new(),
         serve: false,
         submit: None,
+        trace_cmd: None,
+        trace: None,
+        log_level: "info".to_string(),
         addr: DEFAULT_ADDR.to_string(),
         priority: 0,
         ids: Vec::new(),
@@ -75,6 +87,7 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
     };
     let mut addr_set = false;
     let mut priority_set = false;
+    let mut log_level_set = false;
     // Flags a scenario file pins itself (scenarios carry their own seed,
     // loads and horizon, so accepting these would silently lie).
     let mut harness_flags: Vec<&'static str> = Vec::new();
@@ -123,6 +136,13 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
                 cli.scenario.push(PathBuf::from(v));
             }
             "serve" => cli.serve = true,
+            "trace" => {
+                let v = value(&mut it, "trace")?;
+                if cli.trace_cmd.is_some() {
+                    return Err("trace: one trace file per invocation".into());
+                }
+                cli.trace_cmd = Some(PathBuf::from(v));
+            }
             "submit" => {
                 let v = value(&mut it, "submit")?;
                 if cli.submit.is_some() {
@@ -146,6 +166,17 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
             }
             "--no-timing" => cli.timing = false,
             "--no-cache" => cli.cache = false,
+            "--trace" => cli.trace = Some(PathBuf::from(value(&mut it, "--trace")?)),
+            "--log-level" => {
+                let v = value(&mut it, "--log-level")?;
+                if !matches!(v.as_str(), "error" | "info" | "debug") {
+                    return Err(format!(
+                        "--log-level: unknown level '{v}' (expected error, info or debug)"
+                    ));
+                }
+                cli.log_level = v;
+                log_level_set = true;
+            }
             "--jobs" => {
                 let v = value(&mut it, "--jobs")?;
                 let jobs: usize = v
@@ -206,11 +237,12 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
         cli.serve,
         cli.submit.is_some(),
         cli.lint,
+        cli.trace_cmd.is_some(),
         !cli.scenario.is_empty() || !cli.ids.is_empty() || cli.list,
     ];
     if modes.iter().filter(|&&m| m).count() > 1 {
         return Err(
-            "serve/submit/lint cannot be mixed with experiment, scenario or list invocations"
+            "serve/submit/lint/trace cannot be mixed with experiment, scenario or list invocations"
                 .into(),
         );
     }
@@ -219,6 +251,15 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
     }
     if priority_set && cli.submit.is_none() {
         return Err("--priority only applies to `paper submit`".into());
+    }
+    if log_level_set && !cli.serve {
+        return Err("--log-level only applies to `paper serve`".into());
+    }
+    if cli.trace.is_some() && cli.scenario.len() != 1 {
+        return Err(
+            "--trace records one flight-recorder file for exactly one `paper scenario <file>`"
+                .into(),
+        );
     }
     if cli.workers != 1 && (cli.submit.is_some() || cli.lint || cli.list) {
         return Err("--workers only applies to local runs and `paper serve`".into());
@@ -450,6 +491,43 @@ mod tests {
         assert!(err.contains("not HOST:PORT"), "{err}");
         let err = parse_strs(&["submit", "a.json", "submit", "b.json"]).unwrap_err();
         assert!(err.contains("one scenario file per submission"), "{err}");
+    }
+
+    #[test]
+    fn trace_flag_needs_exactly_one_scenario() {
+        let cli = parse_strs(&["scenario", "a.json", "--trace", "out.ndjson"]).unwrap();
+        assert_eq!(cli.trace, Some(PathBuf::from("out.ndjson")));
+        let err = parse_strs(&["scenario", "a.json", "b.json", "--trace", "t"]).unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
+        let err = parse_strs(&["fig9", "--trace", "t"]).unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
+        let err = parse_strs(&["--trace"]).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+    }
+
+    #[test]
+    fn trace_subcommand_is_its_own_mode() {
+        let cli = parse_strs(&["trace", "results/run.ndjson"]).unwrap();
+        assert_eq!(cli.trace_cmd, Some(PathBuf::from("results/run.ndjson")));
+        let err = parse_strs(&["trace", "a.ndjson", "trace", "b.ndjson"]).unwrap_err();
+        assert!(err.contains("one trace file"), "{err}");
+        let err = parse_strs(&["trace", "a.ndjson", "fig9"]).unwrap_err();
+        assert!(err.contains("cannot be mixed"), "{err}");
+        assert!(parse_strs(&["trace"])
+            .unwrap_err()
+            .contains("needs a value"));
+    }
+
+    #[test]
+    fn log_level_parses_and_is_serve_only() {
+        let cli = parse_strs(&["serve", "--log-level", "debug"]).unwrap();
+        assert_eq!(cli.log_level, "debug");
+        let cli = parse_strs(&["serve"]).unwrap();
+        assert_eq!(cli.log_level, "info", "defaults to info");
+        let err = parse_strs(&["serve", "--log-level", "loud"]).unwrap_err();
+        assert!(err.contains("unknown level"), "{err}");
+        let err = parse_strs(&["fig9", "--log-level", "debug"]).unwrap_err();
+        assert!(err.contains("--log-level only applies"), "{err}");
     }
 
     #[test]

@@ -23,9 +23,11 @@
 pub mod cache;
 pub mod cli;
 pub mod experiments;
+pub mod profile;
 pub mod results;
 pub mod runs;
 pub mod scenario;
 pub mod sweep;
+pub mod tracecmd;
 
 pub use experiments::{find_experiment, run_experiment, Args, Experiment, EXPERIMENTS};

@@ -25,8 +25,8 @@ use sim::pool;
 // Re-exported so the `paper` binary reaches the scenario crate's API
 // through this module.
 pub use scenario::{
-    build_runs, build_runs_with_progress, compile, parse_scenario, CompiledScenario, PhaseProgress,
-    ProgressSink, ScenarioRunOutput, WorkloadPhase,
+    build_runs, build_runs_traced, build_runs_with_progress, compile, parse_scenario,
+    CompiledScenario, PhaseProgress, ProgressSink, ScenarioRunOutput, WorkloadPhase,
 };
 
 /// Load, parse and validate a scenario file, compiling it to run inputs.
@@ -95,9 +95,9 @@ pub fn run_batch(compiled: &[CompiledScenario], jobs: usize, workers: usize) -> 
                     task_of_hash.insert(hash, task);
                     let body = run.run;
                     tasks.push(Box::new(move || {
-                        let started = std::time::Instant::now();
+                        let timer = crate::profile::start(crate::profile::Stage::Execute);
                         let out = body();
-                        (out, started.elapsed().as_secs_f64())
+                        (out, timer.stop())
                     }));
                     (task, true)
                 }
@@ -144,22 +144,45 @@ pub fn execute_with_progress(
     progress: Option<ProgressSink>,
     workers: usize,
 ) -> SweepReport {
-    let results = build_runs_with_progress(compiled, progress, workers)
+    execute_inner(compiled, progress, workers, false).0
+}
+
+/// [`execute_with_progress`] with the flight recorder attached: also
+/// returns the scenario's trace — each engine's NDJSON concatenated in
+/// spec order. Both the CLI's `--trace` flag and the daemon's job
+/// executor call this, so an offline trace file and a served
+/// `GET /jobs/{id}/trace` body are byte-identical by construction. The
+/// report itself is byte-identical to an untraced run.
+pub fn execute_traced(
+    compiled: &CompiledScenario,
+    progress: Option<ProgressSink>,
+    workers: usize,
+) -> (SweepReport, String) {
+    let (report, trace) = execute_inner(compiled, progress, workers, true);
+    (report, trace.expect("traced run produces a trace"))
+}
+
+fn execute_inner(
+    compiled: &CompiledScenario,
+    progress: Option<ProgressSink>,
+    workers: usize,
+    trace: bool,
+) -> (SweepReport, Option<String>) {
+    let mut traces = trace.then(String::new);
+    let results = build_runs_traced(compiled, progress, workers, trace)
         .into_iter()
         .enumerate()
         .map(|(index, run)| {
-            let started = std::time::Instant::now();
-            let out = (run.run)();
-            make_result(
-                compiled,
-                index,
-                run.system,
-                out,
-                started.elapsed().as_secs_f64(),
-            )
+            let timer = crate::profile::start(crate::profile::Stage::Execute);
+            let mut out = (run.run)();
+            let wall_secs = timer.stop();
+            if let (Some(all), Some(one)) = (traces.as_mut(), out.trace.take()) {
+                all.push_str(&one);
+            }
+            make_result(compiled, index, run.system, out, wall_secs)
         })
         .collect();
-    assemble(compiled, results)
+    (assemble(compiled, results), traces)
 }
 
 /// The deterministic result document for a scenario report: the

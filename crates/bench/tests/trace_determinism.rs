@@ -1,0 +1,94 @@
+//! Flight-recorder determinism: the traced NDJSON for a scenario must be
+//! byte-identical at any `--workers` count — the recorder only ever
+//! observes fully-merged per-epoch state, so intra-run sharding can never
+//! leak into trace bytes. This is the same guarantee the result document
+//! already carries, extended to the observability plane: `paper scenario
+//! --trace` on one machine and a daemon trace on another must `cmp`
+//! equal.
+//!
+//! Coverage: an injected-fault scenario (`gray_control_plane` — gray
+//! control-plane drops, detector FP transitions), an adversarial one
+//! (`greedy_tor`), and `ci_smoke`, which pins no `engines` list and so
+//! runs *both* engines (negotiator + oblivious) through the recorder.
+
+use std::path::PathBuf;
+
+use bench::scenario::{execute_traced, load};
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../scenarios")
+        .canonicalize()
+        .expect("workspace scenarios/ directory")
+}
+
+/// Trace one scenario at several worker counts; all byte-identical.
+fn assert_worker_invariant(file: &str) -> String {
+    let compiled = load(&scenarios_dir().join(file)).expect("scenario compiles");
+    let (report1, trace1) = execute_traced(&compiled, None, 1);
+    for workers in [2, 8] {
+        let (report, trace) = execute_traced(&compiled, None, workers);
+        assert_eq!(
+            trace1, trace,
+            "{file}: trace bytes differ between --workers 1 and --workers {workers}"
+        );
+        assert_eq!(
+            bench::scenario::deterministic_document(&report1),
+            bench::scenario::deterministic_document(&report),
+            "{file}: result document differs at --workers {workers}"
+        );
+    }
+    trace1
+}
+
+#[test]
+fn gray_control_plane_trace_is_worker_invariant() {
+    let trace = assert_worker_invariant("gray_control_plane.json");
+    assert!(trace.contains("\"event\":\"trace_start\""), "{trace}");
+    assert!(trace.contains("\"event\":\"trace_end\""));
+    // The gray phase drops control messages and flips the detector; both
+    // event kinds must appear for the scenario to be exercising the
+    // recorder at all.
+    assert!(
+        trace.contains("\"event\":\"control_drop\""),
+        "gray failure must record control-message drops"
+    );
+    assert!(
+        trace.contains("\"event\":\"detector\""),
+        "gray failure must record detector FP/FN transitions"
+    );
+    assert!(trace.contains("\"event\":\"phase\""));
+}
+
+#[test]
+fn greedy_tor_trace_is_worker_invariant() {
+    let trace = assert_worker_invariant("greedy_tor.json");
+    assert!(trace.contains("\"event\":\"sched\""));
+    assert!(trace.contains("\"event\":\"phase\""));
+}
+
+#[test]
+fn both_engines_trace_is_worker_invariant() {
+    // ci_smoke pins no engine list, so it runs negotiator AND oblivious;
+    // the trace carries one section per engine, in engine order.
+    let trace = assert_worker_invariant("ci_smoke.json");
+    let starts = trace.matches("\"event\":\"trace_start\"").count();
+    assert_eq!(starts, 2, "one section per engine:\n{trace}");
+    assert!(trace.contains("\"system\":\"nego/parallel\""), "{trace}");
+    assert!(
+        trace.contains("\"system\":\"oblivious/parallel\""),
+        "{trace}"
+    );
+    // ci_smoke injects link failures; the fault activations must be
+    // visible in at least one engine's section.
+    assert!(trace.contains("\"event\":\"fault\""), "{trace}");
+}
+
+#[test]
+fn repeated_runs_are_reproducible() {
+    // Same scenario, same worker count, fresh engines: identical bytes.
+    let compiled = load(&scenarios_dir().join("greedy_tor.json")).expect("scenario compiles");
+    let (_, a) = execute_traced(&compiled, None, 2);
+    let (_, b) = execute_traced(&compiled, None, 2);
+    assert_eq!(a, b);
+}

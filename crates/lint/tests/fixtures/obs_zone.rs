@@ -1,0 +1,14 @@
+//! Lint fixture: a flight-recorder-shaped snippet. Scanned under the
+//! recorder's real engine-zone path, the wall-clock read must fire D002
+//! and the unjustified hot-path push must fire H001; the same bytes
+//! under a bench/service profiling-hook path relax D002 (H001 is
+//! annotation-driven and applies in every zone).
+
+pub fn record(events: &mut Vec<u64>, ev: u64) {
+    let stamp = std::time::Instant::now();
+    // lint: hot-path
+    {
+        events.push(ev);
+    }
+    let _ = stamp;
+}

@@ -19,15 +19,23 @@
 //!   scenario files are loadable with `line:column` error reporting.
 //! * [`phase`] — phase-boundary counter snapshots feeding the scenario
 //!   engine's per-phase time series.
+//! * [`trace`] — the deterministic flight recorder: a bounded ring of
+//!   epoch-stamped structured events both engines can emit, exported as
+//!   NDJSON for `paper scenario --trace` and the daemon's trace endpoint.
 
 pub mod fct;
 pub mod json;
 pub mod matchratio;
 pub mod phase;
 pub mod report;
+pub mod trace;
 
 pub use fct::{FctReport, FctSummary, FlowTracker, GoodputReport, RunReport, RunSummary};
 pub use json::{Json, SpannedJson};
 pub use matchratio::MatchRatioRecorder;
 pub use phase::{PhaseCounters, PhaseObserver, PhaseProbe, PhaseSnapshot};
 pub use report::Table;
+pub use trace::{
+    FlightRecorder, TraceCursor, TraceEvent, TraceEventKind, DEFAULT_TRACE_CAPACITY,
+    TRACE_SCHEMA_VERSION,
+};

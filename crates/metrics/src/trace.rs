@@ -1,0 +1,498 @@
+//! Deterministic flight recorder: a bounded ring of epoch-stamped events.
+//!
+//! Both engines can carry a [`FlightRecorder`] (behind an `Option`, so the
+//! off state costs one branch per epoch) and emit structured events from
+//! the *sequential* top of their main loop — after the parallel shards of
+//! the previous epoch have merged — so a trace is a pure function of
+//! (config, seed) and byte-identical at any `--workers` count. The ring is
+//! preallocated at construction and never grows: recording is a store into
+//! existing capacity, with no wall-clock reads and no allocation on the
+//! hot path (lint D002/H001 apply to this module — `metrics` is an engine
+//! zone). When the ring fills, the oldest events are overwritten and
+//! counted in `dropped`, so a trace always holds the most recent window.
+//!
+//! Rendering to NDJSON ([`FlightRecorder::render_ndjson`]) happens once,
+//! after the run, where allocation is fine. The text form is consumed by
+//! `paper scenario --trace`, the daemon's `GET /jobs/{id}/trace` and the
+//! `paper trace` summarizer; its field layout is documented in the README
+//! "Observability" section and stamped with [`TRACE_SCHEMA_VERSION`].
+
+use crate::json::Json;
+use crate::phase::PhaseCounters;
+use sim::time::Nanos;
+
+/// Version stamped on every `trace_start` line. Bump on any change to
+/// event names or field layout.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
+/// Default ring capacity (events). Chosen so a daemon retaining traces for
+/// its full job table stays bounded: 16 Ki events × 48 B ≈ 768 KiB per
+/// trace before rendering.
+pub const DEFAULT_TRACE_CAPACITY: usize = 16_384;
+
+/// What a [`TraceEvent`] records. The three payload words `a`/`b`/`c` (and
+/// `d`) are interpreted per kind — see each variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// Control-plane outcomes for one epoch: `a` = REQUESTs sent, `b` =
+    /// GRANTs issued, `c` = ACCEPTs made (deltas since the previous
+    /// epoch). Emitted only when at least one delta is nonzero.
+    Sched,
+    /// Control messages dropped (gray failures): `a` = dropped this epoch,
+    /// `b` = cumulative total.
+    ControlDrop,
+    /// Fault-detector divergence from ground truth changed: `a` = links
+    /// currently excluded but healthy (false positives), `b` = links down
+    /// but not excluded (false negatives).
+    Detector,
+    /// Scheduled fault activity applied at this epoch: `a` = injected
+    /// fault actions (flap/partition/gray/greedy), `b` = plain link
+    /// fail/repair events, `c` = cumulative total of both.
+    Fault,
+    /// A ToR's queued backlog reached a new high-water mark: `a` = ToR
+    /// index, `b` = backlog bytes. Emitted when the backlog first becomes
+    /// nonzero and thereafter only when it doubles the previous mark, so
+    /// a congested run cannot flood the ring.
+    Backlog,
+    /// A workload phase boundary passed: `a` = phase index, `b` =
+    /// delivered bytes, `c` = backlog bytes, `d` = partitioned ToRs.
+    Phase,
+}
+
+impl TraceEventKind {
+    /// The `"event"` field value on the NDJSON line.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceEventKind::Sched => "sched",
+            TraceEventKind::ControlDrop => "control_drop",
+            TraceEventKind::Detector => "detector",
+            TraceEventKind::Fault => "fault",
+            TraceEventKind::Backlog => "backlog_watermark",
+            TraceEventKind::Phase => "phase",
+        }
+    }
+}
+
+/// One fixed-size recorded event. `Copy` so ring writes are plain stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated time of the epoch (or slot) that emitted the event.
+    pub at: Nanos,
+    /// Epoch (negotiator) or slot (oblivious) index.
+    pub epoch: u64,
+    /// Event kind; selects the meaning of the payload words.
+    pub kind: TraceEventKind,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+    /// Third payload word.
+    pub c: u64,
+    /// Fourth payload word.
+    pub d: u64,
+}
+
+/// Cumulative engine counters the recorder diffs against between epochs.
+/// Engines fill whichever fields they track; the recorder turns them into
+/// delta/transition events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCursor {
+    /// REQUEST messages sent so far.
+    pub requests: u64,
+    /// GRANTs issued so far.
+    pub grants: u64,
+    /// ACCEPTs made so far.
+    pub accepts: u64,
+    /// Control messages dropped so far.
+    pub control_dropped: u64,
+    /// Current detector false-positive link count.
+    pub detector_fp: u64,
+    /// Current detector false-negative link count.
+    pub detector_fn: u64,
+}
+
+/// Preallocated, bounded recorder of [`TraceEvent`]s.
+///
+/// Construct with [`FlightRecorder::with_capacity`], hand it to an engine
+/// before `run()`, take it back afterwards and render. All recording
+/// methods are allocation-free; `n_tors` sizes the per-ToR watermark table
+/// up front.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    events: Vec<TraceEvent>,
+    head: usize,
+    dropped: u64,
+    last: TraceCursor,
+    watermarks: Vec<u64>,
+}
+
+impl FlightRecorder {
+    /// Recorder holding at most `capacity` events, tracking backlog
+    /// watermarks for `n_tors` ToRs. `capacity` must be nonzero.
+    pub fn with_capacity(capacity: usize, n_tors: usize) -> FlightRecorder {
+        assert!(capacity > 0, "flight recorder capacity must be nonzero");
+        FlightRecorder {
+            events: Vec::with_capacity(capacity),
+            head: 0,
+            dropped: 0,
+            last: TraceCursor::default(),
+            watermarks: vec![0; n_tors],
+        }
+    }
+
+    /// Recorder with [`DEFAULT_TRACE_CAPACITY`].
+    pub fn new(n_tors: usize) -> FlightRecorder {
+        FlightRecorder::with_capacity(DEFAULT_TRACE_CAPACITY, n_tors)
+    }
+
+    /// Events currently held, oldest first.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events overwritten after the ring filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    // lint: hot-path
+    /// Append one event, overwriting the oldest when full. Called from
+    /// engine main loops: a branch and a store, nothing else.
+    #[inline]
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.events.capacity() {
+            // lint: allow(H001) push into preallocated capacity; the ring never grows
+            self.events.push(ev);
+        } else {
+            self.events[self.head] = ev;
+            self.head += 1;
+            if self.head == self.events.len() {
+                self.head = 0;
+            }
+            self.dropped += 1;
+        }
+    }
+
+    // lint: hot-path
+    /// Diff `now` against the previous epoch's cursor and emit `sched`,
+    /// `control_drop` and `detector` events for whatever changed.
+    #[inline]
+    pub fn epoch_counters(&mut self, at: Nanos, epoch: u64, now: TraceCursor) {
+        let (dr, dg, da) = (
+            now.requests - self.last.requests,
+            now.grants - self.last.grants,
+            now.accepts - self.last.accepts,
+        );
+        if dr | dg | da != 0 {
+            self.record(TraceEvent {
+                at,
+                epoch,
+                kind: TraceEventKind::Sched,
+                a: dr,
+                b: dg,
+                c: da,
+                d: 0,
+            });
+        }
+        let dd = now.control_dropped - self.last.control_dropped;
+        if dd != 0 {
+            self.record(TraceEvent {
+                at,
+                epoch,
+                kind: TraceEventKind::ControlDrop,
+                a: dd,
+                b: now.control_dropped,
+                c: 0,
+                d: 0,
+            });
+        }
+        if now.detector_fp != self.last.detector_fp || now.detector_fn != self.last.detector_fn {
+            self.record(TraceEvent {
+                at,
+                epoch,
+                kind: TraceEventKind::Detector,
+                a: now.detector_fp,
+                b: now.detector_fn,
+                c: 0,
+                d: 0,
+            });
+        }
+        self.last = now;
+    }
+
+    // lint: hot-path
+    /// Record fault-schedule activity: `injected` adversarial actions and
+    /// `links` plain fail/repair events applied at this epoch. No-op when
+    /// both are zero.
+    #[inline]
+    pub fn fault_applied(&mut self, at: Nanos, epoch: u64, injected: u64, links: u64, total: u64) {
+        if injected | links != 0 {
+            self.record(TraceEvent {
+                at,
+                epoch,
+                kind: TraceEventKind::Fault,
+                a: injected,
+                b: links,
+                c: total,
+                d: 0,
+            });
+        }
+    }
+
+    // lint: hot-path
+    /// Offer one ToR's current backlog; emits a `backlog_watermark` event
+    /// only when it first becomes nonzero or doubles the previous mark.
+    #[inline]
+    pub fn backlog_sample(&mut self, at: Nanos, epoch: u64, tor: usize, bytes: u64) {
+        let mark = &mut self.watermarks[tor];
+        if bytes > 0 && (*mark == 0 || bytes >= *mark * 2) {
+            *mark = bytes;
+            self.record(TraceEvent {
+                at,
+                epoch,
+                kind: TraceEventKind::Backlog,
+                a: tor as u64,
+                b: bytes,
+                c: 0,
+                d: 0,
+            });
+        }
+    }
+
+    // lint: hot-path
+    /// Record a workload phase boundary from the same counters the
+    /// [`crate::PhaseProbe`] snapshot carries.
+    #[inline]
+    pub fn phase_boundary(&mut self, at: Nanos, epoch: u64, phase: u64, c: &PhaseCounters) {
+        self.record(TraceEvent {
+            at,
+            epoch,
+            kind: TraceEventKind::Phase,
+            a: phase,
+            b: c.delivered_bytes,
+            c: c.backlog_bytes,
+            d: c.partitioned_tors,
+        });
+    }
+
+    /// Iterate events oldest-first (accounting for ring wrap).
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (wrapped, recent) = if self.dropped > 0 {
+            let (a, b) = self.events.split_at(self.head);
+            (b, a)
+        } else {
+            (&self.events[..], &self.events[..0])
+        };
+        wrapped.iter().chain(recent.iter())
+    }
+
+    /// Render the trace as NDJSON: a `trace_start` header, one line per
+    /// event oldest-first, and a `trace_end` footer carrying the held and
+    /// dropped counts. Called once after the run — allocation is fine
+    /// here.
+    pub fn render_ndjson(&self, system: &str) -> String {
+        let mut out = String::new();
+        let mut start = Json::object();
+        start
+            .push("event", "trace_start")
+            .push("schema_version", TRACE_SCHEMA_VERSION)
+            .push("system", system)
+            .push("capacity", self.events.capacity() as u64);
+        out.push_str(&start.render_compact());
+        out.push('\n');
+        for ev in self.events() {
+            let mut line = Json::object();
+            line.push("event", ev.kind.name())
+                .push("epoch", ev.epoch)
+                .push("t_ns", ev.at);
+            match ev.kind {
+                TraceEventKind::Sched => {
+                    line.push("requests", ev.a)
+                        .push("grants", ev.b)
+                        .push("accepts", ev.c);
+                }
+                TraceEventKind::ControlDrop => {
+                    line.push("dropped", ev.a).push("total", ev.b);
+                }
+                TraceEventKind::Detector => {
+                    line.push("fp_links", ev.a).push("fn_links", ev.b);
+                }
+                TraceEventKind::Fault => {
+                    line.push("injected", ev.a)
+                        .push("link_events", ev.b)
+                        .push("total", ev.c);
+                }
+                TraceEventKind::Backlog => {
+                    line.push("tor", ev.a).push("bytes", ev.b);
+                }
+                TraceEventKind::Phase => {
+                    line.push("phase", ev.a)
+                        .push("delivered_bytes", ev.b)
+                        .push("backlog_bytes", ev.c)
+                        .push("partitioned_tors", ev.d);
+                }
+            }
+            out.push_str(&line.render_compact());
+            out.push('\n');
+        }
+        let mut end = Json::object();
+        end.push("event", "trace_end")
+            .push("system", system)
+            .push("events", self.events.len() as u64)
+            .push("dropped", self.dropped);
+        out.push_str(&end.render_compact());
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(epoch: u64, a: u64) -> TraceEvent {
+        TraceEvent {
+            at: epoch * 100,
+            epoch,
+            kind: TraceEventKind::Sched,
+            a,
+            b: 0,
+            c: 0,
+            d: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_dropped() {
+        let mut r = FlightRecorder::with_capacity(3, 0);
+        for i in 0..5 {
+            r.record(ev(i, i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let epochs: Vec<u64> = r.events().map(|e| e.epoch).collect();
+        assert_eq!(epochs, vec![2, 3, 4], "oldest-first after wrap");
+    }
+
+    #[test]
+    fn capacity_never_grows() {
+        let mut r = FlightRecorder::with_capacity(4, 0);
+        let cap = r.events.capacity();
+        for i in 0..100 {
+            r.record(ev(i, 0));
+        }
+        assert_eq!(r.events.capacity(), cap);
+    }
+
+    #[test]
+    fn epoch_counters_emit_deltas_only_on_change() {
+        let mut r = FlightRecorder::with_capacity(16, 0);
+        let mut c = TraceCursor {
+            requests: 5,
+            grants: 3,
+            accepts: 2,
+            ..TraceCursor::default()
+        };
+        r.epoch_counters(100, 1, c);
+        assert_eq!(r.len(), 1);
+        let first = *r.events().next().unwrap();
+        assert_eq!((first.a, first.b, first.c), (5, 3, 2));
+        // Nothing changed: no new event.
+        r.epoch_counters(200, 2, c);
+        assert_eq!(r.len(), 1);
+        // Drops and a detector transition land as separate events.
+        c.control_dropped = 7;
+        c.detector_fp = 1;
+        r.epoch_counters(300, 3, c);
+        let kinds: Vec<TraceEventKind> = r.events().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceEventKind::Sched,
+                TraceEventKind::ControlDrop,
+                TraceEventKind::Detector
+            ]
+        );
+    }
+
+    #[test]
+    fn backlog_watermark_requires_doubling() {
+        let mut r = FlightRecorder::with_capacity(16, 2);
+        r.backlog_sample(0, 0, 1, 100); // first nonzero: emit
+        r.backlog_sample(1, 1, 1, 150); // below 2x: silent
+        r.backlog_sample(2, 2, 1, 200); // 2x: emit
+        r.backlog_sample(3, 3, 0, 50); // other ToR: emit
+        let marks: Vec<(u64, u64)> = r
+            .events()
+            .filter(|e| e.kind == TraceEventKind::Backlog)
+            .map(|e| (e.a, e.b))
+            .collect();
+        assert_eq!(marks, vec![(1, 100), (1, 200), (0, 50)]);
+    }
+
+    #[test]
+    fn fault_applied_is_silent_when_nothing_fired() {
+        let mut r = FlightRecorder::with_capacity(4, 0);
+        r.fault_applied(0, 0, 0, 0, 0);
+        assert!(r.is_empty());
+        r.fault_applied(100, 1, 2, 1, 3);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn ndjson_round_trips_and_carries_schema_version() {
+        let mut r = FlightRecorder::with_capacity(8, 1);
+        r.epoch_counters(
+            100,
+            1,
+            TraceCursor {
+                requests: 1,
+                grants: 1,
+                accepts: 1,
+                ..TraceCursor::default()
+            },
+        );
+        r.backlog_sample(100, 1, 0, 64);
+        r.phase_boundary(
+            200,
+            2,
+            0,
+            &PhaseCounters {
+                delivered_bytes: 1024,
+                backlog_bytes: 64,
+                ..PhaseCounters::default()
+            },
+        );
+        let text = r.render_ndjson("negotiator");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5, "start + 3 events + end");
+        let start = Json::parse(lines[0]).unwrap();
+        assert_eq!(
+            start.get("schema_version").and_then(Json::as_u64),
+            Some(TRACE_SCHEMA_VERSION)
+        );
+        for line in &lines {
+            Json::parse(line).expect("every trace line parses as JSON");
+        }
+        let end = Json::parse(lines[4]).unwrap();
+        assert_eq!(end.get("events").and_then(Json::as_u64), Some(3));
+        assert_eq!(end.get("dropped").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let build = || {
+            let mut r = FlightRecorder::with_capacity(4, 1);
+            for i in 0..9 {
+                r.record(ev(i, i * 7));
+            }
+            r.render_ndjson("oblivious")
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -50,7 +50,10 @@ use crate::variants::iterative::IterativeMatcher;
 use crate::variants::projector;
 use crate::variants::relay::{self, RelayBuffer, RelayPolicy, RelayRequest};
 use crate::variants::stateful::DemandMatrix;
-use metrics::{FlowTracker, MatchRatioRecorder, PhaseCounters, PhaseProbe, RunReport};
+use metrics::{
+    trace::{FlightRecorder, TraceCursor},
+    FlowTracker, MatchRatioRecorder, PhaseCounters, PhaseProbe, RunReport,
+};
 use sim::time::Nanos;
 use sim::{BandwidthSeries, Xoshiro256};
 use std::collections::VecDeque;
@@ -295,6 +298,8 @@ pub struct NegotiatorSim {
     rx_series: Vec<BandwidthSeries>,
     total_rx: Option<BandwidthSeries>,
     phase_probe: Option<PhaseProbe>,
+    /// Flight recorder (`None` = tracing off: one branch per epoch).
+    recorder: Option<Box<FlightRecorder>>,
     ran_duration: Nanos,
 
     // Reusable per-epoch buffers.
@@ -426,6 +431,7 @@ impl NegotiatorSim {
             rx_series,
             total_rx: opts.total_rx_window.map(BandwidthSeries::new),
             phase_probe: None,
+            recorder: None,
             ran_duration: 0,
             scratch: SimScratch::default(),
             par: parallel::ParState::default(),
@@ -480,6 +486,50 @@ impl NegotiatorSim {
     /// The phase probe, once attached (complete after [`Self::run`]).
     pub fn phase_probe(&self) -> Option<&PhaseProbe> {
         self.phase_probe.as_ref()
+    }
+
+    /// Attach a flight recorder; the run then emits epoch-stamped trace
+    /// events from the sequential top of the epoch loop, where parallel
+    /// shards have already merged — so the trace is byte-identical at any
+    /// worker count. Off (the default) costs one branch per epoch.
+    pub fn set_recorder(&mut self, recorder: FlightRecorder) {
+        self.recorder = Some(Box::new(recorder));
+    }
+
+    /// The attached flight recorder, if any (complete after [`Self::run`]).
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_deref()
+    }
+
+    /// Detach and return the flight recorder.
+    pub fn take_recorder(&mut self) -> Option<FlightRecorder> {
+        self.recorder.take().map(|b| *b)
+    }
+
+    /// End-of-epoch flight-recorder emission: control-plane deltas,
+    /// detector transitions and per-ToR backlog watermarks. Reads the
+    /// same merged state the phase counters read. Only called when a
+    /// recorder is attached; the divergence scan and the O(n²) backlog
+    /// row sums are paid only by traced runs.
+    fn trace_epoch(&mut self, epoch: u64, t0: Nanos) {
+        let (fp, fn_) = self.detector_divergence();
+        let cursor = TraceCursor {
+            requests: self.stats.requests_sent,
+            grants: self.stats.grants_issued,
+            accepts: self.stats.accepts_made,
+            control_dropped: self.stats.control_dropped,
+            detector_fp: fp,
+            detector_fn: fn_,
+        };
+        let mut rec = self.recorder.take().expect("caller checked recorder");
+        rec.epoch_counters(t0, epoch, cursor);
+        for tor in 0..self.n {
+            let backlog: u64 = self.queue_bytes[tor * self.n..(tor + 1) * self.n]
+                .iter()
+                .sum();
+            rec.backlog_sample(t0, epoch, tor, backlog);
+        }
+        self.recorder = Some(rec);
     }
 
     /// Cumulative counters for phase-boundary snapshots.
@@ -589,18 +639,38 @@ impl NegotiatorSim {
             }
             if self.phase_probe.as_ref().is_some_and(|p| p.due(t0)) {
                 let counters = self.phase_counters(&tracker);
+                let before = self.phase_probe.as_ref().map_or(0, |p| p.snapshots().len());
                 self.phase_probe
                     .as_mut()
                     .expect("probe checked above")
                     .record(t0, counters);
+                if let Some(rec) = self.recorder.as_deref_mut() {
+                    let after = self.phase_probe.as_ref().map_or(0, |p| p.snapshots().len());
+                    for phase in before..after {
+                        rec.phase_boundary(t0, epoch, phase as u64, &counters);
+                    }
+                }
             }
+            let fault_mark = match self.recorder.is_some() {
+                true => (self.fail_sched.applied(), self.faults.applied()),
+                false => (0, 0),
+            };
             self.fail_sched.apply_due(t0, &mut self.failures);
             self.faults.epoch_update(t0, &mut self.failures);
+            if let Some(rec) = self.recorder.as_deref_mut() {
+                let links = (self.fail_sched.applied() - fault_mark.0) as u64;
+                let injected = (self.faults.applied() - fault_mark.1) as u64;
+                let total = (self.fail_sched.applied() + self.faults.applied()) as u64;
+                rec.fault_applied(t0, epoch, injected, links, total);
+            }
             cursor = self.inject(flows, cursor, t0);
             self.epoch_start(epoch, t0);
             cursor = self.predefined_phase(flows, cursor, epoch, t0, &mut tracker);
             cursor = self.scheduled_phase(flows, cursor, epoch, t0, &mut tracker);
             self.observe_epoch();
+            if self.recorder.is_some() {
+                self.trace_epoch(epoch, t0);
+            }
             epoch += 1;
 
             // Early exit when nothing is left anywhere.
@@ -613,7 +683,16 @@ impl NegotiatorSim {
             }
         }
         if let Some(mut probe) = self.phase_probe.take() {
-            probe.finish(self.phase_counters(&tracker));
+            let counters = self.phase_counters(&tracker);
+            let before = probe.snapshots().len();
+            probe.finish(counters);
+            if let Some(rec) = self.recorder.as_deref_mut() {
+                // Trailing boundaries the early exit skipped: stamp them
+                // into the trace at their nominal times, like the probe.
+                for (phase, snap) in probe.snapshots().iter().enumerate().skip(before) {
+                    rec.phase_boundary(snap.at, epoch, phase as u64, &counters);
+                }
+            }
             self.phase_probe = Some(probe);
         }
         self.tracker = Some(tracker);

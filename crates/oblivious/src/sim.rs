@@ -29,7 +29,7 @@
 //! which is what caps heavy-load goodput near the worst case.
 
 use crate::config::ObliviousConfig;
-use metrics::{FlowTracker, PhaseCounters, PhaseProbe, RunReport};
+use metrics::{trace::FlightRecorder, FlowTracker, PhaseCounters, PhaseProbe, RunReport};
 use sim::time::Nanos;
 use sim::{BandwidthSeries, Xoshiro256};
 use std::collections::VecDeque;
@@ -106,6 +106,9 @@ pub struct ObliviousSim {
     rx_final: Vec<BandwidthSeries>,
     rx_transit: Vec<BandwidthSeries>,
     phase_probe: Option<PhaseProbe>,
+    /// Flight recorder (`None` = tracing off). The rotor has no control
+    /// plane, so its trace carries `phase` and `fault` events only.
+    recorder: Option<Box<FlightRecorder>>,
     tracker: Option<FlowTracker>,
     ran_duration: Nanos,
     rng: Xoshiro256,
@@ -167,6 +170,7 @@ impl ObliviousSim {
                 None => Vec::new(),
             },
             phase_probe: None,
+            recorder: None,
             tracker: None,
             ran_duration: 0,
             rng: Xoshiro256::new(cfg.seed),
@@ -221,6 +225,25 @@ impl ObliviousSim {
     /// The phase probe, once attached (complete after [`Self::run`]).
     pub fn phase_probe(&self) -> Option<&PhaseProbe> {
         self.phase_probe.as_ref()
+    }
+
+    /// Attach a flight recorder. The rotor never negotiates, so the
+    /// trace carries `phase` boundary snapshots and `fault` activations
+    /// only — but those are exactly the events the sharded probe scans
+    /// feed, so the trace still exercises the cross-worker merge and is
+    /// byte-identical at any `--workers` count.
+    pub fn set_recorder(&mut self, recorder: FlightRecorder) {
+        self.recorder = Some(Box::new(recorder));
+    }
+
+    /// The attached flight recorder, if any (complete after [`Self::run`]).
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_deref()
+    }
+
+    /// Detach and return the flight recorder.
+    pub fn take_recorder(&mut self) -> Option<FlightRecorder> {
+        self.recorder.take().map(|b| *b)
     }
 
     /// Cumulative counters for phase-boundary snapshots. Backlog covers
@@ -375,13 +398,30 @@ impl ObliviousSim {
             }
             if self.phase_probe.as_ref().is_some_and(|p| p.due(now)) {
                 let counters = self.phase_counters(&tracker);
+                let before = self.phase_probe.as_ref().map_or(0, |p| p.snapshots().len());
                 self.phase_probe
                     .as_mut()
                     .expect("probe checked above")
                     .record(now, counters);
+                if let Some(rec) = self.recorder.as_deref_mut() {
+                    let after = self.phase_probe.as_ref().map_or(0, |p| p.snapshots().len());
+                    for phase in before..after {
+                        rec.phase_boundary(now, t, phase as u64, &counters);
+                    }
+                }
             }
+            let fault_mark = match self.recorder.is_some() {
+                true => (self.fail_sched.applied(), self.faults.applied()),
+                false => (0, 0),
+            };
             self.fail_sched.apply_due(now, &mut self.failures);
             self.faults.epoch_update(now, &mut self.failures);
+            if let Some(rec) = self.recorder.as_deref_mut() {
+                let links = (self.fail_sched.applied() - fault_mark.0) as u64;
+                let injected = (self.faults.applied() - fault_mark.1) as u64;
+                let total = (self.fail_sched.applied() + self.faults.applied()) as u64;
+                rec.fault_applied(now, t, injected, links, total);
+            }
             // Inject flows due by this slot.
             while cursor < flows.len() && flows[cursor].arrival <= now {
                 let f = flows[cursor];
@@ -429,7 +469,14 @@ impl ObliviousSim {
             }
         }
         if let Some(mut probe) = self.phase_probe.take() {
-            probe.finish(self.phase_counters(&tracker));
+            let counters = self.phase_counters(&tracker);
+            let before = probe.snapshots().len();
+            probe.finish(counters);
+            if let Some(rec) = self.recorder.as_deref_mut() {
+                for (phase, snap) in probe.snapshots().iter().enumerate().skip(before) {
+                    rec.phase_boundary(snap.at, t, phase as u64, &counters);
+                }
+            }
             self.phase_probe = Some(probe);
         }
         self.tracker = Some(tracker);

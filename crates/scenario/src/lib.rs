@@ -49,8 +49,8 @@ pub mod spec;
 pub use compile::{compile, CompiledScenario};
 pub use hash::StableHasher;
 pub use runner::{
-    build_runs, build_runs_with_progress, PhaseProgress, ProgressSink, ScenarioRun,
-    ScenarioRunOutput,
+    build_runs, build_runs_traced, build_runs_with_progress, PhaseProgress, ProgressSink,
+    ScenarioRun, ScenarioRunOutput,
 };
 pub use series::PhaseStat;
 pub use spec::{parse_scenario, EngineKind, InjectSpec, PhaseSpec, ScenarioSpec, WorkloadPhase};

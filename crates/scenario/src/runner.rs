@@ -10,7 +10,7 @@ use std::sync::Arc;
 use crate::compile::CompiledScenario;
 use crate::series::{self, PhaseStat};
 use crate::spec::EngineKind;
-use metrics::{PhaseProbe, RunSummary};
+use metrics::{trace::FlightRecorder, PhaseProbe, RunSummary};
 use negotiator::{NegotiatorConfig, NegotiatorSim, SimOptions};
 use oblivious::{ObliviousConfig, ObliviousSim};
 
@@ -44,6 +44,9 @@ pub struct ScenarioRunOutput {
     pub series: Vec<PhaseStat>,
     /// The run's text block (the per-phase table).
     pub rendered: String,
+    /// Flight-recorder NDJSON (only when the run was built with tracing;
+    /// byte-identical at any worker count, like every other output).
+    pub trace: Option<String>,
 }
 
 /// One schedulable scenario run.
@@ -58,7 +61,7 @@ pub struct ScenarioRun {
 /// the intra-run shard worker count (`--workers`); output is
 /// byte-identical at any value, so it never enters the run hash.
 pub fn build_runs(compiled: &CompiledScenario, workers: usize) -> Vec<ScenarioRun> {
-    build_runs_with_progress(compiled, None, workers)
+    build_runs_traced(compiled, None, workers, false)
 }
 
 /// [`build_runs`] with an optional live progress sink, invoked from the
@@ -67,6 +70,19 @@ pub fn build_runs_with_progress(
     compiled: &CompiledScenario,
     progress: Option<ProgressSink>,
     workers: usize,
+) -> Vec<ScenarioRun> {
+    build_runs_traced(compiled, progress, workers, false)
+}
+
+/// [`build_runs_with_progress`] with the flight recorder optionally
+/// attached: each run then fills [`ScenarioRunOutput::trace`] with its
+/// NDJSON. Tracing is observational — every other output byte is
+/// identical to an untraced run.
+pub fn build_runs_traced(
+    compiled: &CompiledScenario,
+    progress: Option<ProgressSink>,
+    workers: usize,
+    trace: bool,
 ) -> Vec<ScenarioRun> {
     compiled
         .spec
@@ -79,7 +95,9 @@ pub fn build_runs_with_progress(
             let progress = progress.clone();
             ScenarioRun {
                 system,
-                run: Box::new(move || run_engine(engine, &compiled, &sys, progress, workers)),
+                run: Box::new(move || {
+                    run_engine(engine, &compiled, &sys, progress, workers, trace)
+                }),
             }
         })
         .collect()
@@ -118,6 +136,7 @@ fn run_engine(
     system: &str,
     progress: Option<ProgressSink>,
     workers: usize,
+    record: bool,
 ) -> ScenarioRunOutput {
     let spec = &compiled.spec;
     let trace = Arc::clone(&compiled.trace);
@@ -125,7 +144,7 @@ fn run_engine(
     // scenario seed so two scenarios differing only in `seed` diverge
     // everywhere, not just in the workload.
     let engine_seed = spec.seed ^ 0xDC0C_0FFE;
-    let (summary, match_ratio, series) = match engine {
+    let (summary, match_ratio, series, flight) = match engine {
         EngineKind::Negotiator => {
             let mut cfg = NegotiatorConfig::paper_default(spec.net.clone());
             cfg.seed = engine_seed;
@@ -145,6 +164,9 @@ fn run_engine(
                 sim.schedule_fault(*at, action.clone());
             }
             sim.set_phase_probe(make_probe(compiled, system, progress));
+            if record {
+                sim.set_recorder(FlightRecorder::new(spec.net.n_tors));
+            }
             let mut report = sim.run(&trace, compiled.duration);
             let stats = series::phase_stats(
                 compiled,
@@ -156,6 +178,7 @@ fn run_engine(
                 report.summary(),
                 sim.match_recorder().overall_ratio(),
                 stats,
+                sim.take_recorder(),
             )
         }
         EngineKind::Oblivious => {
@@ -170,6 +193,9 @@ fn run_engine(
                 sim.schedule_fault(*at, action.clone());
             }
             sim.set_phase_probe(make_probe(compiled, system, progress));
+            if record {
+                sim.set_recorder(FlightRecorder::new(spec.net.n_tors));
+            }
             let mut report = sim.run(&trace, compiled.duration);
             let stats = series::phase_stats(
                 compiled,
@@ -177,7 +203,7 @@ fn run_engine(
                 sim.tracker(),
                 sim.phase_probe().expect("probe attached").snapshots(),
             );
-            (report.summary(), None, stats)
+            (report.summary(), None, stats, sim.take_recorder())
         }
     };
     let rendered = series::render_stats(system, &series);
@@ -186,6 +212,7 @@ fn run_engine(
         match_ratio,
         series,
         rendered,
+        trace: flight.map(|r| r.render_ndjson(system)),
     }
 }
 

@@ -5,8 +5,10 @@
 //!       [--jobs N] [--workers N] [--json] [--no-timing] [--out DIR] [--seeds A,B,C]
 //! paper all --jobs 8 --json --out results/
 //! paper scenario <file.json>... [--jobs N] [--workers N] [--json] [--no-timing] [--no-cache] [--out DIR]
-//! paper serve [--addr HOST:PORT] [--jobs N] [--workers N] [--out DIR]
+//! paper scenario <file.json> --trace out.ndjson [--workers N] [--json] [--out DIR]
+//! paper serve [--addr HOST:PORT] [--jobs N] [--workers N] [--out DIR] [--log-level error|info|debug]
 //! paper submit <file.json> [--addr HOST:PORT] [--priority N]
+//! paper trace <file.ndjson>
 //! paper list [--json]
 //! paper lint [--json]
 //! ```
@@ -52,17 +54,31 @@ fn main() {
         return;
     }
     if cli.serve {
+        let log_level = match service::LogLevel::parse(&cli.log_level) {
+            Ok(level) => level,
+            Err(error) => {
+                // The CLI parser validates the token; this only fires if
+                // the two lists ever drift apart.
+                eprintln!("error: {error}");
+                std::process::exit(2);
+            }
+        };
         let config = service::ServeConfig {
             addr: cli.addr.clone(),
             jobs: cli.jobs,
             workers: cli.workers,
             out: cli.out.clone(),
             scenarios_dir: Path::new("scenarios").to_path_buf(),
+            log_level,
         };
         if let Err(error) = service::serve_forever(config) {
             eprintln!("error: {error}");
             std::process::exit(1);
         }
+        return;
+    }
+    if let Some(path) = &cli.trace_cmd {
+        summarize_trace(path);
         return;
     }
     if let Some(path) = &cli.submit {
@@ -134,6 +150,9 @@ enum Plan {
 /// rest, execute on the shared pool, and populate the cache for next
 /// time (and for the daemon).
 fn run_scenarios(cli: &cli::Cli) {
+    if cli.trace.is_some() {
+        return run_traced_scenario(cli);
+    }
     let compiled: Vec<_> = cli
         .scenario
         .iter()
@@ -242,6 +261,79 @@ fn run_scenarios(cli: &cli::Cli) {
         }
     }
     eprintln!("[scenario batch done in {:.1?}]", started.elapsed());
+}
+
+/// `paper scenario <file> --trace out.ndjson`: the traced single-scenario
+/// path. Tracing requires simulating (a cache hit has no recorder), so
+/// the cache lookup is bypassed — but the entry is still stored, and the
+/// daemon's `GET /jobs/<id>/trace` for the same scenario is
+/// byte-identical because both call `bench::scenario::execute_traced`.
+fn run_traced_scenario(cli: &cli::Cli) {
+    let path = &cli.scenario[0];
+    let compiled = match scenario::load(path) {
+        Ok(compiled) => compiled,
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(2);
+        }
+    };
+    let started = std::time::Instant::now();
+    eprintln!(
+        "[scenario '{}': tracing {} run(s) — cache lookup bypassed]",
+        compiled.spec.name,
+        compiled.spec.engines.len()
+    );
+    let (report, trace) = scenario::execute_traced(&compiled, None, cli.workers);
+    let trace_path = cli.trace.as_ref().expect("checked by the parser");
+    let write = |path: &Path, bytes: &[u8]| -> std::io::Result<()> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, bytes)
+    };
+    if let Err(error) = write(trace_path, trace.as_bytes()) {
+        eprintln!("error: writing {}: {error}", trace_path.display());
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[wrote {} ({} bytes of flight-recorder NDJSON)]",
+        trace_path.display(),
+        trace.len()
+    );
+    if cli.cache {
+        let cache = ResultCache::new(cli.out.join("cache"));
+        let entry = CacheEntry {
+            scenario: compiled.spec.name.clone(),
+            rendered: report.rendered.clone(),
+            document: scenario::deterministic_document(&report),
+        };
+        if let Err(error) = cache.store(compiled.content_hash(), &entry) {
+            eprintln!("error: caching {}: {error}", compiled.spec.name);
+        }
+    }
+    println!("{}", report.rendered);
+    if cli.json {
+        write_json(cli, std::slice::from_ref(&report), false);
+    }
+    eprintln!("[traced scenario done in {:.1?}]", started.elapsed());
+}
+
+/// `paper trace`: summarize a flight-recorder NDJSON file.
+fn summarize_trace(path: &Path) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("error: {}: {error}", path.display());
+            std::process::exit(2);
+        }
+    };
+    match bench::tracecmd::summarize(&text) {
+        Ok(summary) => print!("{summary}"),
+        Err(error) => {
+            eprintln!("error: {}: {error}", path.display());
+            std::process::exit(1);
+        }
+    }
 }
 
 /// `paper submit`: send one scenario file to a daemon, stream progress to
@@ -397,8 +489,10 @@ fn usage() {
         "usage: paper <experiment-id>|all|list [--duration-ms N] [--loads 10,50,100]\n\
          \u{20}      [--seed N | --seeds A,B,C] [--jobs N] [--workers N] [--json] [--no-timing] [--out DIR]\n\
          \u{20}      paper scenario <file.json>... [--jobs N] [--workers N] [--json] [--no-timing] [--no-cache] [--out DIR]\n\
-         \u{20}      paper serve [--addr HOST:PORT] [--jobs N] [--workers N] [--out DIR]\n\
+         \u{20}      paper scenario <file.json> --trace out.ndjson [--workers N] [--json] [--out DIR]\n\
+         \u{20}      paper serve [--addr HOST:PORT] [--jobs N] [--workers N] [--out DIR] [--log-level error|info|debug]\n\
          \u{20}      paper submit <file.json> [--addr HOST:PORT] [--priority N]\n\
+         \u{20}      paper trace <file.ndjson>\n\
          \u{20}      paper list [--json]\n\
          \u{20}      paper lint [--json]"
     );

@@ -58,6 +58,10 @@ impl JobState {
 struct JobInner {
     state: JobState,
     events: Vec<Json>,
+    /// Flight-recorder NDJSON captured while the job simulated; served by
+    /// `GET /jobs/<id>/trace`. Set before the terminal transition so a
+    /// follower that observes `Done` always finds the trace present.
+    trace: Option<Arc<String>>,
 }
 
 /// One submission's shared record.
@@ -90,6 +94,7 @@ impl Job {
             inner: Mutex::new(JobInner {
                 state: JobState::Queued,
                 events: Vec::new(),
+                trace: None,
             }),
             changed: Condvar::new(),
         })
@@ -110,6 +115,18 @@ impl Job {
         let mut inner = lock_recover(&self.inner);
         inner.events.push(event);
         self.changed.notify_all();
+    }
+
+    /// Attach the flight-recorder NDJSON. Called by the executor before
+    /// `finish(Done)`, so the trace is visible to anyone who sees the job
+    /// as done.
+    pub fn set_trace(&self, trace: Arc<String>) {
+        lock_recover(&self.inner).trace = Some(trace);
+    }
+
+    /// The flight-recorder NDJSON, once the job has simulated.
+    pub fn trace(&self) -> Option<Arc<String>> {
+        lock_recover(&self.inner).trace.clone()
     }
 
     /// Move `Queued → Running`. Returns `false` (a no-op) if the job was
@@ -284,8 +301,11 @@ mod tests {
             job.follow(&mut cursor),
             Follow::Events(vec![Json::Str("e0".into()), Json::Str("e1".into())])
         );
+        assert!(job.trace().is_none(), "no trace until the run records one");
+        job.set_trace(Arc::new("{\"event\":\"trace_start\"}\n".to_string()));
         let doc = Arc::new("{}\n".to_string());
         job.finish(JobState::Done(Arc::clone(&doc)));
+        assert!(job.trace().is_some());
         table.retire(&job);
         assert_eq!(
             job.follow(&mut cursor),

@@ -20,6 +20,9 @@
 //! * [`http`] — the shared minimal HTTP/1.1 reader/writer pair.
 //! * [`library`] — the machine-readable scenario-library listing behind
 //!   `paper list --json` and `GET /scenarios`.
+//! * [`metrics`] — the `GET /metrics` Prometheus text exposition
+//!   (job/pool/cache counters, stage timers, request-latency histogram).
+//! * [`log`] — the daemon's one leveled logger (`--log-level`).
 //!
 //! Identity of work is content, not text: submissions are keyed by
 //! `scenario::hash` — a stable digest over the *compiled* scenario — and
@@ -31,7 +34,10 @@ pub mod client;
 pub mod http;
 pub mod jobs;
 pub mod library;
+pub mod log;
+pub mod metrics;
 pub mod server;
 
 pub use client::{submit, Disposition, SubmitOutcome};
-pub use server::{serve_forever, ServeConfig, Server};
+pub use log::LogLevel;
+pub use server::{serve_forever, ServeConfig, Server, PROGRESS_SCHEMA_VERSION};

@@ -33,7 +33,9 @@
 //! |                           | `?priority=N`)                                |
 //! | `GET /jobs/<id>`          | status + progress events                      |
 //! | `GET /jobs/<id>/result`   | the result document once done                 |
+//! | `GET /jobs/<id>/trace`    | the job's flight-recorder NDJSON once done    |
 //! | `DELETE /jobs/<id>`       | cancel a still-queued job                     |
+//! | `GET /metrics`            | Prometheus text exposition                    |
 //! | `POST /shutdown`          | begin graceful shutdown                       |
 
 use std::io::{BufReader, Write};
@@ -42,10 +44,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bench::cache::{CacheEntry, ResultCache};
-use bench::scenario::{deterministic_document, execute_with_progress, load_str};
+use bench::scenario::{deterministic_document, execute_traced, load_str};
 use metrics::Json;
 use scenario::hash::hex;
 use scenario::{CompiledScenario, PhaseProgress, ProgressSink};
@@ -54,6 +56,15 @@ use sim::pool::WorkerPool;
 use crate::http::{read_request, respond, start_stream, Request};
 use crate::jobs::{lock_recover, Admission, Follow, Job, JobState, JobTable};
 use crate::library::library_json;
+use crate::log::LogLevel;
+use crate::metrics::{render_prometheus, HttpMetrics, MetricsInput};
+use crate::{log_debug, log_error, log_info};
+
+/// Version stamped on every NDJSON line the daemon streams (progress
+/// events, the result marker, error events), so consumers can detect
+/// layout changes without sniffing fields. Bumped when a line's shape
+/// changes incompatibly.
+pub const PROGRESS_SCHEMA_VERSION: u64 = 1;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -71,6 +82,8 @@ pub struct ServeConfig {
     /// Scenario library directory (`GET /scenarios`); also anchors
     /// relative trace paths inside submitted scenarios.
     pub scenarios_dir: PathBuf,
+    /// Daemon log verbosity (`--log-level error|info|debug`).
+    pub log_level: LogLevel,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +94,7 @@ impl Default for ServeConfig {
             workers: 1,
             out: PathBuf::from("results"),
             scenarios_dir: PathBuf::from("scenarios"),
+            log_level: LogLevel::Info,
         }
     }
 }
@@ -95,6 +109,8 @@ struct ServerState {
     draining: AtomicBool,
     /// The accept loop exits only here, after the drain completes.
     closed: AtomicBool,
+    /// Request counter + latency histogram for `/metrics`.
+    http: HttpMetrics,
 }
 
 /// A running daemon: bind address, background accept loop, worker pool.
@@ -117,12 +133,14 @@ impl Server {
         let addr = listener
             .local_addr()
             .map_err(|e| format!("local addr: {e}"))?;
+        crate::log::set_level(config.log_level);
         let state = Arc::new(ServerState {
             cache: ResultCache::new(config.out.join("cache")),
             pool: Mutex::new(Some(WorkerPool::new(config.jobs))),
             table: JobTable::new(),
             draining: AtomicBool::new(false),
             closed: AtomicBool::new(false),
+            http: HttpMetrics::new(),
             config,
         });
         let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -182,7 +200,7 @@ impl Drop for Server {
 pub fn serve_forever(config: ServeConfig) -> Result<(), String> {
     install_signal_handlers();
     let mut server = Server::start(config)?;
-    eprintln!(
+    log_info!(
         "[serving on http://{} — cache {}, {} workers; ctrl-c or POST /shutdown to drain]",
         server.addr(),
         server.state.cache.dir().display(),
@@ -191,10 +209,10 @@ pub fn serve_forever(config: ServeConfig) -> Result<(), String> {
     while !signal_received() && !server.draining() {
         std::thread::sleep(Duration::from_millis(100));
     }
-    eprintln!("[shutdown requested — draining in-flight jobs]");
+    log_info!("[shutdown requested — draining in-flight jobs]");
     server.shutdown();
     let (total, _, coalesced) = server.state.table.stats();
-    eprintln!("[drained; {total} jobs served, {coalesced} coalesced]");
+    log_info!("[drained; {total} jobs served, {coalesced} coalesced]");
     Ok(())
 }
 
@@ -275,7 +293,17 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
             return;
         }
     };
-    match catch_unwind(AssertUnwindSafe(|| route(&mut stream, &request, state))) {
+    let started = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| route(&mut stream, &request, state)));
+    let elapsed = started.elapsed().as_secs_f64();
+    state.http.observe(elapsed);
+    log_debug!(
+        "[{} {} — {:.1} ms]",
+        request.method,
+        request.path,
+        elapsed * 1e3
+    );
+    match outcome {
         Ok(Ok(())) => {}
         Ok(Err(_io)) => {
             // The peer went away mid-response; nothing sensible to do.
@@ -284,6 +312,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
             // A handler bug answers with a typed 500 instead of silently
             // dropping the connection. Best-effort: the panic may have
             // struck after headers already went out.
+            log_error!("[handler panicked on {} {}]", request.method, request.path);
             let _ = error_response(&mut stream, 500, "internal error handling request");
         }
     }
@@ -305,16 +334,20 @@ fn route(
         ("POST", ["jobs"]) => handle_submit(stream, request, state),
         ("GET", ["jobs", id]) => handle_status(stream, id, state),
         ("GET", ["jobs", id, "result"]) => handle_result(stream, id, state),
+        ("GET", ["jobs", id, "trace"]) => handle_trace(stream, id, state),
         ("DELETE", ["jobs", id]) => handle_cancel(stream, id, state),
+        ("GET", ["metrics"]) => handle_metrics(stream, state),
         ("POST", ["shutdown"]) => {
             state.draining.store(true, Ordering::SeqCst);
             let mut body = Json::object();
             body.push("status", "draining");
             json_response(stream, 200, &body)
         }
-        (_, ["jobs", ..]) | (_, ["scenarios"]) | (_, ["healthz"]) | (_, ["shutdown"]) => {
-            error_response(stream, 405, "method not allowed")
-        }
+        (_, ["jobs", ..])
+        | (_, ["scenarios"])
+        | (_, ["healthz"])
+        | (_, ["metrics"])
+        | (_, ["shutdown"]) => error_response(stream, 405, "method not allowed"),
         _ => error_response(stream, 404, &format!("no route for {}", request.path)),
     }
 }
@@ -336,6 +369,32 @@ fn handle_healthz(stream: &mut TcpStream, state: &Arc<ServerState>) -> std::io::
     .push("workers", state.config.jobs)
     .push("cache_dir", state.cache.dir().display().to_string());
     json_response(stream, 200, &body)
+}
+
+/// `GET /metrics`: Prometheus text exposition, gathered at scrape time
+/// from the pool, job table, result cache, stage timers, and the HTTP
+/// tally. Always answers — even mid-drain with the pool already gone.
+fn handle_metrics(stream: &mut TcpStream, state: &Arc<ServerState>) -> std::io::Result<()> {
+    let (admitted, active, coalesced) = state.table.stats();
+    let pool = lock_recover(&state.pool).as_ref().map(|p| p.snapshot());
+    let stages = bench::profile::snapshot();
+    let text = render_prometheus(&MetricsInput {
+        draining: state.draining.load(Ordering::SeqCst),
+        jobs_admitted: admitted,
+        jobs_active: active,
+        jobs_coalesced: coalesced,
+        pool,
+        cache: state.cache.stats(),
+        stages: &stages,
+        http: &state.http,
+    });
+    respond(
+        stream,
+        200,
+        "text/plain; version=0.0.4; charset=utf-8",
+        &[],
+        text.as_bytes(),
+    )
 }
 
 fn handle_submit(
@@ -435,10 +494,18 @@ fn execute_job(state: &Arc<ServerState>, job: &Arc<Job>, compiled: &CompiledScen
     }
     let sink: ProgressSink = {
         let job = Arc::clone(job);
-        Arc::new(move |p: PhaseProgress| job.push_event(phase_event(&p)))
+        Arc::new(move |p: PhaseProgress| {
+            let id = job.id;
+            job.push_event(phase_event(&p, id));
+        })
     };
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        let report = execute_with_progress(compiled, Some(sink), state.config.workers);
+        // Traced execution is the only execution path here: the recorded
+        // NDJSON is what `GET /jobs/<id>/trace` serves, and because the
+        // CLI's `--trace` runs the exact same function, the daemon's
+        // trace and an offline trace of the same scenario are
+        // byte-identical by construction.
+        let (report, trace) = execute_traced(compiled, Some(sink), state.config.workers);
         let document = deterministic_document(&report);
         let entry = CacheEntry {
             scenario: compiled.spec.name.clone(),
@@ -448,12 +515,17 @@ fn execute_job(state: &Arc<ServerState>, job: &Arc<Job>, compiled: &CompiledScen
         if let Err(error) = state.cache.store(job.hash, &entry) {
             // A dead cache disk degrades to recomputation, never to a
             // failed job or a torn entry.
-            eprintln!("[cache: could not store {}: {error}]", hex(job.hash));
+            log_error!("[cache: could not store {}: {error}]", hex(job.hash));
         }
-        document
+        (document, trace)
     }));
     match outcome {
-        Ok(document) => job.finish(JobState::Done(Arc::new(document))),
+        Ok((document, trace)) => {
+            // Trace first, then the terminal transition: a follower that
+            // observes Done must find the trace already attached.
+            job.set_trace(Arc::new(trace));
+            job.finish(JobState::Done(Arc::new(document)));
+        }
         Err(payload) => {
             let msg = payload
                 .downcast_ref::<&str>()
@@ -480,9 +552,9 @@ fn serve_cached(
             "application/x-ndjson",
             &[("X-Content-Hash", hash_hex.as_str()), ("X-Cache", "hit")],
         )?;
-        let mut cached = Json::object();
+        // Cache hits never create a job, so this line carries no job id.
+        let mut cached = event_json("cached");
         cached
-            .push("event", "cached")
             .push("hash", hash_hex.as_str())
             .push("scenario", entry.scenario.as_str());
         write_event(stream, &cached)?;
@@ -518,16 +590,12 @@ fn stream_job(
             ("X-Cache", disposition),
         ],
     )?;
-    let mut opening = Json::object();
+    let mut opening = event_json(if disposition == "coalesced" {
+        "coalesced"
+    } else {
+        "queued"
+    });
     opening
-        .push(
-            "event",
-            if disposition == "coalesced" {
-                "coalesced"
-            } else {
-                "queued"
-            },
-        )
         .push("job", job.id)
         .push("hash", hash_hex.as_str())
         .push("scenario", job.name.as_str());
@@ -546,16 +614,14 @@ fn stream_job(
                 return stream.flush();
             }
             Follow::Finished(JobState::Failed(message)) => {
-                let mut event = Json::object();
-                event
-                    .push("event", "error")
-                    .push("message", message.as_str());
+                let mut event = event_json("error");
+                event.push("job", job.id).push("message", message.as_str());
                 return write_event(stream, &event);
             }
             Follow::Finished(other) => {
-                let mut event = Json::object();
+                let mut event = event_json("error");
                 event
-                    .push("event", "error")
+                    .push("job", job.id)
                     .push("message", format!("job {}", other.label()));
                 return write_event(stream, &event);
             }
@@ -623,6 +689,30 @@ fn handle_result(
     }
 }
 
+/// `GET /jobs/<id>/trace`: the flight-recorder NDJSON captured while the
+/// job simulated. Only jobs that actually ran have one — cache hits never
+/// create a job, and failed/cancelled jobs never attached a trace.
+fn handle_trace(stream: &mut TcpStream, id: &str, state: &Arc<ServerState>) -> std::io::Result<()> {
+    let Some(job) = lookup(id, state) else {
+        return error_response(stream, 404, &format!("no job '{id}'"));
+    };
+    match job.state() {
+        JobState::Done(_) => match job.trace() {
+            Some(trace) => respond(
+                stream,
+                200,
+                "application/x-ndjson",
+                &[("X-Content-Hash", hex(job.hash).as_str())],
+                trace.as_bytes(),
+            ),
+            None => error_response(stream, 404, "job finished without recording a trace"),
+        },
+        JobState::Failed(message) => error_response(stream, 500, &message),
+        JobState::Cancelled => error_response(stream, 404, "job was cancelled before running"),
+        pending => error_response(stream, 409, &format!("job is {}", pending.label())),
+    }
+}
+
 fn handle_cancel(
     stream: &mut TcpStream,
     id: &str,
@@ -656,10 +746,20 @@ fn lookup(id: &str, state: &Arc<ServerState>) -> Option<Arc<Job>> {
 // Small wire helpers
 // -------------------------------------------------------------------
 
-fn phase_event(p: &PhaseProgress) -> Json {
+/// Start an NDJSON line: every streamed line opens with its event name
+/// and [`PROGRESS_SCHEMA_VERSION`], so each line is self-describing.
+fn event_json(kind: &str) -> Json {
     let mut event = Json::object();
     event
-        .push("event", "phase")
+        .push("event", kind)
+        .push("schema_version", PROGRESS_SCHEMA_VERSION);
+    event
+}
+
+fn phase_event(p: &PhaseProgress, job_id: u64) -> Json {
+    let mut event = event_json("phase");
+    event
+        .push("job", job_id)
         .push("system", p.system.as_str())
         .push("phase", p.phase)
         .push("phases", p.phases)
@@ -679,11 +779,8 @@ fn write_result_marker(
     bytes: usize,
     disposition: &str,
 ) -> std::io::Result<()> {
-    let mut marker = Json::object();
-    marker
-        .push("event", "result")
-        .push("bytes", bytes)
-        .push("cache", disposition);
+    let mut marker = event_json("result");
+    marker.push("bytes", bytes).push("cache", disposition);
     write_event(stream, &marker)
 }
 

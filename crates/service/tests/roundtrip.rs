@@ -53,6 +53,7 @@ fn start_server(tag: &str, jobs: usize) -> (Server, String, PathBuf) {
         workers: 2,
         out: out.clone(),
         scenarios_dir: out.join("scenarios"),
+        ..ServeConfig::default()
     })
     .expect("bind ephemeral port");
     let addr = server.addr().to_string();
@@ -255,6 +256,7 @@ fn graceful_shutdown_rejects_new_work_and_drains() {
             workers: 1,
             out: out.clone(),
             scenarios_dir: out.join("scenarios"),
+            ..ServeConfig::default()
         })
         .expect("rebind");
         let addr = server.addr().to_string();

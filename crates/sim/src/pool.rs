@@ -21,6 +21,7 @@
 //! single run is untouched; only the layer above them fans out.
 
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -202,6 +203,38 @@ struct PoolState {
 struct PoolShared {
     state: Mutex<PoolState>,
     available: Condvar,
+    counters: PoolCounters,
+}
+
+/// Count-based lifecycle totals (no wall clock — `sim` is a
+/// deterministic zone; utilization and rates are derived by the
+/// observer, e.g. the daemon's `/metrics` endpoint).
+#[derive(Debug, Default)]
+struct PoolCounters {
+    submitted: AtomicU64,
+    running: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+}
+
+/// A point-in-time view of a [`WorkerPool`]'s queue and lifetime totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolSnapshot {
+    /// Worker threads the pool was built with.
+    pub workers: usize,
+    /// Jobs waiting in the priority queue right now.
+    pub queued: usize,
+    /// Jobs executing right now (gauge, `<= workers`).
+    pub running: u64,
+    /// Jobs accepted since the pool started.
+    pub submitted: u64,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+    /// Jobs that panicked.
+    pub failed: u64,
+    /// Jobs cancelled while still queued (they never ran).
+    pub cancelled: u64,
 }
 
 /// A long-lived pool of `jobs` workers draining a prioritized queue.
@@ -213,6 +246,7 @@ struct PoolShared {
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    worker_count: usize,
 }
 
 impl WorkerPool {
@@ -225,14 +259,20 @@ impl WorkerPool {
                 shutting_down: false,
             }),
             available: Condvar::new(),
+            counters: PoolCounters::default(),
         });
-        let workers = (0..jobs.max(1))
+        let worker_count = jobs.max(1);
+        let workers = (0..worker_count)
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
-        WorkerPool { shared, workers }
+        WorkerPool {
+            shared,
+            workers,
+            worker_count,
+        }
     }
 
     /// Submit a job at `priority` (higher runs earlier; FIFO within a
@@ -249,6 +289,7 @@ impl WorkerPool {
         });
         let work = {
             let shared = Arc::clone(&handle_shared);
+            let pool = Arc::clone(&self.shared);
             Box::new(move || {
                 {
                     // The cancel check and the Queued → Running move are
@@ -256,17 +297,28 @@ impl WorkerPool {
                     // can never race this into running anyway.
                     let mut state = shared.state.lock().expect("job state");
                     if state.0 != JobStatus::Queued {
-                        return; // cancelled while waiting in the heap
+                        // Cancelled while waiting in the heap.
+                        pool.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                        return;
                     }
                     state.0 = JobStatus::Running;
                 }
-                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)) {
-                    Ok(value) => finish(&shared, JobStatus::Done, Some(value)),
-                    Err(payload) => finish(
-                        &shared,
-                        JobStatus::Failed(panic_msg(payload.as_ref())),
-                        None,
-                    ),
+                pool.counters.running.fetch_add(1, Ordering::Relaxed);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                pool.counters.running.fetch_sub(1, Ordering::Relaxed);
+                match outcome {
+                    Ok(value) => {
+                        pool.counters.completed.fetch_add(1, Ordering::Relaxed);
+                        finish(&shared, JobStatus::Done, Some(value))
+                    }
+                    Err(payload) => {
+                        pool.counters.failed.fetch_add(1, Ordering::Relaxed);
+                        finish(
+                            &shared,
+                            JobStatus::Failed(panic_msg(payload.as_ref())),
+                            None,
+                        )
+                    }
                 }
             })
         };
@@ -283,6 +335,10 @@ impl WorkerPool {
                 work,
             });
         }
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
         self.shared.available.notify_one();
         Some(JobHandle {
             shared: handle_shared,
@@ -292,6 +348,23 @@ impl WorkerPool {
     /// Number of jobs still waiting in the queue (not running).
     pub fn queued(&self) -> usize {
         self.shared.state.lock().expect("pool state").heap.len()
+    }
+
+    /// Point-in-time queue depth and lifetime totals, for observers (the
+    /// daemon's `/metrics` plane). Counters are relaxed atomics: a
+    /// snapshot taken mid-transition may momentarily disagree by one
+    /// between fields, which is fine for monitoring.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        let c = &self.shared.counters;
+        PoolSnapshot {
+            workers: self.worker_count,
+            queued: self.queued(),
+            running: c.running.load(Ordering::Relaxed),
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+        }
     }
 
     /// Stop accepting submissions, drain every job already accepted, and
@@ -523,6 +596,51 @@ mod tests {
         }
         // New submissions are refused, not silently dropped.
         assert!(pool.submit(0, || 7u64).is_none());
+    }
+
+    #[test]
+    fn worker_pool_snapshot_tracks_lifecycle() {
+        let mut pool = WorkerPool::new(2);
+        let fresh = pool.snapshot();
+        assert_eq!(fresh.workers, 2);
+        assert_eq!((fresh.submitted, fresh.completed, fresh.running), (0, 0, 0));
+        let handles: Vec<_> = (0..4u64)
+            .map(|i| pool.submit(0, move || i).expect("accepting"))
+            .collect();
+        for h in &handles {
+            h.wait();
+        }
+        let bad = pool
+            .submit(0, || -> u64 { panic!("boom") })
+            .expect("accepting");
+        bad.wait();
+        pool.shutdown();
+        let snap = pool.snapshot();
+        assert_eq!(snap.submitted, 5);
+        assert_eq!(snap.completed, 4);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.running, 0);
+        assert_eq!(snap.queued, 0);
+    }
+
+    #[test]
+    fn worker_pool_snapshot_counts_cancellations() {
+        use std::sync::mpsc;
+        let mut pool = WorkerPool::new(1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let blocker = pool
+            .submit(10, move || {
+                gate_rx.recv().expect("gate");
+            })
+            .expect("accepting");
+        let victim = pool.submit(0, || ()).expect("accepting");
+        assert!(victim.cancel());
+        gate_tx.send(()).expect("worker waiting");
+        blocker.wait();
+        pool.shutdown();
+        let snap = pool.snapshot();
+        assert_eq!(snap.cancelled, 1);
+        assert_eq!(snap.completed, 1, "only the blocker ran");
     }
 
     #[test]

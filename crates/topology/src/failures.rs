@@ -300,6 +300,13 @@ impl FailureSchedule {
     pub fn is_drained(&self) -> bool {
         self.cursor >= self.schedule.len()
     }
+
+    /// How many scheduled actions have been applied so far. Observers
+    /// (the flight recorder) diff this across `apply_due` calls to see
+    /// activations without the schedule exposing its internals.
+    pub fn applied(&self) -> usize {
+        self.cursor
+    }
 }
 
 #[cfg(test)]

@@ -161,6 +161,13 @@ impl FaultModel {
         self.cursor >= self.schedule.len()
     }
 
+    /// How many scheduled fault actions have been applied so far.
+    /// Observers (the flight recorder) diff this across `epoch_update`
+    /// calls to record injected-fault activations.
+    pub fn applied(&self) -> usize {
+        self.cursor
+    }
+
     /// Does any fault exist — scheduled or active? Engines that never
     /// received an injection skip all per-epoch fault bookkeeping.
     pub fn is_idle(&self) -> bool {
