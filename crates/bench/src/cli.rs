@@ -8,6 +8,25 @@ use crate::experiments::{find_experiment, Args, EXPERIMENTS};
 /// Default daemon address for `paper serve` / `paper submit`.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7470";
 
+/// Smallest accepted `--trace-capacity`: below 1Ki events the ring drops
+/// the convergence timeline on even trivial runs, which makes every
+/// downstream forensics answer misleading.
+pub const MIN_TRACE_CAPACITY: usize = 1024;
+
+/// Default `--context` lines each side of a `paper trace diff` divergence.
+pub const DEFAULT_DIFF_CONTEXT: usize = 3;
+
+/// A parsed `paper trace` subcommand: summary, forensic query, or diff.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceCmd {
+    /// `paper trace <file>` — render the section summary.
+    Summary(PathBuf),
+    /// `paper trace query <file>` — filter and aggregate events.
+    Query(PathBuf),
+    /// `paper trace diff <a> <b>` — locate the first divergent event.
+    Diff(PathBuf, PathBuf),
+}
+
 /// A parsed `paper` invocation.
 #[derive(Debug, Clone)]
 pub struct Cli {
@@ -24,11 +43,35 @@ pub struct Cli {
     pub serve: bool,
     /// `paper submit <file.json>` — submit a scenario to a daemon.
     pub submit: Option<PathBuf>,
-    /// `paper trace <file.ndjson>` — summarize a flight-recorder trace.
-    pub trace_cmd: Option<PathBuf>,
-    /// Write flight-recorder NDJSON for a scenario run (`--trace PATH`;
-    /// single-scenario `paper scenario` only).
+    /// `paper trace …` — summarize, query or diff flight-recorder traces.
+    pub trace_cmd: Option<TraceCmd>,
+    /// Write flight-recorder NDJSON for scenario runs (`--trace PATH`; a
+    /// multi-file batch writes one suffixed file per scenario).
     pub trace: Option<PathBuf>,
+    /// Fail `paper trace <file>` when the recorder dropped events
+    /// (`--strict`).
+    pub trace_strict: bool,
+    /// Event-kind filter for `paper trace query` (`--kind NAME`).
+    pub trace_kind: Option<String>,
+    /// ToR filter for `paper trace query` (`--tor N`; matches `tor`,
+    /// `src` and `dst` fields).
+    pub trace_tor: Option<u64>,
+    /// Flow filter for `paper trace query` (`--flow N`; prints the
+    /// flow's span timeline).
+    pub trace_flow: Option<u64>,
+    /// Inclusive epoch-range filter for `paper trace query`
+    /// (`--epoch A..B`, or a single epoch `--epoch N`).
+    pub trace_epochs: Option<(u64, u64)>,
+    /// Report the slowest-N completed flows in `paper trace query`
+    /// (`--top-fct N`).
+    pub trace_top_fct: Option<usize>,
+    /// Aligned-context lines each side of a `paper trace diff` divergence
+    /// (`--context N`).
+    pub trace_context: usize,
+    /// Flight-recorder ring capacity per engine (`--trace-capacity N`,
+    /// power of two ≥ 1Ki; `paper serve` and `--trace` runs only). Purely
+    /// an observability knob: never enters results, hashes or cache keys.
+    pub trace_capacity: Option<usize>,
     /// Daemon log verbosity for `paper serve`
     /// (`--log-level error|info|debug`, default `info`). Kept as the raw
     /// token here; the service layer owns the typed level.
@@ -72,6 +115,14 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
         submit: None,
         trace_cmd: None,
         trace: None,
+        trace_strict: false,
+        trace_kind: None,
+        trace_tor: None,
+        trace_flow: None,
+        trace_epochs: None,
+        trace_top_fct: None,
+        trace_context: DEFAULT_DIFF_CONTEXT,
+        trace_capacity: None,
         log_level: "info".to_string(),
         addr: DEFAULT_ADDR.to_string(),
         priority: 0,
@@ -91,7 +142,8 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
     // Flags a scenario file pins itself (scenarios carry their own seed,
     // loads and horizon, so accepting these would silently lie).
     let mut harness_flags: Vec<&'static str> = Vec::new();
-    let mut it = argv.into_iter();
+    let mut context_set = false;
+    let mut it = argv.into_iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--duration-ms" => {
@@ -137,11 +189,22 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
             }
             "serve" => cli.serve = true,
             "trace" => {
-                let v = value(&mut it, "trace")?;
                 if cli.trace_cmd.is_some() {
                     return Err("trace: one trace file per invocation".into());
                 }
-                cli.trace_cmd = Some(PathBuf::from(v));
+                cli.trace_cmd = Some(match it.peek().map(String::as_str) {
+                    Some("query") => {
+                        it.next();
+                        TraceCmd::Query(PathBuf::from(value(&mut it, "trace query")?))
+                    }
+                    Some("diff") => {
+                        it.next();
+                        let a = PathBuf::from(value(&mut it, "trace diff")?);
+                        let b = PathBuf::from(value(&mut it, "trace diff")?);
+                        TraceCmd::Diff(a, b)
+                    }
+                    _ => TraceCmd::Summary(PathBuf::from(value(&mut it, "trace")?)),
+                });
             }
             "submit" => {
                 let v = value(&mut it, "submit")?;
@@ -167,6 +230,55 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
             "--no-timing" => cli.timing = false,
             "--no-cache" => cli.cache = false,
             "--trace" => cli.trace = Some(PathBuf::from(value(&mut it, "--trace")?)),
+            "--strict" => cli.trace_strict = true,
+            "--kind" => cli.trace_kind = Some(value(&mut it, "--kind")?),
+            "--tor" => {
+                let v = value(&mut it, "--tor")?;
+                cli.trace_tor = Some(
+                    v.parse()
+                        .map_err(|_| format!("--tor: '{v}' is not a ToR index"))?,
+                );
+            }
+            "--flow" => {
+                let v = value(&mut it, "--flow")?;
+                cli.trace_flow = Some(
+                    v.parse()
+                        .map_err(|_| format!("--flow: '{v}' is not a flow id"))?,
+                );
+            }
+            "--epoch" => {
+                let v = value(&mut it, "--epoch")?;
+                cli.trace_epochs = Some(parse_epoch_range(&v)?);
+            }
+            "--top-fct" => {
+                let v = value(&mut it, "--top-fct")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--top-fct: '{v}' is not an integer"))?;
+                if n == 0 {
+                    return Err("--top-fct: need at least 1 flow".into());
+                }
+                cli.trace_top_fct = Some(n);
+            }
+            "--context" => {
+                let v = value(&mut it, "--context")?;
+                cli.trace_context = v
+                    .parse()
+                    .map_err(|_| format!("--context: '{v}' is not an integer"))?;
+                context_set = true;
+            }
+            "--trace-capacity" => {
+                let v = value(&mut it, "--trace-capacity")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--trace-capacity: '{v}' is not an integer"))?;
+                if n < MIN_TRACE_CAPACITY || !n.is_power_of_two() {
+                    return Err(format!(
+                        "--trace-capacity: {n} must be a power of two ≥ {MIN_TRACE_CAPACITY}"
+                    ));
+                }
+                cli.trace_capacity = Some(n);
+            }
             "--log-level" => {
                 let v = value(&mut it, "--log-level")?;
                 if !matches!(v.as_str(), "error" | "info" | "debug") {
@@ -255,11 +367,31 @@ pub fn parse(argv: Vec<String>) -> Result<Cli, String> {
     if log_level_set && !cli.serve {
         return Err("--log-level only applies to `paper serve`".into());
     }
-    if cli.trace.is_some() && cli.scenario.len() != 1 {
+    if cli.trace.is_some() && cli.scenario.is_empty() {
+        return Err("--trace records flight-recorder output for `paper scenario` runs only".into());
+    }
+    if cli.trace_capacity.is_some() && !cli.serve && cli.trace.is_none() {
         return Err(
-            "--trace records one flight-recorder file for exactly one `paper scenario <file>`"
-                .into(),
+            "--trace-capacity only applies to `paper serve` and `--trace` scenario runs".into(),
         );
+    }
+    if cli.trace_strict && !matches!(cli.trace_cmd, Some(TraceCmd::Summary(_))) {
+        return Err("--strict only applies to `paper trace <file>` summaries".into());
+    }
+    let query_filters = [
+        ("--kind", cli.trace_kind.is_some()),
+        ("--tor", cli.trace_tor.is_some()),
+        ("--flow", cli.trace_flow.is_some()),
+        ("--epoch", cli.trace_epochs.is_some()),
+        ("--top-fct", cli.trace_top_fct.is_some()),
+    ];
+    if !matches!(cli.trace_cmd, Some(TraceCmd::Query(_))) {
+        if let Some((flag, _)) = query_filters.iter().find(|(_, set)| *set) {
+            return Err(format!("{flag} only applies to `paper trace query`"));
+        }
+    }
+    if context_set && !matches!(cli.trace_cmd, Some(TraceCmd::Diff(_, _))) {
+        return Err("--context only applies to `paper trace diff`".into());
     }
     if cli.workers != 1 && (cli.submit.is_some() || cli.lint || cli.list) {
         return Err("--workers only applies to local runs and `paper serve`".into());
@@ -284,6 +416,20 @@ fn parse_load(s: &str) -> Result<f64, String> {
         ));
     }
     Ok(pct / 100.0)
+}
+
+/// Parse an `--epoch` filter: inclusive `A..B`, or a single epoch `N`.
+fn parse_epoch_range(s: &str) -> Result<(u64, u64), String> {
+    let (lo, hi) = s.split_once("..").unwrap_or((s, s));
+    let parse = |part: &str| {
+        part.parse::<u64>()
+            .map_err(|_| format!("--epoch: '{s}' is not an epoch N or a range A..B"))
+    };
+    let (lo, hi) = (parse(lo)?, parse(hi)?);
+    if lo > hi {
+        return Err(format!("--epoch: {lo}..{hi} is an empty range"));
+    }
+    Ok((lo, hi))
 }
 
 fn value(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
@@ -494,13 +640,15 @@ mod tests {
     }
 
     #[test]
-    fn trace_flag_needs_exactly_one_scenario() {
+    fn trace_flag_applies_to_scenario_runs_only() {
         let cli = parse_strs(&["scenario", "a.json", "--trace", "out.ndjson"]).unwrap();
         assert_eq!(cli.trace, Some(PathBuf::from("out.ndjson")));
-        let err = parse_strs(&["scenario", "a.json", "b.json", "--trace", "t"]).unwrap_err();
-        assert!(err.contains("exactly one"), "{err}");
+        // A batch records one suffixed file per scenario.
+        let cli = parse_strs(&["scenario", "a.json", "b.json", "--trace", "t.ndjson"]).unwrap();
+        assert_eq!(cli.trace, Some(PathBuf::from("t.ndjson")));
+        assert_eq!(cli.scenario.len(), 2);
         let err = parse_strs(&["fig9", "--trace", "t"]).unwrap_err();
-        assert!(err.contains("exactly one"), "{err}");
+        assert!(err.contains("scenario"), "{err}");
         let err = parse_strs(&["--trace"]).unwrap_err();
         assert!(err.contains("needs a value"), "{err}");
     }
@@ -508,7 +656,10 @@ mod tests {
     #[test]
     fn trace_subcommand_is_its_own_mode() {
         let cli = parse_strs(&["trace", "results/run.ndjson"]).unwrap();
-        assert_eq!(cli.trace_cmd, Some(PathBuf::from("results/run.ndjson")));
+        assert_eq!(
+            cli.trace_cmd,
+            Some(TraceCmd::Summary(PathBuf::from("results/run.ndjson")))
+        );
         let err = parse_strs(&["trace", "a.ndjson", "trace", "b.ndjson"]).unwrap_err();
         assert!(err.contains("one trace file"), "{err}");
         let err = parse_strs(&["trace", "a.ndjson", "fig9"]).unwrap_err();
@@ -516,6 +667,113 @@ mod tests {
         assert!(parse_strs(&["trace"])
             .unwrap_err()
             .contains("needs a value"));
+    }
+
+    #[test]
+    fn trace_query_parses_its_filters() {
+        let cli = parse_strs(&[
+            "trace",
+            "query",
+            "t.ndjson",
+            "--kind",
+            "flow_grant",
+            "--tor",
+            "3",
+            "--flow",
+            "17",
+            "--epoch",
+            "10..20",
+            "--top-fct",
+            "5",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(
+            cli.trace_cmd,
+            Some(TraceCmd::Query(PathBuf::from("t.ndjson")))
+        );
+        assert_eq!(cli.trace_kind.as_deref(), Some("flow_grant"));
+        assert_eq!(cli.trace_tor, Some(3));
+        assert_eq!(cli.trace_flow, Some(17));
+        assert_eq!(cli.trace_epochs, Some((10, 20)));
+        assert_eq!(cli.trace_top_fct, Some(5));
+        assert!(cli.json);
+        // A bare epoch is the single-epoch range.
+        let cli = parse_strs(&["trace", "query", "t.ndjson", "--epoch", "7"]).unwrap();
+        assert_eq!(cli.trace_epochs, Some((7, 7)));
+        let err = parse_strs(&["trace", "query", "t.ndjson", "--epoch", "9..2"]).unwrap_err();
+        assert!(err.contains("empty range"), "{err}");
+        let err = parse_strs(&["trace", "query", "t.ndjson", "--epoch", "x"]).unwrap_err();
+        assert!(err.contains("not an epoch"), "{err}");
+        let err = parse_strs(&["trace", "query", "t.ndjson", "--top-fct", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        // Filters are query-only.
+        let err = parse_strs(&["trace", "t.ndjson", "--kind", "sched"]).unwrap_err();
+        assert!(err.contains("--kind only applies"), "{err}");
+        let err = parse_strs(&["fig9", "--top-fct", "3"]).unwrap_err();
+        assert!(err.contains("--top-fct only applies"), "{err}");
+    }
+
+    #[test]
+    fn trace_diff_parses_two_files_and_context() {
+        let cli = parse_strs(&["trace", "diff", "a.ndjson", "b.ndjson"]).unwrap();
+        assert_eq!(
+            cli.trace_cmd,
+            Some(TraceCmd::Diff(
+                PathBuf::from("a.ndjson"),
+                PathBuf::from("b.ndjson")
+            ))
+        );
+        assert_eq!(cli.trace_context, DEFAULT_DIFF_CONTEXT);
+        let cli = parse_strs(&["trace", "diff", "a", "b", "--context", "7"]).unwrap();
+        assert_eq!(cli.trace_context, 7);
+        assert!(parse_strs(&["trace", "diff", "a.ndjson"])
+            .unwrap_err()
+            .contains("needs a value"));
+        let err = parse_strs(&["trace", "a.ndjson", "--context", "2"]).unwrap_err();
+        assert!(err.contains("--context only applies"), "{err}");
+    }
+
+    #[test]
+    fn trace_strict_is_summary_only() {
+        let cli = parse_strs(&["trace", "t.ndjson", "--strict"]).unwrap();
+        assert!(cli.trace_strict);
+        let err = parse_strs(&["trace", "diff", "a", "b", "--strict"]).unwrap_err();
+        assert!(err.contains("--strict only applies"), "{err}");
+        let err = parse_strs(&["fig9", "--strict"]).unwrap_err();
+        assert!(err.contains("--strict only applies"), "{err}");
+    }
+
+    #[test]
+    fn trace_capacity_validates_and_is_gated() {
+        let cli = parse_strs(&[
+            "scenario",
+            "a.json",
+            "--trace",
+            "t",
+            "--trace-capacity",
+            "4096",
+        ])
+        .unwrap();
+        assert_eq!(cli.trace_capacity, Some(4096));
+        let cli = parse_strs(&["serve", "--trace-capacity", "1024"]).unwrap();
+        assert_eq!(cli.trace_capacity, Some(1024));
+        for bad in ["0", "100", "512", "3000"] {
+            let err = parse_strs(&[
+                "scenario",
+                "a.json",
+                "--trace",
+                "t",
+                "--trace-capacity",
+                bad,
+            ])
+            .unwrap_err();
+            assert!(err.contains("power of two"), "{bad}: {err}");
+        }
+        let err = parse_strs(&["fig9", "--trace-capacity", "4096"]).unwrap_err();
+        assert!(err.contains("--trace-capacity only applies"), "{err}");
+        let err = parse_strs(&["scenario", "a.json", "--trace-capacity", "4096"]).unwrap_err();
+        assert!(err.contains("--trace-capacity only applies"), "{err}");
     }
 
     #[test]

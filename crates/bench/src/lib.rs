@@ -29,5 +29,6 @@ pub mod runs;
 pub mod scenario;
 pub mod sweep;
 pub mod tracecmd;
+pub mod traceq;
 
 pub use experiments::{find_experiment, run_experiment, Args, Experiment, EXPERIMENTS};

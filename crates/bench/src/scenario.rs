@@ -144,21 +144,26 @@ pub fn execute_with_progress(
     progress: Option<ProgressSink>,
     workers: usize,
 ) -> SweepReport {
-    execute_inner(compiled, progress, workers, false).0
+    execute_inner(compiled, progress, workers, None).0
 }
 
 /// [`execute_with_progress`] with the flight recorder attached: also
 /// returns the scenario's trace — each engine's NDJSON concatenated in
-/// spec order. Both the CLI's `--trace` flag and the daemon's job
-/// executor call this, so an offline trace file and a served
-/// `GET /jobs/{id}/trace` body are byte-identical by construction. The
-/// report itself is byte-identical to an untraced run.
+/// spec order. `capacity` overrides the per-engine ring size
+/// (`--trace-capacity`; `None` = [`metrics::DEFAULT_TRACE_CAPACITY`]) and
+/// shapes only the trace bytes — never the report, hashes or cache keys.
+/// Both the CLI's `--trace` flag and the daemon's job executor call this,
+/// so an offline trace file and a served `GET /jobs/{id}/trace` body are
+/// byte-identical by construction. The report itself is byte-identical to
+/// an untraced run.
 pub fn execute_traced(
     compiled: &CompiledScenario,
     progress: Option<ProgressSink>,
     workers: usize,
+    capacity: Option<usize>,
 ) -> (SweepReport, String) {
-    let (report, trace) = execute_inner(compiled, progress, workers, true);
+    let ring = capacity.unwrap_or(metrics::DEFAULT_TRACE_CAPACITY);
+    let (report, trace) = execute_inner(compiled, progress, workers, Some(ring));
     (report, trace.expect("traced run produces a trace"))
 }
 
@@ -166,9 +171,9 @@ fn execute_inner(
     compiled: &CompiledScenario,
     progress: Option<ProgressSink>,
     workers: usize,
-    trace: bool,
+    trace: Option<usize>,
 ) -> (SweepReport, Option<String>) {
-    let mut traces = trace.then(String::new);
+    let mut traces = trace.map(|_| String::new());
     let results = build_runs_traced(compiled, progress, workers, trace)
         .into_iter()
         .enumerate()

@@ -420,6 +420,11 @@ impl From<Option<f64>> for Json {
         x.map_or(Json::Null, Json::Num)
     }
 }
+impl From<Option<u64>> for Json {
+    fn from(x: Option<u64>) -> Json {
+        x.map_or(Json::Null, Json::UInt)
+    }
+}
 
 /// Deterministic float formatting: integral values print without a
 /// fraction, everything else uses Rust's shortest round-trip form. JSON

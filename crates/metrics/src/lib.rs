@@ -36,6 +36,6 @@ pub use matchratio::MatchRatioRecorder;
 pub use phase::{PhaseCounters, PhaseObserver, PhaseProbe, PhaseSnapshot};
 pub use report::Table;
 pub use trace::{
-    FlightRecorder, TraceCursor, TraceEvent, TraceEventKind, DEFAULT_TRACE_CAPACITY,
+    FlightRecorder, FlowSpans, TraceCursor, TraceEvent, TraceEventKind, DEFAULT_TRACE_CAPACITY,
     TRACE_SCHEMA_VERSION,
 };

@@ -22,8 +22,9 @@ use crate::phase::PhaseCounters;
 use sim::time::Nanos;
 
 /// Version stamped on every `trace_start` line. Bump on any change to
-/// event names or field layout.
-pub const TRACE_SCHEMA_VERSION: u64 = 1;
+/// event names or field layout. v2 added the causal flow-lifecycle span
+/// events (`flow_born` … `flow_complete`).
+pub const TRACE_SCHEMA_VERSION: u64 = 2;
 
 /// Default ring capacity (events). Chosen so a daemon retaining traces for
 /// its full job table stays bounded: 16 Ki events × 48 B ≈ 768 KiB per
@@ -57,6 +58,25 @@ pub enum TraceEventKind {
     /// A workload phase boundary passed: `a` = phase index, `b` =
     /// delivered bytes, `c` = backlog bytes, `d` = partitioned ToRs.
     Phase,
+    /// A flow arrived at its source ToR: `a` = flow id, `b` = src ToR,
+    /// `c` = dst ToR, `d` = flow bytes.
+    FlowBorn,
+    /// First REQUEST covering the flow's (src, dst) pair after its birth:
+    /// `a` = flow id, `b` = src ToR, `c` = dst ToR.
+    FlowRequest,
+    /// First GRANT covering the flow's pair: same payload as
+    /// [`TraceEventKind::FlowRequest`].
+    FlowGrant,
+    /// First ACCEPT (scheduled transmission slot) covering the flow's
+    /// pair: same payload as [`TraceEventKind::FlowRequest`].
+    FlowAccept,
+    /// The flow's first payload bytes were dequeued toward the
+    /// destination: `a` = flow id, `b` = bytes sent so far.
+    FlowFirstTx,
+    /// The flow's last byte was delivered (completion *is* last-packet
+    /// dequeue at the destination ToR): `a` = flow id, `b` = FCT in ns,
+    /// `c` = src ToR, `d` = dst ToR.
+    FlowComplete,
 }
 
 impl TraceEventKind {
@@ -69,6 +89,12 @@ impl TraceEventKind {
             TraceEventKind::Fault => "fault",
             TraceEventKind::Backlog => "backlog_watermark",
             TraceEventKind::Phase => "phase",
+            TraceEventKind::FlowBorn => "flow_born",
+            TraceEventKind::FlowRequest => "flow_request",
+            TraceEventKind::FlowGrant => "flow_grant",
+            TraceEventKind::FlowAccept => "flow_accept",
+            TraceEventKind::FlowFirstTx => "flow_first_tx",
+            TraceEventKind::FlowComplete => "flow_complete",
         }
     }
 }
@@ -336,6 +362,26 @@ impl FlightRecorder {
                         .push("backlog_bytes", ev.c)
                         .push("partitioned_tors", ev.d);
                 }
+                TraceEventKind::FlowBorn => {
+                    line.push("flow", ev.a)
+                        .push("src", ev.b)
+                        .push("dst", ev.c)
+                        .push("bytes", ev.d);
+                }
+                TraceEventKind::FlowRequest
+                | TraceEventKind::FlowGrant
+                | TraceEventKind::FlowAccept => {
+                    line.push("flow", ev.a).push("src", ev.b).push("dst", ev.c);
+                }
+                TraceEventKind::FlowFirstTx => {
+                    line.push("flow", ev.a).push("sent_bytes", ev.b);
+                }
+                TraceEventKind::FlowComplete => {
+                    line.push("flow", ev.a)
+                        .push("fct_ns", ev.b)
+                        .push("src", ev.c)
+                        .push("dst", ev.d);
+                }
             }
             out.push_str(&line.render_compact());
             out.push('\n');
@@ -348,6 +394,222 @@ impl FlightRecorder {
         out.push_str(&end.render_compact());
         out.push('\n');
         out
+    }
+}
+
+/// Milestone bits a flow passes through, in causal order.
+mod milestone {
+    pub const BORN: u8 = 1 << 0;
+    pub const REQUESTED: u8 = 1 << 1;
+    pub const GRANTED: u8 = 1 << 2;
+    pub const ACCEPTED: u8 = 1 << 3;
+    pub const FIRST_TX: u8 = 1 << 4;
+}
+
+/// Causal flow-lifecycle span tracker: turns per-epoch engine state into
+/// `flow_born → flow_request → flow_grant → flow_accept → flow_first_tx →
+/// flow_complete` events on a [`FlightRecorder`].
+///
+/// The control plane negotiates per (src, dst) ToR *pair*, not per flow,
+/// so engines stamp pair-level activity ([`FlowSpans::mark_request`] and
+/// friends) with the epoch it happened in — stamping is idempotent and
+/// order-independent, which is what keeps span bytes identical when a
+/// parallel shard merge delivers the same pair set in a different order.
+/// [`FlowSpans::sweep`] then walks the live flows in flow-id order (the
+/// one deterministic order) and emits each flow's first crossing of each
+/// milestone. All state is preallocated at construction
+/// ([`FlowSpans::new`]); recording is allocation-free and reads no clock,
+/// same discipline as the recorder itself.
+#[derive(Debug, Clone)]
+pub struct FlowSpans {
+    n_tors: usize,
+    /// Per-flow milestone bits (indexed by flow id).
+    flags: Vec<u8>,
+    src: Vec<u32>,
+    dst: Vec<u32>,
+    bytes: Vec<u64>,
+    arrival: Vec<u64>,
+    /// Per-pair (src * n_tors + dst) epoch of the most recent REQUEST /
+    /// GRANT / ACCEPT; `u64::MAX` = never.
+    pair_req: Vec<u64>,
+    pair_grant: Vec<u64>,
+    pair_accept: Vec<u64>,
+    /// Born-but-incomplete flow ids, maintained in ascending id order.
+    live: Vec<u32>,
+    /// Next flow id to be born (flows are born in ascending id order, the
+    /// injection order, so this is also the born count).
+    born_next: usize,
+}
+
+impl FlowSpans {
+    /// Span tracker for a run of `n_flows` flows over `n_tors` ToRs.
+    /// Everything the hot path touches is sized here.
+    pub fn new(n_tors: usize, n_flows: usize) -> FlowSpans {
+        FlowSpans {
+            n_tors,
+            flags: vec![0; n_flows],
+            src: vec![0; n_flows],
+            dst: vec![0; n_flows],
+            bytes: vec![0; n_flows],
+            arrival: vec![0; n_flows],
+            pair_req: vec![u64::MAX; n_tors * n_tors],
+            pair_grant: vec![u64::MAX; n_tors * n_tors],
+            pair_accept: vec![u64::MAX; n_tors * n_tors],
+            live: Vec::with_capacity(n_flows),
+            born_next: 0,
+        }
+    }
+
+    /// Flows currently born but not yet complete.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// The next flow id awaiting birth — engines birth `flows[next_born()
+    /// .. injected]` each epoch, in id order.
+    pub fn next_born(&self) -> usize {
+        self.born_next
+    }
+
+    // lint: hot-path
+    /// Record a flow's arrival at its source ToR and start tracking it.
+    /// Flows must be born in ascending id order (the injection order).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn born(
+        &mut self,
+        rec: &mut FlightRecorder,
+        at: Nanos,
+        epoch: u64,
+        id: u32,
+        src: u32,
+        dst: u32,
+        bytes: u64,
+        arrival: Nanos,
+    ) {
+        let i = id as usize;
+        debug_assert_eq!(i, self.born_next, "flows must be born in id order");
+        self.born_next = i + 1;
+        self.flags[i] = milestone::BORN;
+        self.src[i] = src;
+        self.dst[i] = dst;
+        self.bytes[i] = bytes;
+        self.arrival[i] = arrival;
+        // lint: allow(H001) push into capacity preallocated for every flow
+        self.live.push(id);
+        rec.record(TraceEvent {
+            at,
+            epoch,
+            kind: TraceEventKind::FlowBorn,
+            a: id as u64,
+            b: src as u64,
+            c: dst as u64,
+            d: bytes,
+        });
+    }
+
+    // lint: hot-path
+    /// Stamp a REQUEST sent for pair `src → dst` at `epoch`. Idempotent
+    /// and order-independent; events are emitted later by [`Self::sweep`].
+    #[inline]
+    pub fn mark_request(&mut self, src: u32, dst: u32, epoch: u64) {
+        self.pair_req[src as usize * self.n_tors + dst as usize] = epoch;
+    }
+
+    // lint: hot-path
+    /// Stamp a GRANT issued for pair `src → dst` at `epoch`.
+    #[inline]
+    pub fn mark_grant(&mut self, src: u32, dst: u32, epoch: u64) {
+        self.pair_grant[src as usize * self.n_tors + dst as usize] = epoch;
+    }
+
+    // lint: hot-path
+    /// Stamp an ACCEPT (scheduled slot) for pair `src → dst` at `epoch`.
+    #[inline]
+    pub fn mark_accept(&mut self, src: u32, dst: u32, epoch: u64) {
+        self.pair_accept[src as usize * self.n_tors + dst as usize] = epoch;
+    }
+
+    // lint: hot-path
+    /// Walk the live flows in flow-id order, emit every milestone crossed
+    /// this `epoch`, and retire completed flows. `flow_state` reports a
+    /// flow's `(remaining_bytes, completion_time)` — completion is
+    /// last-byte delivery, so `flow_complete` doubles as the last-packet
+    /// dequeue span end. Compacts `live` in place; no allocation.
+    #[inline]
+    pub fn sweep(
+        &mut self,
+        rec: &mut FlightRecorder,
+        at: Nanos,
+        epoch: u64,
+        mut flow_state: impl FnMut(u32) -> (u64, Option<Nanos>),
+    ) {
+        let mut w = 0usize;
+        for r in 0..self.live.len() {
+            let id = self.live[r];
+            let i = id as usize;
+            let (src, dst) = (self.src[i], self.dst[i]);
+            let pair = src as usize * self.n_tors + dst as usize;
+            let steps: [(u8, u64, TraceEventKind); 3] = [
+                (
+                    milestone::REQUESTED,
+                    self.pair_req[pair],
+                    TraceEventKind::FlowRequest,
+                ),
+                (
+                    milestone::GRANTED,
+                    self.pair_grant[pair],
+                    TraceEventKind::FlowGrant,
+                ),
+                (
+                    milestone::ACCEPTED,
+                    self.pair_accept[pair],
+                    TraceEventKind::FlowAccept,
+                ),
+            ];
+            for (bit, stamp, kind) in steps {
+                if self.flags[i] & bit == 0 && stamp == epoch {
+                    self.flags[i] |= bit;
+                    rec.record(TraceEvent {
+                        at,
+                        epoch,
+                        kind,
+                        a: id as u64,
+                        b: src as u64,
+                        c: dst as u64,
+                        d: 0,
+                    });
+                }
+            }
+            let (remaining, completion) = flow_state(id);
+            if self.flags[i] & milestone::FIRST_TX == 0 && remaining < self.bytes[i] {
+                self.flags[i] |= milestone::FIRST_TX;
+                rec.record(TraceEvent {
+                    at,
+                    epoch,
+                    kind: TraceEventKind::FlowFirstTx,
+                    a: id as u64,
+                    b: self.bytes[i] - remaining,
+                    c: 0,
+                    d: 0,
+                });
+            }
+            if let Some(done) = completion {
+                rec.record(TraceEvent {
+                    at,
+                    epoch,
+                    kind: TraceEventKind::FlowComplete,
+                    a: id as u64,
+                    b: done - self.arrival[i],
+                    c: src as u64,
+                    d: dst as u64,
+                });
+                continue; // retired: drop from the live list
+            }
+            self.live[w] = id;
+            w += 1;
+        }
+        self.live.truncate(w);
     }
 }
 
@@ -482,6 +744,83 @@ mod tests {
         let end = Json::parse(lines[4]).unwrap();
         assert_eq!(end.get("events").and_then(Json::as_u64), Some(3));
         assert_eq!(end.get("dropped").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn flow_spans_emit_the_causal_lifecycle_once() {
+        let mut r = FlightRecorder::with_capacity(64, 2);
+        let mut s = FlowSpans::new(2, 1);
+        // Epoch 0: birth + REQUEST, nothing sent yet.
+        s.born(&mut r, 0, 0, 0, 0, 1, 1_000, 0);
+        s.mark_request(0, 1, 0);
+        s.sweep(&mut r, 0, 0, |_| (1_000, None));
+        // Epoch 1: GRANT arrives; re-sweeping must not re-emit the request.
+        s.mark_grant(0, 1, 1);
+        s.sweep(&mut r, 100, 1, |_| (1_000, None));
+        // Epoch 2: ACCEPT + first bytes move.
+        s.mark_accept(0, 1, 2);
+        s.sweep(&mut r, 200, 2, |_| (600, None));
+        // Epoch 3: last byte delivered; flow retires.
+        s.sweep(&mut r, 300, 3, |_| (0, Some(250)));
+        assert_eq!(s.live_count(), 0);
+        let kinds: Vec<TraceEventKind> = r.events().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceEventKind::FlowBorn,
+                TraceEventKind::FlowRequest,
+                TraceEventKind::FlowGrant,
+                TraceEventKind::FlowAccept,
+                TraceEventKind::FlowFirstTx,
+                TraceEventKind::FlowComplete,
+            ]
+        );
+        let done = r.events().last().unwrap();
+        assert_eq!((done.a, done.b, done.c, done.d), (0, 250, 0, 1));
+        // Retired flows never re-emit, even if the pair stays active.
+        s.mark_request(0, 1, 4);
+        s.sweep(&mut r, 400, 4, |_| (0, Some(250)));
+        assert_eq!(r.len(), 6);
+    }
+
+    #[test]
+    fn flow_spans_stale_pair_stamps_do_not_leak_into_later_flows() {
+        let mut r = FlightRecorder::with_capacity(64, 2);
+        let mut s = FlowSpans::new(2, 2);
+        s.born(&mut r, 0, 0, 0, 0, 1, 100, 0);
+        s.mark_request(0, 1, 0);
+        s.sweep(&mut r, 0, 0, |_| (100, None));
+        // Flow 1 on the same pair is born two epochs later: the epoch-0
+        // REQUEST stamp must not be attributed to it.
+        s.born(&mut r, 200, 2, 1, 0, 1, 100, 200);
+        s.sweep(&mut r, 200, 2, |id| (100, (id == 0).then_some(150)));
+        let requests = r
+            .events()
+            .filter(|e| e.kind == TraceEventKind::FlowRequest)
+            .count();
+        assert_eq!(requests, 1, "only flow 0 saw the epoch-0 REQUEST");
+        assert_eq!(s.live_count(), 1);
+    }
+
+    #[test]
+    fn flow_span_events_render_with_named_fields() {
+        let mut r = FlightRecorder::with_capacity(16, 2);
+        let mut s = FlowSpans::new(2, 1);
+        s.born(&mut r, 0, 0, 0, 1, 0, 512, 0);
+        s.mark_request(1, 0, 0);
+        s.sweep(&mut r, 0, 0, |_| (0, Some(90)));
+        let text = r.render_ndjson("negotiator");
+        assert!(text.contains(
+            "\"event\":\"flow_born\",\"epoch\":0,\"t_ns\":0,\"flow\":0,\"src\":1,\"dst\":0,\"bytes\":512"
+        ));
+        assert!(text.contains("\"event\":\"flow_request\""));
+        assert!(text.contains("\"event\":\"flow_first_tx\""));
+        assert!(text.contains(
+            "\"event\":\"flow_complete\",\"epoch\":0,\"t_ns\":0,\"flow\":0,\"fct_ns\":90"
+        ));
+        for line in text.lines() {
+            Json::parse(line).expect("every span line parses");
+        }
     }
 
     #[test]

@@ -51,7 +51,7 @@ use crate::variants::projector;
 use crate::variants::relay::{self, RelayBuffer, RelayPolicy, RelayRequest};
 use crate::variants::stateful::DemandMatrix;
 use metrics::{
-    trace::{FlightRecorder, TraceCursor},
+    trace::{FlightRecorder, FlowSpans, TraceCursor},
     FlowTracker, MatchRatioRecorder, PhaseCounters, PhaseProbe, RunReport,
 };
 use sim::time::Nanos;
@@ -506,12 +506,26 @@ impl NegotiatorSim {
         self.recorder.take().map(|b| *b)
     }
 
-    /// End-of-epoch flight-recorder emission: control-plane deltas,
-    /// detector transitions and per-ToR backlog watermarks. Reads the
-    /// same merged state the phase counters read. Only called when a
-    /// recorder is attached; the divergence scan and the O(n²) backlog
-    /// row sums are paid only by traced runs.
-    fn trace_epoch(&mut self, epoch: u64, t0: Nanos) {
+    /// End-of-epoch flight-recorder emission: flow births, control-plane
+    /// deltas, detector transitions, flow-lifecycle span milestones and
+    /// per-ToR backlog watermarks. Reads the same merged state the phase
+    /// counters read: the dirty lists hold this epoch's REQUEST pairs and
+    /// GRANT buckets as *sets* (the parallel steps concatenate per-lane
+    /// lists in shard order, so the set is worker-invariant even though
+    /// the order is not), and span emission iterates live flows in flow-id
+    /// order — which is what keeps span bytes identical at any worker
+    /// count. Only called when a recorder is attached; the divergence
+    /// scan, the span sweep and the O(n²) backlog row sums are paid only
+    /// by traced runs.
+    fn trace_epoch(
+        &mut self,
+        epoch: u64,
+        t0: Nanos,
+        flows: &[workload::Flow],
+        injected: usize,
+        spans: &mut FlowSpans,
+        tracker: &FlowTracker,
+    ) {
         let (fp, fn_) = self.detector_divergence();
         let cursor = TraceCursor {
             requests: self.stats.requests_sent,
@@ -522,7 +536,42 @@ impl NegotiatorSim {
             detector_fn: fn_,
         };
         let mut rec = self.recorder.take().expect("caller checked recorder");
+        for f in &flows[spans.next_born()..injected] {
+            spans.born(
+                &mut rec,
+                t0,
+                epoch,
+                f.id as u32,
+                f.src as u32,
+                f.dst as u32,
+                f.bytes,
+                f.arrival,
+            );
+        }
         rec.epoch_counters(t0, epoch, cursor);
+        // Stamp this epoch's pair-level control activity. Stamping is
+        // idempotent, so the dirty lists' order never matters.
+        for &idx in &self.req_dirty {
+            let (src, dst) = (idx as usize / self.n, idx as usize % self.n);
+            spans.mark_request(src as u32, dst as u32, epoch);
+        }
+        for &idx in &self.grant_dirty {
+            // Buckets are granter * n + requester; the flow pair runs
+            // requester → granter.
+            let (granter, requester) = (idx as usize / self.n, idx as usize % self.n);
+            spans.mark_grant(requester as u32, granter as u32, epoch);
+        }
+        for tx in &self.active_list {
+            // Relay slots forward another pair's traffic; only direct
+            // matches are pair-level ACCEPTs.
+            if !tx.relay {
+                let src = tx.slot as usize / self.s;
+                spans.mark_accept(src as u32, tx.dst, epoch);
+            }
+        }
+        spans.sweep(&mut rec, t0, epoch, |id| {
+            (tracker.remaining(id as u64), tracker.completion(id as u64))
+        });
         for tor in 0..self.n {
             let backlog: u64 = self.queue_bytes[tor * self.n..(tor + 1) * self.n]
                 .iter()
@@ -629,6 +678,12 @@ impl NegotiatorSim {
         let mut tracker = FlowTracker::new(trace);
         let flows = trace.flows();
         let mut cursor = 0usize;
+        // Span tracking is sized for the whole trace up front so the
+        // per-epoch emission below stays allocation-free.
+        let mut spans = self
+            .recorder
+            .is_some()
+            .then(|| FlowSpans::new(self.n, flows.len()));
 
         let mut epoch: u64 = 0;
         // lint: hot-path
@@ -668,8 +723,8 @@ impl NegotiatorSim {
             cursor = self.predefined_phase(flows, cursor, epoch, t0, &mut tracker);
             cursor = self.scheduled_phase(flows, cursor, epoch, t0, &mut tracker);
             self.observe_epoch();
-            if self.recorder.is_some() {
-                self.trace_epoch(epoch, t0);
+            if let Some(spans) = spans.as_mut() {
+                self.trace_epoch(epoch, t0, flows, cursor, spans, &tracker);
             }
             epoch += 1;
 

@@ -29,7 +29,10 @@
 //! which is what caps heavy-load goodput near the worst case.
 
 use crate::config::ObliviousConfig;
-use metrics::{trace::FlightRecorder, FlowTracker, PhaseCounters, PhaseProbe, RunReport};
+use metrics::{
+    trace::{FlightRecorder, FlowSpans},
+    FlowTracker, PhaseCounters, PhaseProbe, RunReport,
+};
 use sim::time::Nanos;
 use sim::{BandwidthSeries, Xoshiro256};
 use std::collections::VecDeque;
@@ -385,6 +388,12 @@ impl ObliviousSim {
         let mut tracker = FlowTracker::new(trace);
         let flows = trace.flows();
         let mut cursor = 0usize;
+        // Span tracking sized for the whole trace up front; the rotor has
+        // no control plane, so its spans are birth → first_tx → complete.
+        let mut spans = self
+            .recorder
+            .is_some()
+            .then(|| FlowSpans::new(self.n, flows.len()));
         let depth = self.inflight.len();
         let prop = self.cfg.net.propagation_delay;
         let per_pair_cap = self.cfg.relay_pair_packets as u64 * self.payload;
@@ -459,6 +468,28 @@ impl ObliviousSim {
                 self.serve_slot(src, via, arrive, arrive_slot, per_pair_cap, &mut tracker);
             }
             self.cache = cache;
+            // End-of-slot span emission: the slot loop is fully sequential
+            // (workers only shard the probe's backlog scans), so this is
+            // the merge point and span bytes are worker-invariant.
+            if let Some(spans) = spans.as_mut() {
+                let mut rec = self.recorder.take().expect("spans exist only when tracing");
+                for f in &flows[spans.next_born()..cursor] {
+                    spans.born(
+                        &mut rec,
+                        now,
+                        t,
+                        f.id as u32,
+                        f.src as u32,
+                        f.dst as u32,
+                        f.bytes,
+                        f.arrival,
+                    );
+                }
+                spans.sweep(&mut rec, now, t, |id| {
+                    (tracker.remaining(id as u64), tracker.completion(id as u64))
+                });
+                self.recorder = Some(rec);
+            }
             t += 1;
             if cursor >= flows.len()
                 && tracker.completed_count() == flows.len()

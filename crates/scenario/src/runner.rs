@@ -61,7 +61,7 @@ pub struct ScenarioRun {
 /// the intra-run shard worker count (`--workers`); output is
 /// byte-identical at any value, so it never enters the run hash.
 pub fn build_runs(compiled: &CompiledScenario, workers: usize) -> Vec<ScenarioRun> {
-    build_runs_traced(compiled, None, workers, false)
+    build_runs_traced(compiled, None, workers, None)
 }
 
 /// [`build_runs`] with an optional live progress sink, invoked from the
@@ -71,18 +71,20 @@ pub fn build_runs_with_progress(
     progress: Option<ProgressSink>,
     workers: usize,
 ) -> Vec<ScenarioRun> {
-    build_runs_traced(compiled, progress, workers, false)
+    build_runs_traced(compiled, progress, workers, None)
 }
 
 /// [`build_runs_with_progress`] with the flight recorder optionally
-/// attached: each run then fills [`ScenarioRunOutput::trace`] with its
+/// attached — `trace` is its ring capacity in events (`Some` enables
+/// recording): each run then fills [`ScenarioRunOutput::trace`] with its
 /// NDJSON. Tracing is observational — every other output byte is
-/// identical to an untraced run.
+/// identical to an untraced run, and the capacity shapes only the trace
+/// bytes themselves (it never reaches results, hashes or cache keys).
 pub fn build_runs_traced(
     compiled: &CompiledScenario,
     progress: Option<ProgressSink>,
     workers: usize,
-    trace: bool,
+    trace: Option<usize>,
 ) -> Vec<ScenarioRun> {
     compiled
         .spec
@@ -136,7 +138,7 @@ fn run_engine(
     system: &str,
     progress: Option<ProgressSink>,
     workers: usize,
-    record: bool,
+    record: Option<usize>,
 ) -> ScenarioRunOutput {
     let spec = &compiled.spec;
     let trace = Arc::clone(&compiled.trace);
@@ -164,8 +166,8 @@ fn run_engine(
                 sim.schedule_fault(*at, action.clone());
             }
             sim.set_phase_probe(make_probe(compiled, system, progress));
-            if record {
-                sim.set_recorder(FlightRecorder::new(spec.net.n_tors));
+            if let Some(capacity) = record {
+                sim.set_recorder(FlightRecorder::with_capacity(capacity, spec.net.n_tors));
             }
             let mut report = sim.run(&trace, compiled.duration);
             let stats = series::phase_stats(
@@ -193,8 +195,8 @@ fn run_engine(
                 sim.schedule_fault(*at, action.clone());
             }
             sim.set_phase_probe(make_probe(compiled, system, progress));
-            if record {
-                sim.set_recorder(FlightRecorder::new(spec.net.n_tors));
+            if let Some(capacity) = record {
+                sim.set_recorder(FlightRecorder::with_capacity(capacity, spec.net.n_tors));
             }
             let mut report = sim.run(&trace, compiled.duration);
             let stats = series::phase_stats(

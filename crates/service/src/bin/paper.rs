@@ -5,10 +5,12 @@
 //!       [--jobs N] [--workers N] [--json] [--no-timing] [--out DIR] [--seeds A,B,C]
 //! paper all --jobs 8 --json --out results/
 //! paper scenario <file.json>... [--jobs N] [--workers N] [--json] [--no-timing] [--no-cache] [--out DIR]
-//! paper scenario <file.json> --trace out.ndjson [--workers N] [--json] [--out DIR]
-//! paper serve [--addr HOST:PORT] [--jobs N] [--workers N] [--out DIR] [--log-level error|info|debug]
+//! paper scenario <file.json>... --trace out.ndjson [--trace-capacity N] [--workers N] [--json] [--out DIR]
+//! paper serve [--addr HOST:PORT] [--jobs N] [--workers N] [--out DIR] [--log-level error|info|debug] [--trace-capacity N]
 //! paper submit <file.json> [--addr HOST:PORT] [--priority N]
-//! paper trace <file.ndjson>
+//! paper trace <file.ndjson> [--strict]
+//! paper trace query <file.ndjson> [--kind NAME] [--tor N] [--flow N] [--epoch A..B] [--top-fct N] [--json]
+//! paper trace diff <a.ndjson> <b.ndjson> [--context N]
 //! paper list [--json]
 //! paper lint [--json]
 //! ```
@@ -27,7 +29,7 @@
 //! progress and returns results byte-identical to the offline
 //! `--json --no-timing` form (wire protocol: README "Service").
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use bench::cache::{CacheEntry, ResultCache};
 use bench::experiments::{find_experiment, Args, Experiment, EXPERIMENTS};
@@ -70,6 +72,7 @@ fn main() {
             out: cli.out.clone(),
             scenarios_dir: Path::new("scenarios").to_path_buf(),
             log_level,
+            trace_capacity: cli.trace_capacity,
         };
         if let Err(error) = service::serve_forever(config) {
             eprintln!("error: {error}");
@@ -77,8 +80,8 @@ fn main() {
         }
         return;
     }
-    if let Some(path) = &cli.trace_cmd {
-        summarize_trace(path);
+    if let Some(cmd) = &cli.trace_cmd {
+        run_trace_cmd(cmd, &cli);
         return;
     }
     if let Some(path) = &cli.submit {
@@ -263,75 +266,147 @@ fn run_scenarios(cli: &cli::Cli) {
     eprintln!("[scenario batch done in {:.1?}]", started.elapsed());
 }
 
-/// `paper scenario <file> --trace out.ndjson`: the traced single-scenario
+/// `paper scenario <file>... --trace out.ndjson`: the traced scenario
 /// path. Tracing requires simulating (a cache hit has no recorder), so
-/// the cache lookup is bypassed — but the entry is still stored, and the
-/// daemon's `GET /jobs/<id>/trace` for the same scenario is
+/// the cache lookup is bypassed — but the entries are still stored, and
+/// the daemon's `GET /jobs/<id>/trace` for the same scenario is
 /// byte-identical because both call `bench::scenario::execute_traced`.
+/// A multi-file batch writes one trace per scenario, the given path
+/// suffixed with each scenario's name (`t.ndjson` → `t-<name>.ndjson`).
 fn run_traced_scenario(cli: &cli::Cli) {
-    let path = &cli.scenario[0];
-    let compiled = match scenario::load(path) {
-        Ok(compiled) => compiled,
-        Err(error) => {
-            eprintln!("error: {error}");
-            std::process::exit(2);
-        }
-    };
-    let started = std::time::Instant::now();
-    eprintln!(
-        "[scenario '{}': tracing {} run(s) — cache lookup bypassed]",
-        compiled.spec.name,
-        compiled.spec.engines.len()
-    );
-    let (report, trace) = scenario::execute_traced(&compiled, None, cli.workers);
+    let compiled: Vec<_> = cli
+        .scenario
+        .iter()
+        .map(|path| match scenario::load(path) {
+            Ok(compiled) => compiled,
+            Err(error) => {
+                eprintln!("error: {error}");
+                std::process::exit(2);
+            }
+        })
+        .collect();
     let trace_path = cli.trace.as_ref().expect("checked by the parser");
+    let multi = compiled.len() > 1;
+    let started = std::time::Instant::now();
     let write = |path: &Path, bytes: &[u8]| -> std::io::Result<()> {
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
             std::fs::create_dir_all(parent)?;
         }
         std::fs::write(path, bytes)
     };
-    if let Err(error) = write(trace_path, trace.as_bytes()) {
-        eprintln!("error: writing {}: {error}", trace_path.display());
-        std::process::exit(1);
-    }
-    eprintln!(
-        "[wrote {} ({} bytes of flight-recorder NDJSON)]",
-        trace_path.display(),
-        trace.len()
-    );
-    if cli.cache {
-        let cache = ResultCache::new(cli.out.join("cache"));
-        let entry = CacheEntry {
-            scenario: compiled.spec.name.clone(),
-            rendered: report.rendered.clone(),
-            document: scenario::deterministic_document(&report),
+    for c in &compiled {
+        eprintln!(
+            "[scenario '{}': tracing {} run(s) — cache lookup bypassed]",
+            c.spec.name,
+            c.spec.engines.len()
+        );
+        let (report, trace) = scenario::execute_traced(c, None, cli.workers, cli.trace_capacity);
+        let out_path = if multi {
+            suffixed_trace_path(trace_path, &c.spec.name)
+        } else {
+            trace_path.clone()
         };
-        if let Err(error) = cache.store(compiled.content_hash(), &entry) {
-            eprintln!("error: caching {}: {error}", compiled.spec.name);
+        if let Err(error) = write(&out_path, trace.as_bytes()) {
+            eprintln!("error: writing {}: {error}", out_path.display());
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[wrote {} ({} bytes of flight-recorder NDJSON)]",
+            out_path.display(),
+            trace.len()
+        );
+        if cli.cache {
+            let cache = ResultCache::new(cli.out.join("cache"));
+            let entry = CacheEntry {
+                scenario: c.spec.name.clone(),
+                rendered: report.rendered.clone(),
+                document: scenario::deterministic_document(&report),
+            };
+            if let Err(error) = cache.store(c.content_hash(), &entry) {
+                eprintln!("error: caching {}: {error}", c.spec.name);
+            }
+        }
+        println!("{}", report.rendered);
+        if cli.json {
+            write_json(cli, std::slice::from_ref(&report), false);
         }
     }
-    println!("{}", report.rendered);
-    if cli.json {
-        write_json(cli, std::slice::from_ref(&report), false);
-    }
-    eprintln!("[traced scenario done in {:.1?}]", started.elapsed());
+    eprintln!("[traced scenario batch done in {:.1?}]", started.elapsed());
 }
 
-/// `paper trace`: summarize a flight-recorder NDJSON file.
-fn summarize_trace(path: &Path) {
-    let text = match std::fs::read_to_string(path) {
-        Ok(text) => text,
-        Err(error) => {
-            eprintln!("error: {}: {error}", path.display());
-            std::process::exit(2);
+/// `t.ndjson` + scenario `storm` → `t-storm.ndjson`, so a batch's traces
+/// land side by side without clobbering each other.
+fn suffixed_trace_path(base: &Path, name: &str) -> PathBuf {
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    let file = match base.extension().and_then(|e| e.to_str()) {
+        Some(ext) => format!("{stem}-{name}.{ext}"),
+        None => format!("{stem}-{name}"),
+    };
+    base.with_file_name(file)
+}
+
+/// `paper trace …`: summarize, query or diff flight-recorder NDJSON.
+fn run_trace_cmd(cmd: &cli::TraceCmd, cli: &cli::Cli) {
+    let read = |path: &Path| -> String {
+        match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("error: {}: {error}", path.display());
+                std::process::exit(2);
+            }
         }
     };
-    match bench::tracecmd::summarize(&text) {
-        Ok(summary) => print!("{summary}"),
-        Err(error) => {
-            eprintln!("error: {}: {error}", path.display());
-            std::process::exit(1);
+    match cmd {
+        cli::TraceCmd::Summary(path) => {
+            let text = read(path);
+            match bench::tracecmd::summarize(&text) {
+                Ok(summary) => print!("{summary}"),
+                Err(error) => {
+                    eprintln!("error: {}: {error}", path.display());
+                    std::process::exit(1);
+                }
+            }
+            let dropped = bench::traceq::dropped_total(&text);
+            if cli.trace_strict && dropped > 0 {
+                eprintln!(
+                    "error: {}: {dropped} event(s) dropped by ring overflow (--strict)",
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+        }
+        cli::TraceCmd::Query(path) => {
+            let text = read(path);
+            let opts = bench::traceq::QueryOpts {
+                kind: cli.trace_kind.clone(),
+                tor: cli.trace_tor,
+                flow: cli.trace_flow,
+                epochs: cli.trace_epochs,
+                top_fct: cli.trace_top_fct,
+                json: cli.json,
+            };
+            match bench::traceq::query(&text, &opts) {
+                Ok(out) if out.ends_with('\n') => print!("{out}"),
+                Ok(out) => println!("{out}"),
+                Err(error) => {
+                    eprintln!("error: {}: {error}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        cli::TraceCmd::Diff(a, b) => {
+            let (text_a, text_b) = (read(a), read(b));
+            let outcome = bench::traceq::diff(
+                &a.display().to_string(),
+                &text_a,
+                &b.display().to_string(),
+                &text_b,
+                cli.trace_context,
+            );
+            print!("{}", outcome.report);
+            if outcome.divergent {
+                std::process::exit(1);
+            }
         }
     }
 }
@@ -489,10 +564,12 @@ fn usage() {
         "usage: paper <experiment-id>|all|list [--duration-ms N] [--loads 10,50,100]\n\
          \u{20}      [--seed N | --seeds A,B,C] [--jobs N] [--workers N] [--json] [--no-timing] [--out DIR]\n\
          \u{20}      paper scenario <file.json>... [--jobs N] [--workers N] [--json] [--no-timing] [--no-cache] [--out DIR]\n\
-         \u{20}      paper scenario <file.json> --trace out.ndjson [--workers N] [--json] [--out DIR]\n\
-         \u{20}      paper serve [--addr HOST:PORT] [--jobs N] [--workers N] [--out DIR] [--log-level error|info|debug]\n\
+         \u{20}      paper scenario <file.json>... --trace out.ndjson [--trace-capacity N] [--workers N] [--json] [--out DIR]\n\
+         \u{20}      paper serve [--addr HOST:PORT] [--jobs N] [--workers N] [--out DIR] [--log-level error|info|debug] [--trace-capacity N]\n\
          \u{20}      paper submit <file.json> [--addr HOST:PORT] [--priority N]\n\
-         \u{20}      paper trace <file.ndjson>\n\
+         \u{20}      paper trace <file.ndjson> [--strict]\n\
+         \u{20}      paper trace query <file.ndjson> [--kind NAME] [--tor N] [--flow N] [--epoch A..B] [--top-fct N] [--json]\n\
+         \u{20}      paper trace diff <a.ndjson> <b.ndjson> [--context N]\n\
          \u{20}      paper list [--json]\n\
          \u{20}      paper lint [--json]"
     );

@@ -93,6 +93,11 @@ pub struct MetricsInput<'a> {
     pub stages: &'a [StageTotals],
     /// The HTTP tally.
     pub http: &'a HttpMetrics,
+    /// Flight-recorder events dropped by ring overflow across all jobs
+    /// this daemon has run. Nonzero means served traces (and every
+    /// forensic answer derived from them) are missing their oldest
+    /// events — alert on it, then raise `--trace-capacity`.
+    pub trace_dropped: u64,
 }
 
 /// Render the full exposition. Ends with a newline; every family carries
@@ -198,6 +203,11 @@ pub fn render_prometheus(input: &MetricsInput<'_>) -> String {
         "paper_http_requests_total",
         "HTTP requests served.",
         input.http.requests(),
+    );
+    counter(
+        "paper_trace_dropped_total",
+        "Flight-recorder events dropped by ring overflow across all jobs.",
+        input.trace_dropped,
     );
     render_stages(&mut out, input.stages);
     render_histogram(&mut out, input.http);
@@ -307,6 +317,7 @@ mod tests {
             cache: (10, 4),
             stages,
             http,
+            trace_dropped: 6,
         })
     }
 
@@ -350,6 +361,7 @@ mod tests {
             "paper_cache_hits_total 10",
             "paper_cache_misses_total 4",
             "paper_http_requests_total 4",
+            "paper_trace_dropped_total 6",
             "paper_stage_seconds_total{stage=\"execute\"} 1.5",
             "paper_stage_calls_total{stage=\"cache_lookup\"} 4",
         ] {
@@ -388,6 +400,7 @@ mod tests {
             cache: (0, 0),
             stages: &[],
             http: &http,
+            trace_dropped: 0,
         });
         assert!(text.contains("paper_draining 1"));
         assert!(text.contains("paper_pool_utilization 0"));

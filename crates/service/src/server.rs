@@ -34,6 +34,7 @@
 //! | `GET /jobs/<id>`          | status + progress events                      |
 //! | `GET /jobs/<id>/result`   | the result document once done                 |
 //! | `GET /jobs/<id>/trace`    | the job's flight-recorder NDJSON once done    |
+//! | `GET /jobs/<id>/flows`    | slowest-flow span forensics (`?top=N`)        |
 //! | `DELETE /jobs/<id>`       | cancel a still-queued job                     |
 //! | `GET /metrics`            | Prometheus text exposition                    |
 //! | `POST /shutdown`          | begin graceful shutdown                       |
@@ -42,7 +43,7 @@ use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -84,6 +85,10 @@ pub struct ServeConfig {
     pub scenarios_dir: PathBuf,
     /// Daemon log verbosity (`--log-level error|info|debug`).
     pub log_level: LogLevel,
+    /// Flight-recorder ring capacity per engine (`--trace-capacity`;
+    /// `None` = the default 16Ki). Shapes only the recorded trace bytes —
+    /// served documents, hashes and cache keys are capacity-blind.
+    pub trace_capacity: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +100,7 @@ impl Default for ServeConfig {
             out: PathBuf::from("results"),
             scenarios_dir: PathBuf::from("scenarios"),
             log_level: LogLevel::Info,
+            trace_capacity: None,
         }
     }
 }
@@ -111,6 +117,9 @@ struct ServerState {
     closed: AtomicBool,
     /// Request counter + latency histogram for `/metrics`.
     http: HttpMetrics,
+    /// Cumulative flight-recorder ring-overflow drops across every job
+    /// this daemon has run (`paper_trace_dropped_total`).
+    trace_dropped: AtomicU64,
 }
 
 /// A running daemon: bind address, background accept loop, worker pool.
@@ -141,6 +150,7 @@ impl Server {
             draining: AtomicBool::new(false),
             closed: AtomicBool::new(false),
             http: HttpMetrics::new(),
+            trace_dropped: AtomicU64::new(0),
             config,
         });
         let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -335,6 +345,7 @@ fn route(
         ("GET", ["jobs", id]) => handle_status(stream, id, state),
         ("GET", ["jobs", id, "result"]) => handle_result(stream, id, state),
         ("GET", ["jobs", id, "trace"]) => handle_trace(stream, id, state),
+        ("GET", ["jobs", id, "flows"]) => handle_flows(stream, request, id, state),
         ("DELETE", ["jobs", id]) => handle_cancel(stream, id, state),
         ("GET", ["metrics"]) => handle_metrics(stream, state),
         ("POST", ["shutdown"]) => {
@@ -387,6 +398,7 @@ fn handle_metrics(stream: &mut TcpStream, state: &Arc<ServerState>) -> std::io::
         cache: state.cache.stats(),
         stages: &stages,
         http: &state.http,
+        trace_dropped: state.trace_dropped.load(Ordering::Relaxed),
     });
     respond(
         stream,
@@ -505,7 +517,12 @@ fn execute_job(state: &Arc<ServerState>, job: &Arc<Job>, compiled: &CompiledScen
         // CLI's `--trace` runs the exact same function, the daemon's
         // trace and an offline trace of the same scenario are
         // byte-identical by construction.
-        let (report, trace) = execute_traced(compiled, Some(sink), state.config.workers);
+        let (report, trace) = execute_traced(
+            compiled,
+            Some(sink),
+            state.config.workers,
+            state.config.trace_capacity,
+        );
         let document = deterministic_document(&report);
         let entry = CacheEntry {
             scenario: compiled.spec.name.clone(),
@@ -521,6 +538,9 @@ fn execute_job(state: &Arc<ServerState>, job: &Arc<Job>, compiled: &CompiledScen
     }));
     match outcome {
         Ok((document, trace)) => {
+            state
+                .trace_dropped
+                .fetch_add(bench::traceq::dropped_total(&trace), Ordering::Relaxed);
             // Trace first, then the terminal transition: a follower that
             // observes Done must find the trace already attached.
             job.set_trace(Arc::new(trace));
@@ -705,6 +725,41 @@ fn handle_trace(stream: &mut TcpStream, id: &str, state: &Arc<ServerState>) -> s
                 &[("X-Content-Hash", hex(job.hash).as_str())],
                 trace.as_bytes(),
             ),
+            None => error_response(stream, 404, "job finished without recording a trace"),
+        },
+        JobState::Failed(message) => error_response(stream, 500, &message),
+        JobState::Cancelled => error_response(stream, 404, "job was cancelled before running"),
+        pending => error_response(stream, 409, &format!("job is {}", pending.label())),
+    }
+}
+
+/// `GET /jobs/<id>/flows?top=N`: the slowest-N completed flows of the
+/// job's trace, with each flow's full span-milestone history. The body is
+/// `bench::traceq::flows_json` — the same function `paper trace query
+/// --top-fct N --json` prints — so daemon answers and offline forensics
+/// can never drift apart.
+fn handle_flows(
+    stream: &mut TcpStream,
+    request: &Request,
+    id: &str,
+    state: &Arc<ServerState>,
+) -> std::io::Result<()> {
+    let Some(job) = lookup(id, state) else {
+        return error_response(stream, 404, &format!("no job '{id}'"));
+    };
+    let top = match request.query_value("top") {
+        None => 10,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => return error_response(stream, 400, &format!("bad top '{v}'")),
+        },
+    };
+    match job.state() {
+        JobState::Done(_) => match job.trace() {
+            Some(trace) => match bench::traceq::flows_json(&trace, top) {
+                Ok(body) => json_response(stream, 200, &body),
+                Err(error) => error_response(stream, 500, &error),
+            },
             None => error_response(stream, 404, "job finished without recording a trace"),
         },
         JobState::Failed(message) => error_response(stream, 500, &message),
